@@ -1,0 +1,56 @@
+// Ablation for the paper's open problem (Section 7): per-tree heuristics
+// vs the global sequential selection (shortcut/global_opt.hpp). Reports
+// added-edge counts after merging (unique new edges) for greedy, DP, and
+// global on the shortcut suite — global should win wherever balls overlap
+// (roads, grids) and tie on hub graphs where DP already adds almost
+// nothing.
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "shortcut/global_opt.hpp"
+#include "shortcut/shortcut.hpp"
+
+int main() {
+  using namespace rs;
+  using namespace rs::exp;
+  Scale s = scale_from_env();
+  // The global pass is sequential; keep graphs modest.
+  s.road_side = std::min<Vertex>(s.road_side, 96);
+  s.web_n = std::min<Vertex>(s.web_n, 12'000);
+  s.grid2d_side = std::min<Vertex>(s.grid2d_side, 96);
+  const auto graphs = shortcut_suite(s);
+  print_header("Ablation — per-tree heuristics vs global shortcut selection "
+               "(unique edges after merge)", s, graphs);
+
+  std::printf("  %-8s %5s %5s  %12s %12s %12s\n", "graph", "rho", "k",
+              "greedy", "dp", "global");
+  for (const auto& [name, g] : graphs) {
+    const bool hub = name == "web";
+    for (const Vertex rho : {Vertex{16}, Vertex{64}}) {
+      for (const Vertex k : {Vertex{2}, Vertex{3}}) {
+        PreprocessOptions opts;
+        opts.rho = rho;
+        opts.k = k;
+        opts.settle_ties = !hub;
+
+        opts.heuristic = ShortcutHeuristic::kGreedy;
+        const EdgeId greedy = preprocess(g, opts).added_edges;
+        opts.heuristic = ShortcutHeuristic::kDP;
+        const EdgeId dp = preprocess(g, opts).added_edges;
+        const EdgeId global = preprocess_global(g, opts).added_edges;
+
+        std::printf("  %-8s %5u %5u  %12llu %12llu %12llu\n", name.c_str(),
+                    rho, k, static_cast<unsigned long long>(greedy),
+                    static_cast<unsigned long long>(dp),
+                    static_cast<unsigned long long>(global));
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nExpected: global wins where balls overlap strongly (the "
+              "k=2 rows, ~20-40%% fewer edges than DP); at larger k the "
+              "per-tree DP's optimal choices can beat the global pass's "
+              "cover rule — the open problem stays open, but sharing "
+              "clearly pays.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "exp_common.hpp"
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+
+namespace rs::exp {
+
+Scale scale_from_env() {
+  const std::string which = env_string("RS_SCALE", "default");
+  Scale s;
+  if (which == "ci") {
+    s = Scale{"ci", 40, 2'000, 40, 12, 5};
+  } else if (which == "full") {
+    // Paper-size graphs (~1M vertices for roads/grids, ~300k webgraphs).
+    s = Scale{"full", 1000, 300'000, 1000, 100, 1000};
+  } else {
+    // Laptop-friendly: every bench finishes in minutes, trends intact.
+    s = Scale{"default", 160, 30'000, 160, 30, 12};
+  }
+  s.sources = static_cast<int>(env_int64("RS_SOURCES", s.sources));
+  const int threads = static_cast<int>(env_int64("RS_THREADS", 0));
+  if (threads > 0) set_num_workers(threads);
+  return s;
+}
+
+std::vector<NamedGraph> paper_suite(const Scale& s) {
+  std::vector<NamedGraph> out;
+  // Two road networks of different sizes mirror Pennsylvania vs Texas.
+  out.push_back({"road-A", gen::road_network(s.road_side, s.road_side, 101)});
+  out.push_back({"road-B",
+                 gen::road_network(s.road_side + s.road_side / 4,
+                                   s.road_side + s.road_side / 4, 202)});
+  // Scale-free graphs mirror NotreDame vs Stanford: web-A is a pure hub
+  // graph (small diameter), web-B adds the low-degree tendrils real crawls
+  // have (larger hop radius, like Stanford's 109 BFS rounds).
+  out.push_back({"web-A", gen::barabasi_albert(s.web_n, 5, 303)});
+  out.push_back({"web-B", gen::web_graph(s.web_n * 9 / 10, 10, 404)});
+  out.push_back({"grid2d", gen::grid2d(s.grid2d_side, s.grid2d_side)});
+  out.push_back({"grid3d",
+                 gen::grid3d(s.grid3d_side, s.grid3d_side, s.grid3d_side)});
+  return out;
+}
+
+std::vector<NamedGraph> shortcut_suite(const Scale& s) {
+  std::vector<NamedGraph> out;
+  out.push_back({"road", gen::road_network(s.road_side, s.road_side, 101)});
+  // Hub core + degree-1 tendrils: the structure that makes greedy explode
+  // and DP cheap on real web crawls (§5.2).
+  out.push_back({"web", gen::web_graph(s.web_n, 10, 404)});
+  out.push_back({"grid2d", gen::grid2d(s.grid2d_side, s.grid2d_side)});
+  return out;
+}
+
+std::vector<Vertex> sample_sources(const Graph& g, int count,
+                                   std::uint64_t seed) {
+  const SplitRng rng(seed);
+  std::vector<Vertex> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(static_cast<Vertex>(
+        rng.bounded(0, static_cast<std::uint64_t>(i), g.num_vertices())));
+  }
+  return out;
+}
+
+Graph paper_weighted(const Graph& g, std::uint64_t seed) {
+  return assign_uniform_weights(g, seed, 1, kPaperMaxWeight);
+}
+
+void print_header(const char* title, const Scale& s,
+                  const std::vector<NamedGraph>& graphs) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%s  sources=%d  threads=%d\n", s.name.c_str(), s.sources,
+              num_workers());
+  for (const auto& [name, g] : graphs) {
+    std::printf("  %-8s |V|=%-8u |E|=%llu\n", name.c_str(), g.num_vertices(),
+                static_cast<unsigned long long>(g.num_undirected_edges()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace rs::exp

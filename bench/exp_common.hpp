@@ -1,0 +1,55 @@
+// Shared harness for the paper-reproduction benches (Tables 2-7,
+// Figures 2-5). Builds the six-graph suite of Section 5.1 (with the
+// DESIGN.md §3 substitutions), samples sources, and prints paper-style
+// tables.
+//
+// Scaling: RS_SCALE=ci|default|full picks graph sizes; RS_SOURCES overrides
+// the number of sampled sources; RS_THREADS the worker count.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs::exp {
+
+struct Scale {
+  std::string name;       // ci / default / full
+  Vertex road_side;       // road networks: side x side lattice
+  Vertex web_n;           // scale-free vertex count
+  Vertex grid2d_side;     // 2-D grid side
+  Vertex grid3d_side;     // 3-D grid side
+  int sources;            // sampled sources per graph
+};
+
+/// Reads RS_SCALE / RS_SOURCES and returns the active configuration.
+Scale scale_from_env();
+
+struct NamedGraph {
+  std::string name;   // paper column label
+  Graph graph;        // unit weights (weighted variants derived per bench)
+};
+
+/// The paper's six evaluation graphs (§5.1), at the given scale:
+/// two road networks, two scale-free "webgraphs", a 2-D and a 3-D grid.
+std::vector<NamedGraph> paper_suite(const Scale& s);
+
+/// The three-graph subset used by the shortcut experiments (Tables 2-3,
+/// Figure 3): road network, webgraph, 2-D grid.
+std::vector<NamedGraph> shortcut_suite(const Scale& s);
+
+/// Deterministic source sample (same sources for every rho, mirroring the
+/// paper's fixed 1000-source sample).
+std::vector<Vertex> sample_sources(const Graph& g, int count,
+                                   std::uint64_t seed = 12345);
+
+/// Weighted copy with the paper's uniform [1, 10^4] weights.
+Graph paper_weighted(const Graph& g, std::uint64_t seed = 999);
+
+/// Prints the standard bench header (graph inventory + scale).
+void print_header(const char* title, const Scale& s,
+                  const std::vector<NamedGraph>& graphs);
+
+}  // namespace rs::exp

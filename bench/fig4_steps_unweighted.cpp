@@ -1,0 +1,14 @@
+// Reproduces Figure 4(a-c): unweighted step counts vs rho as CSV series
+// (log-log axes recover the paper's downward-linear plots; the webgraph
+// curves flatten — the paper's noted exception).
+#include "steps_common.hpp"
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const auto graphs = paper_suite(s);
+  print_header("Figure 4 — steps vs rho, unweighted (CSV)", s, graphs);
+  const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/false);
+  print_steps_csv(graphs, t);
+  return 0;
+}

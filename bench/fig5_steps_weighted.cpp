@@ -1,0 +1,14 @@
+// Reproduces Figure 5(a-c): weighted step counts vs rho as CSV series
+// (near-linear on log-log axes; steepest drops at small rho — the paper's
+// inverse-proportionality observation).
+#include "steps_common.hpp"
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const auto graphs = paper_suite(s);
+  print_header("Figure 5 — steps vs rho, weighted (CSV)", s, graphs);
+  const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
+  print_steps_csv(graphs, t);
+  return 0;
+}

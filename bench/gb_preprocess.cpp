@@ -1,0 +1,77 @@
+// Preprocessing-cost benchmarks (Lemma 4.2's O(m log n + n rho^2) work
+// term): ball-search throughput and full preprocessing across rho, k, and
+// heuristics.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "shortcut/ball_search.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace {
+
+using namespace rs;
+
+const Graph& road() {
+  static const Graph g =
+      assign_uniform_weights(gen::road_network(80, 80, 7), 3)
+          .with_weight_sorted_adjacency();
+  return g;
+}
+
+void BM_BallSearch(benchmark::State& state) {
+  const Graph& g = road();
+  const Vertex rho = static_cast<Vertex>(state.range(0));
+  BallSearchWorkspace ws(g.num_vertices());
+  Vertex src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.run(g, src, rho));
+    src = (src + 97) % g.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * rho);
+}
+BENCHMARK(BM_BallSearch)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_AllRadii(benchmark::State& state) {
+  const Graph& g = road();
+  const Vertex rho = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_radii(g, rho));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_AllRadii)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_PreprocessFull(benchmark::State& state) {
+  const Graph g = assign_uniform_weights(gen::road_network(64, 64, 7), 3);
+  PreprocessOptions opts;
+  opts.rho = static_cast<Vertex>(state.range(0));
+  opts.k = static_cast<Vertex>(state.range(1));
+  opts.heuristic = state.range(1) == 1 ? ShortcutHeuristic::kFull1Rho
+                                       : ShortcutHeuristic::kDP;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess(g, opts));
+  }
+}
+BENCHMARK(BM_PreprocessFull)
+    ->Args({16, 1})
+    ->Args({16, 3})
+    ->Args({64, 1})
+    ->Args({64, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicSelection(benchmark::State& state) {
+  // Isolates greedy-vs-DP selection cost on a fixed ball.
+  const Graph& g = road();
+  const Ball ball = ball_search(g, g.num_vertices() / 2, 256);
+  const auto heuristic = state.range(0) == 0 ? ShortcutHeuristic::kGreedy
+                                             : ShortcutHeuristic::kDP;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_shortcuts(ball, 3, heuristic));
+  }
+}
+BENCHMARK(BM_HeuristicSelection)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

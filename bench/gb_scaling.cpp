@@ -1,0 +1,79 @@
+// Thread-scaling harness: the same SSSP query and preprocessing run under
+// an explicit worker-count sweep (what RS_THREADS controls globally). On a
+// multicore host this charts the speedup curves; on a single hardware
+// thread the rows document the (small) oversubscription overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/radius_stepping.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "parallel/primitives.hpp"
+#include "shortcut/ball_search.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace {
+
+using namespace rs;
+
+struct Setup {
+  Graph graph;
+  std::vector<Dist> radius;
+};
+
+const Setup& setup() {
+  static const Setup s = [] {
+    Setup out;
+    out.graph = assign_uniform_weights(gen::road_network(96, 96, 5), 6);
+    out.radius = all_radii(out.graph, 48);
+    return out;
+  }();
+  return s;
+}
+
+class WorkerGuard {
+ public:
+  explicit WorkerGuard(int workers) : before_(num_workers()) {
+    set_num_workers(workers);
+  }
+  ~WorkerGuard() { set_num_workers(before_); }
+
+ private:
+  int before_;
+};
+
+void BM_QueryAtThreadCount(benchmark::State& state) {
+  const Setup& s = setup();
+  const WorkerGuard guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radius_stepping(s.graph, 0, s.radius));
+  }
+}
+BENCHMARK(BM_QueryAtThreadCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RadiiAtThreadCount(benchmark::State& state) {
+  const Setup& s = setup();
+  const WorkerGuard guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_radii(s.graph, 32));
+  }
+}
+BENCHMARK(BM_RadiiAtThreadCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PreprocessAtThreadCount(benchmark::State& state) {
+  const Setup& s = setup();
+  const WorkerGuard guard(static_cast<int>(state.range(0)));
+  PreprocessOptions opts;
+  opts.rho = 32;
+  opts.k = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess(s.graph, opts));
+  }
+}
+BENCHMARK(BM_PreprocessAtThreadCount)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Shared driver for Tables 2-3 / Figure 3: counts the shortcut edges a
+// heuristic adds, as a factor of the original edge count, over (k, rho)
+// combinations — on the unweighted three-graph suite (road / web / grid),
+// matching §5.2 ("performance of the heuristics is independent of edge
+// weights").
+//
+// Counting protocol: raw per-tree additions, i.e. the sum over all sources
+// of the heuristic's selections. This matches the paper's accounting (its
+// (1, rho) scheme is described as "up to n*rho edges"). Engineering reality
+// is slightly cheaper: preprocess() deduplicates the union of shortcut sets
+// (symmetric picks collapse), which EXPERIMENTS.md quantifies separately.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "exp_common.hpp"
+#include "graph/graph.hpp"
+#include "shortcut/ball_search.hpp"
+#include "shortcut/shortcut.hpp"
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+
+namespace rs::exp {
+
+struct ShortcutEdgeResult {
+  // factor[i] for k = ks[i]: (raw added edges) / m.
+  std::vector<double> factor;
+};
+
+inline const std::vector<Vertex>& table_ks() {
+  static const std::vector<Vertex> ks{2, 3, 4, 5};
+  return ks;
+}
+
+inline std::vector<Vertex> table_rhos(const Scale& s) {
+  if (s.name == "ci") return {10, 20, 50};
+  return {10, 20, 50, 100, 200, 500, 1000};
+}
+
+/// One (graph, rho) evaluation: runs all ball searches once and applies the
+/// heuristic for every k in `ks`. `settle_ties` follows the paper protocol
+/// except on hub graphs (see DESIGN.md).
+inline ShortcutEdgeResult count_shortcut_edges(const Graph& g, Vertex rho,
+                                               const std::vector<Vertex>& ks,
+                                               ShortcutHeuristic heuristic,
+                                               bool settle_ties) {
+  const Graph gw = g.with_weight_sorted_adjacency();
+  const Vertex n = g.num_vertices();
+  const int nw = num_workers();
+
+  std::vector<std::vector<std::uint64_t>> counts(
+      ks.size(), std::vector<std::uint64_t>(static_cast<std::size_t>(nw), 0));
+  const BallOptions opts{rho, 0, settle_ties};
+#pragma omp parallel num_threads(nw)
+  {
+    BallSearchWorkspace ws(n);
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t sv = 0; sv < static_cast<std::int64_t>(n); ++sv) {
+      const Ball ball = ws.run(gw, static_cast<Vertex>(sv), opts);
+      for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        counts[ki][tid] += select_shortcuts(ball, ks[ki], heuristic).size();
+      }
+    }
+  }
+
+  ShortcutEdgeResult out;
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    std::uint64_t added = 0;
+    for (const std::uint64_t c : counts[ki]) added += c;
+    out.factor.push_back(static_cast<double>(added) /
+                         static_cast<double>(g.num_undirected_edges()));
+  }
+  return out;
+}
+
+/// Prints one paper-style table (the layout of Tables 2/3) for `heuristic`.
+inline void run_shortcut_edge_table(const char* title,
+                                    ShortcutHeuristic heuristic) {
+  const Scale s = scale_from_env();
+  const auto graphs = shortcut_suite(s);
+  print_header(title, s, graphs);
+
+  const auto& ks = table_ks();
+  for (const auto& [name, g] : graphs) {
+    const bool hub_graph = name == "web";
+    std::printf("%s (factors of additional edges, %s heuristic%s)\n",
+                name.c_str(), to_string(heuristic),
+                hub_graph ? "; exactly-rho ties" : "");
+    std::printf("  %6s", "rho");
+    for (const Vertex k : ks) std::printf("  k=%-7u", k);
+    std::printf("\n");
+    for (const Vertex rho : table_rhos(s)) {
+      const ShortcutEdgeResult r =
+          count_shortcut_edges(g, rho, ks, heuristic, !hub_graph);
+      std::printf("  %6u", rho);
+      for (const double f : r.factor) std::printf("  %-9.3f", f);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace rs::exp

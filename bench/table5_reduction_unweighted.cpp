@@ -1,0 +1,18 @@
+// Reproduces Table 5: step-count REDUCTION factors vs standard BFS
+// (the rho = 1 row of Table 4) on unweighted graphs.
+//
+// Paper headline: ~3x at rho=10, ~6-10x at rho=100, 13-75x at rho >= 1000;
+// webgraphs show smaller factors because their hub structure already gives
+// few BFS rounds. Expect the same ordering.
+#include "steps_common.hpp"
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const auto graphs = paper_suite(s);
+  print_header("Table 5 — step reduction vs BFS (rho=1), unweighted", s,
+               graphs);
+  const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/false);
+  print_steps_table(graphs, t, /*as_reduction=*/true);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Table 6: average Radius-Stepping step count on WEIGHTED
+// graphs (uniform integer weights in [1, 10^4], the paper's protocol) as
+// rho varies.
+//
+// Paper headline: at rho=1 (Dijkstra-with-batched-extraction) steps ~ n
+// (986K on road-PA); rho=10 already cuts ~1000x on roads/grids and
+// 50-100x on webgraphs; a few hundred steps at rho=100. Expect the same
+// dramatic small-rho cliff and ordering.
+#include "steps_common.hpp"
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const auto graphs = paper_suite(s);
+  print_header("Table 6 — mean steps, weighted (w in [1, 10^4])", s, graphs);
+  const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
+  print_steps_table(graphs, t, /*as_reduction=*/false);
+  return 0;
+}

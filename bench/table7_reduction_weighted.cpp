@@ -1,0 +1,17 @@
+// Reproduces Table 7: weighted step-count REDUCTION factors vs rho = 1
+// (essentially Dijkstra's extraction order).
+//
+// Paper headline: 37x at rho=2 on roads, ~1000x at rho=10, >10000x at
+// rho=1000; webgraphs reduce less (their rho=1 step count is already far
+// below n). Expect matching ordering and magnitudes scaled by our n.
+#include "steps_common.hpp"
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const auto graphs = paper_suite(s);
+  print_header("Table 7 — step reduction vs rho=1, weighted", s, graphs);
+  const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
+  print_steps_table(graphs, t, /*as_reduction=*/true);
+  return 0;
+}

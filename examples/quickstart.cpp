@@ -1,0 +1,56 @@
+// Quickstart: build a small weighted graph, preprocess it into a
+// (k, rho)-graph, and run Radius-Stepping from a source.
+//
+//   ./quickstart
+//
+// Walks through the whole public API in ~50 lines.
+#include <cstdio>
+
+#include "baseline/dijkstra.hpp"
+#include "core/radius_stepping.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "shortcut/shortcut.hpp"
+
+int main() {
+  using namespace rs;
+
+  // 1. A graph: 32x32 grid with random integer weights in [1, 10000]
+  //    (the paper's weighting protocol).
+  Graph g = assign_uniform_weights(gen::grid2d(32, 32), /*seed=*/42);
+  std::printf("graph: %u vertices, %llu undirected edges, L = %u\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_undirected_edges()),
+              g.max_weight());
+
+  // 2. Preprocess: rho-nearest balls + DP shortcuts make it a (k, rho)-graph.
+  PreprocessOptions opts;
+  opts.rho = 32;
+  opts.k = 3;
+  opts.heuristic = ShortcutHeuristic::kDP;
+  const PreprocessResult pre = preprocess(g, opts);
+  std::printf("preprocess: +%llu shortcut edges (%.2fx of original)\n",
+              static_cast<unsigned long long>(pre.added_edges),
+              pre.added_factor);
+
+  // 3. Radius-Stepping from vertex 0.
+  RunStats stats;
+  const std::vector<Dist> dist =
+      radius_stepping(pre.graph, /*source=*/0, pre.radius, &stats);
+  std::printf("radius-stepping: %zu steps, %zu substeps "
+              "(max %zu per step; k+2 = %u)\n",
+              stats.steps, stats.substeps, stats.max_substeps_in_step,
+              opts.k + 2);
+
+  // 4. Cross-check against Dijkstra.
+  const std::vector<Dist> ref = dijkstra(g, 0);
+  std::size_t mismatches = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != ref[v]) ++mismatches;
+  }
+  std::printf("check vs dijkstra: %zu mismatches\n", mismatches);
+  std::printf("d(0, far corner) = %llu\n",
+              static_cast<unsigned long long>(dist[g.num_vertices() - 1]));
+  return mismatches == 0 ? 0 : 1;
+}

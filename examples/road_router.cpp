@@ -1,0 +1,76 @@
+// Road-network routing: the paper's headline use case. Preprocessing is
+// paid once; many shortest-path queries then run with bounded steps —
+// exactly the "amortize preprocessing over multiple sources" advice of
+// Section 5.4.
+//
+//   ./road_router [side=192] [queries=5]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/dijkstra.hpp"
+#include "core/radius_stepping.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+#include "shortcut/shortcut.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+  const Vertex side = argc > 1 ? static_cast<Vertex>(std::atoi(argv[1])) : 192;
+  const int queries = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  // Synthetic road network (jittered lattice; see DESIGN.md §3) with
+  // integer weights standing in for travel times.
+  Graph g = assign_uniform_weights(gen::road_network(side, side, /*seed=*/7),
+                                   /*seed=*/11);
+  const DegreeStats deg = degree_stats(g);
+  std::printf("road network: %u vertices, %llu edges, avg degree %.2f, "
+              "hop diameter >= %u\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_undirected_edges()),
+              deg.mean, approx_diameter(g));
+
+  // One-time preprocessing (k = 3, rho = 64: the paper's sweet spot).
+  Timer prep_timer;
+  PreprocessOptions opts;
+  opts.rho = 64;
+  opts.k = 3;
+  opts.heuristic = ShortcutHeuristic::kDP;
+  const PreprocessResult pre = preprocess(g, opts);
+  std::printf("preprocess (rho=%u, k=%u, dp): %.2fs, +%.2fx edges\n",
+              opts.rho, opts.k, prep_timer.seconds(), pre.added_factor);
+
+  // Many queries from random sources.
+  const SplitRng rng(123);
+  double rs_total = 0.0;
+  double dj_total = 0.0;
+  for (int qi = 0; qi < queries; ++qi) {
+    const Vertex src =
+        static_cast<Vertex>(rng.bounded(0, static_cast<std::uint64_t>(qi),
+                                        g.num_vertices()));
+    Timer t1;
+    RunStats stats;
+    const std::vector<Dist> d1 =
+        radius_stepping(pre.graph, src, pre.radius, &stats);
+    rs_total += t1.seconds();
+
+    Timer t2;
+    const std::vector<Dist> d2 = dijkstra(g, src);
+    dj_total += t2.seconds();
+
+    std::size_t bad = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (d1[v] != d2[v]) ++bad;
+    }
+    std::printf(
+        "  query %d (src %u): %zu steps, max %zu substeps/step, %s\n", qi,
+        src, stats.steps, stats.max_substeps_in_step,
+        bad == 0 ? "matches dijkstra" : "MISMATCH");
+    if (bad != 0) return 1;
+  }
+  std::printf("avg per query: radius-stepping %.1f ms, dijkstra %.1f ms\n",
+              1e3 * rs_total / queries, 1e3 * dj_total / queries);
+  return 0;
+}

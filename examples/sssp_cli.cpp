@@ -1,0 +1,281 @@
+// sssp_cli — command-line front end for the whole library. The tool a user
+// reaches for to run the paper's pipeline on their own graphs (including
+// the original DIMACS/SNAP datasets, via the .gr / edge-list readers).
+//
+//   sssp_cli gen --type grid2d --side 200 --weights 10000 -o g.gr
+//   sssp_cli stats g.gr
+//   sssp_cli preprocess g.gr --rho 64 --k 3 --heuristic dp -o g.pre
+//   sssp_cli query g.gr g.pre --source 0 --target 39999 --engine flat
+//   sssp_cli run g.gr --algo all --source 0
+#include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/bellman_ford.hpp"
+#include "baseline/bfs.hpp"
+#include "baseline/delta_stepping.hpp"
+#include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
+#include "core/radii.hpp"
+#include "core/radius_stepping.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "parallel/timer.hpp"
+#include "shortcut/serialize.hpp"
+
+namespace {
+
+using namespace rs;
+
+/// Minimal --flag value parser: flags() ["--rho"] etc.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      const bool is_flag =
+          a.size() >= 2 && a[0] == '-' && !std::isdigit(static_cast<unsigned char>(a[1]));
+      if (is_flag && i + 1 < argc) {
+        kv_[a] = argv[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  long get_int(const std::string& key, long dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stol(it->second);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+Graph load_graph(const std::string& path) {
+  if (path.size() > 3 && path.substr(path.size() - 3) == ".gr") {
+    return io::read_dimacs_file(path);
+  }
+  return io::read_edge_list_file(path);
+}
+
+int cmd_gen(const Args& args) {
+  const std::string type = args.get("--type", "grid2d");
+  const Vertex side = static_cast<Vertex>(args.get_int("--side", 100));
+  const Vertex n = static_cast<Vertex>(args.get_int("--n", 10000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
+  const Weight wmax = static_cast<Weight>(args.get_int("--weights", 0));
+  const std::string out = args.get("-o", args.get("--out", "graph.gr"));
+
+  Graph g;
+  if (type == "grid2d") {
+    g = gen::grid2d(side, side);
+  } else if (type == "grid3d") {
+    g = gen::grid3d(side, side, side);
+  } else if (type == "road") {
+    g = gen::road_network(side, side, seed);
+  } else if (type == "ba" || type == "web") {
+    g = gen::barabasi_albert(n, static_cast<Vertex>(args.get_int("--deg", 5)), seed);
+  } else if (type == "rmat") {
+    g = largest_component(
+        gen::rmat(static_cast<std::uint32_t>(args.get_int("--scale", 14)),
+                  static_cast<EdgeId>(args.get_int("--factor", 8)), seed));
+  } else if (type == "er") {
+    g = largest_component(
+        gen::erdos_renyi(n, static_cast<EdgeId>(args.get_int("--m", 4 * n)), seed));
+  } else if (type == "rgg") {
+    const double radius = args.get_int("--rgg-radius-milli", 50) / 1000.0;
+    g = largest_component(gen::random_geometric(n, radius, seed));
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 1;
+  }
+  if (wmax > 0) g = assign_uniform_weights(g, seed + 7, 1, wmax);
+  io::write_dimacs_file(g, out);
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_undirected_edges()));
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: sssp_cli stats <graph>\n");
+    return 1;
+  }
+  const Graph g = load_graph(args.positional()[0]);
+  const DegreeStats d = degree_stats(g);
+  std::printf("vertices    %u\n", g.num_vertices());
+  std::printf("edges       %llu\n",
+              static_cast<unsigned long long>(g.num_undirected_edges()));
+  std::printf("degree      min %llu  max %llu  mean %.2f\n",
+              static_cast<unsigned long long>(d.min),
+              static_cast<unsigned long long>(d.max), d.mean);
+  std::printf("weights     min %u  max %u (L)\n", g.min_weight(), g.max_weight());
+  std::printf("connected   %s\n", is_connected(g) ? "yes" : "no");
+  std::printf("diameter    >= %u hops (double sweep)\n", approx_diameter(g));
+  return 0;
+}
+
+int cmd_preprocess(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: sssp_cli preprocess <graph> [--rho R] [--k K] "
+                         "[--heuristic dp|greedy|full|none] [-o out.pre]\n");
+    return 1;
+  }
+  const Graph g = load_graph(args.positional()[0]);
+  PreprocessOptions opts;
+  opts.rho = static_cast<Vertex>(args.get_int("--rho", 64));
+  opts.k = static_cast<Vertex>(args.get_int("--k", 3));
+  opts.settle_ties = args.get_int("--settle-ties", 1) != 0;
+  const std::string h = args.get("--heuristic", "dp");
+  if (h == "dp") {
+    opts.heuristic = ShortcutHeuristic::kDP;
+  } else if (h == "greedy") {
+    opts.heuristic = ShortcutHeuristic::kGreedy;
+  } else if (h == "full") {
+    opts.heuristic = ShortcutHeuristic::kFull1Rho;
+  } else if (h == "none") {
+    opts.heuristic = ShortcutHeuristic::kNone;
+  } else {
+    std::fprintf(stderr, "unknown --heuristic %s\n", h.c_str());
+    return 1;
+  }
+  Timer t;
+  const PreprocessResult pre = preprocess(g, opts);
+  const std::string out = args.get("-o", args.get("--out", "graph.pre"));
+  save_preprocessing_file(pre, out);
+  std::printf("preprocessed in %.2fs: +%llu edges (%.3fx), wrote %s\n",
+              t.seconds(), static_cast<unsigned long long>(pre.added_edges),
+              pre.added_factor, out.c_str());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: sssp_cli query <graph> <pre> --source S "
+                         "[--target T] [--engine flat|bst]\n");
+    return 1;
+  }
+  const Graph g = load_graph(args.positional()[0]);
+  const SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
+  const Vertex src = static_cast<Vertex>(args.get_int("--source", 0));
+  const std::string which = args.get("--engine", "flat");
+  const QueryEngine qe = which == "bst" ? QueryEngine::kBst : QueryEngine::kFlat;
+
+  Timer t;
+  const QueryResult q = engine.query(src, qe);
+  std::printf("query from %u: %.1f ms, %zu steps, %zu substeps "
+              "(max %zu/step), %zu settled\n",
+              src, t.millis(), q.stats.steps, q.stats.substeps,
+              q.stats.max_substeps_in_step, q.stats.settled);
+
+  const long target = args.get_int("--target", -1);
+  if (target >= 0) {
+    const Vertex tgt = static_cast<Vertex>(target);
+    if (q.dist[tgt] == kInfDist) {
+      std::printf("d(%u, %u) = unreachable\n", src, tgt);
+    } else {
+      std::printf("d(%u, %u) = %llu\n", src, tgt,
+                  static_cast<unsigned long long>(q.dist[tgt]));
+      const auto path = engine.path(q, tgt);
+      std::printf("path (%zu hops):", path.size() - 1);
+      const std::size_t show = std::min<std::size_t>(path.size(), 12);
+      for (std::size_t i = 0; i < show; ++i) std::printf(" %u", path[i]);
+      if (path.size() > show) std::printf(" ... %u", path.back());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: sssp_cli run <graph> [--algo all|dijkstra|"
+                         "delta|bf|bfs|rs] [--source S] [--rho R]\n");
+    return 1;
+  }
+  const Graph g = load_graph(args.positional()[0]);
+  const Vertex src = static_cast<Vertex>(args.get_int("--source", 0));
+  const std::string algo = args.get("--algo", "all");
+  const Vertex rho = static_cast<Vertex>(args.get_int("--rho", 64));
+
+  std::vector<Dist> ref;
+  auto report = [&](const char* name, const std::vector<Dist>& d, double ms) {
+    std::size_t bad = 0;
+    if (!ref.empty()) {
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (d[v] != ref[v]) ++bad;
+      }
+    }
+    std::printf("  %-16s %9.1f ms%s\n", name, ms,
+                ref.empty() ? "  (reference)"
+                            : (bad == 0 ? "  ok" : "  MISMATCH"));
+    if (ref.empty()) ref = d;
+    return bad;
+  };
+
+  std::size_t mismatches = 0;
+  if (algo == "all" || algo == "dijkstra") {
+    Timer t;
+    const auto d = dijkstra(g, src);
+    mismatches += report("dijkstra", d, t.millis());
+  }
+  if (algo == "all" || algo == "delta") {
+    Timer t;
+    const auto d = delta_stepping(g, src);
+    mismatches += report("delta-stepping", d, t.millis());
+  }
+  if (algo == "all" || algo == "bf") {
+    Timer t;
+    const auto d = bellman_ford_parallel(g, src);
+    mismatches += report("bellman-ford", d, t.millis());
+  }
+  if (algo == "all" || algo == "rs") {
+    PreprocessOptions opts;
+    opts.rho = rho;
+    Timer tp;
+    const PreprocessResult pre = preprocess(g, opts);
+    const double prep_ms = tp.millis();
+    Timer t;
+    RunStats stats;
+    const auto d = radius_stepping(pre.graph, src, pre.radius, &stats);
+    mismatches += report("radius-stepping", d, t.millis());
+    std::printf("    (preprocess %.1f ms, +%.2fx edges, %zu steps)\n",
+                prep_ms, pre.added_factor, stats.steps);
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: sssp_cli <gen|stats|preprocess|query|run> ...\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "preprocess") return cmd_preprocess(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "run") return cmd_run(args);
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  return 1;
+}

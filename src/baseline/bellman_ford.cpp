@@ -1,0 +1,94 @@
+#include "baseline/bellman_ford.hpp"
+
+#include <atomic>
+
+#include "parallel/primitives.hpp"
+#include "parallel/write_min.hpp"
+
+namespace rs {
+
+std::vector<Dist> bellman_ford(const Graph& g, Vertex source,
+                               std::size_t* rounds_out) {
+  const Vertex n = g.num_vertices();
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  std::vector<Vertex> frontier{source};
+  dist[source] = 0;
+  in_frontier[source] = 1;
+  std::size_t rounds = 0;
+  std::vector<Vertex> next;
+  while (!frontier.empty()) {
+    ++rounds;
+    next.clear();
+    for (const Vertex u : frontier) in_frontier[u] = 0;
+    for (const Vertex u : frontier) {
+      const Dist du = dist[u];
+      for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+        const Vertex v = g.arc_target(e);
+        const Dist nd = du + g.arc_weight(e);
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          if (!in_frontier[v]) {
+            in_frontier[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return dist;
+}
+
+std::vector<Dist> bellman_ford_parallel(const Graph& g, Vertex source,
+                                        std::size_t* rounds_out) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::atomic<Dist>> dist(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    dist[i].store(kInfDist, std::memory_order_relaxed);
+  });
+  dist[source].store(0, std::memory_order_relaxed);
+
+  std::vector<std::atomic<std::uint8_t>> updated(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    updated[i].store(0, std::memory_order_relaxed);
+  });
+
+  std::vector<Vertex> frontier{source};
+  std::size_t rounds = 0;
+  while (!frontier.empty()) {
+    ++rounds;
+    parallel_for(0, frontier.size(), [&](std::size_t i) {
+      const Vertex u = frontier[i];
+      const Dist du = dist[u].load(std::memory_order_relaxed);
+      for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+        const Vertex v = g.arc_target(e);
+        if (write_min(dist[v], du + g.arc_weight(e))) {
+          updated[v].store(1, std::memory_order_relaxed);
+        }
+      }
+    }, /*grain=*/64);
+    // Next frontier = vertices whose distance improved this round. A vertex
+    // can be flagged by several relaxations; exchanging the flag to 0
+    // dedups on take.
+    std::vector<Vertex> next;
+    for (const Vertex u : frontier) {
+      for (const Vertex v : g.neighbors(u)) {
+        if (updated[v].exchange(0, std::memory_order_relaxed)) {
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+
+  std::vector<Dist> out(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    out[i] = dist[i].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace rs

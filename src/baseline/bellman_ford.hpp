@@ -1,0 +1,25 @@
+// Bellman–Ford: the all-substeps extreme of the Dijkstra/Bellman-Ford
+// spectrum Radius-Stepping interpolates (r ≡ ∞ makes Radius-Stepping run
+// one step of pure Bellman–Ford substeps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Sequential frontier-based Bellman–Ford. `rounds_out` (if non-null)
+/// receives the number of relaxation rounds executed.
+std::vector<Dist> bellman_ford(const Graph& g, Vertex source,
+                               std::size_t* rounds_out = nullptr);
+
+/// Parallel round-synchronous Bellman–Ford: each round relaxes, in
+/// parallel with atomic WriteMin, every out-arc of the vertices whose
+/// distance changed in the previous round. Round count equals the maximum
+/// hop length of a shortest path — the depth the paper charges it.
+std::vector<Dist> bellman_ford_parallel(const Graph& g, Vertex source,
+                                        std::size_t* rounds_out = nullptr);
+
+}  // namespace rs

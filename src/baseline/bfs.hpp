@@ -1,0 +1,32 @@
+// Breadth-first search: the unweighted baseline (Radius-Stepping at rho = 1
+// on an unweighted graph degenerates to level-synchronous BFS, which is how
+// Table 5 computes its reduction factors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Sequential BFS hop distances (kInfDist when unreachable).
+/// `rounds_out` receives the number of levels (= eccentricity of source).
+std::vector<Dist> bfs(const Graph& g, Vertex source,
+                      std::size_t* rounds_out = nullptr);
+
+/// Level-synchronous parallel BFS: each level expands the frontier in
+/// parallel, claiming vertices with a CAS.
+std::vector<Dist> bfs_parallel(const Graph& g, Vertex source,
+                               std::size_t* rounds_out = nullptr);
+
+/// Direction-optimizing BFS (Beamer et al.): switches from top-down
+/// frontier expansion to bottom-up "every unvisited vertex probes its
+/// neighbours" when the frontier grows past `alpha` of the remaining
+/// graph's arcs — the standard optimization for low-diameter graphs where
+/// one level spans most of the graph. Identical output to bfs().
+std::vector<Dist> bfs_direction_optimizing(const Graph& g, Vertex source,
+                                           std::size_t* rounds_out = nullptr,
+                                           double alpha = 0.05);
+
+}  // namespace rs

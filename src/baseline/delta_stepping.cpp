@@ -1,0 +1,190 @@
+#include "baseline/delta_stepping.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/primitives.hpp"
+#include "parallel/write_min.hpp"
+
+namespace rs {
+
+namespace {
+
+/// Lazy cyclic bucket array: duplicates allowed, staleness checked on pop
+/// against the authoritative distance array. Live keys stay within L of the
+/// cursor, so ceil(L/delta)+3 cyclic slots suffice.
+class LazyBuckets {
+ public:
+  LazyBuckets(Dist delta, Dist max_edge_weight)
+      : delta_(delta),
+        num_slots_(static_cast<std::size_t>(max_edge_weight / delta) + 3),
+        slots_(num_slots_) {}
+
+  void push(Vertex v, Dist key) {
+    const std::size_t b = std::max<std::size_t>(
+        static_cast<std::size_t>(key / delta_), cursor_);
+    slots_[b % num_slots_].push_back(v);
+    ++count_;
+  }
+
+  bool empty() const { return count_ == 0; }
+
+  std::size_t cursor() const { return cursor_; }
+
+  /// Advances to the next non-empty slot and returns its bucket index.
+  std::size_t next_bucket() {
+    while (slots_[cursor_ % num_slots_].empty()) ++cursor_;
+    return cursor_;
+  }
+
+  std::vector<Vertex> take(std::size_t b) {
+    std::vector<Vertex>& src = slots_[b % num_slots_];
+    std::vector<Vertex> out;
+    out.swap(src);
+    count_ -= out.size();
+    return out;
+  }
+
+ private:
+  Dist delta_;
+  std::size_t num_slots_;
+  std::vector<std::vector<Vertex>> slots_;
+  std::size_t cursor_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
+                                 DeltaSteppingStats* stats) {
+  const Vertex n = g.num_vertices();
+  const Dist max_w = g.max_weight();
+  if (delta == 0) {
+    const EdgeId dmax = std::max<EdgeId>(g.max_degree(), 1);
+    delta = std::max<Dist>(1, max_w / dmax);
+  }
+
+  std::vector<std::atomic<Dist>> dist(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    dist[i].store(kInfDist, std::memory_order_relaxed);
+  });
+  dist[source].store(0, std::memory_order_relaxed);
+
+  // Arc partition: light (w <= delta) relaxed iteratively inside a bucket,
+  // heavy (w > delta) relaxed once when the bucket settles.
+  LazyBuckets buckets(delta, max_w);
+  buckets.push(source, 0);
+
+  DeltaSteppingStats local_stats;
+  std::vector<std::uint8_t> settled_in_bucket(n, 0);
+  std::vector<Vertex> settled_list;
+
+  // Collected improvements of one phase: (vertex, new distance) pairs
+  // gathered per thread, applied to the bucket structure sequentially.
+  const int nw = num_workers();
+  std::vector<std::vector<std::pair<Vertex, Dist>>> found(
+      static_cast<std::size_t>(nw));
+
+  auto relax_frontier = [&](const std::vector<Vertex>& frontier, bool light) {
+    for (auto& f : found) f.clear();
+#pragma omp parallel num_threads(nw)
+    {
+      auto& mine = found[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const Vertex u = frontier[static_cast<std::size_t>(i)];
+        const Dist du = dist[u].load(std::memory_order_relaxed);
+        for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+          const Weight w = g.arc_weight(e);
+          if (light ? (w > delta) : (w <= delta)) continue;
+          const Vertex v = g.arc_target(e);
+          const Dist nd = du + w;
+          if (write_min(dist[v], nd)) mine.push_back({v, nd});
+        }
+      }
+    }
+    std::size_t relaxed = 0;
+    for (const auto& f : found) relaxed += f.size();
+    local_stats.relaxations += relaxed;
+  };
+
+  auto flush_found = [&](std::size_t current_bucket,
+                         std::vector<Vertex>* reenter) {
+    for (const auto& f : found) {
+      for (const auto& [v, nd] : f) {
+        // Only the final distance matters; stale pairs are filtered by the
+        // pop-time check. Pairs landing back in the current bucket feed the
+        // next light phase directly.
+        const Dist dv = dist[v].load(std::memory_order_relaxed);
+        if (dv != nd) continue;  // superseded within the phase
+        const std::size_t b = static_cast<std::size_t>(dv / delta);
+        if (reenter != nullptr && b <= current_bucket) {
+          // Fresh vertices get settled by the caller; already-settled ones
+          // whose distance improved re-run their light edges (Meyer-Sanders
+          // re-inserts them into the current bucket).
+          reenter->push_back(v);
+        } else {
+          buckets.push(v, dv);
+        }
+      }
+    }
+  };
+
+  while (!buckets.empty()) {
+    const std::size_t b = buckets.next_bucket();
+    ++local_stats.buckets_processed;
+    settled_list.clear();
+
+    std::vector<Vertex> frontier;
+    for (const Vertex v : buckets.take(b)) {
+      const Dist dv = dist[v].load(std::memory_order_relaxed);
+      if (static_cast<std::size_t>(dv / delta) != b) continue;  // stale
+      if (settled_in_bucket[v]) continue;                       // duplicate
+      settled_in_bucket[v] = 1;
+      settled_list.push_back(v);
+      frontier.push_back(v);
+    }
+
+    // Light-edge phases: iterate until no new vertex re-enters this bucket.
+    while (!frontier.empty()) {
+      ++local_stats.phases;
+      relax_frontier(frontier, /*light=*/true);
+      std::vector<Vertex> reenter;
+      flush_found(b, &reenter);
+      frontier.clear();
+      for (const Vertex v : reenter) {
+        if (!settled_in_bucket[v]) {
+          settled_in_bucket[v] = 1;
+          settled_list.push_back(v);
+          frontier.push_back(v);
+        }
+      }
+      // Vertices already settled in this bucket whose distance improved
+      // again still need their light edges re-relaxed: Meyer-Sanders
+      // re-inserts them. Catch them here.
+      for (const Vertex v : reenter) {
+        if (std::find(frontier.begin(), frontier.end(), v) == frontier.end()) {
+          frontier.push_back(v);
+        }
+      }
+    }
+
+    // One heavy-edge phase over everything settled in this bucket.
+    if (!settled_list.empty()) {
+      ++local_stats.phases;
+      relax_frontier(settled_list, /*light=*/false);
+      flush_found(b, nullptr);
+    }
+    for (const Vertex v : settled_list) settled_in_bucket[v] = 0;
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  std::vector<Dist> out(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    out[i] = dist[i].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace rs

@@ -1,0 +1,27 @@
+// Meyer & Sanders' Delta-stepping (J. Algorithms 2003) — the practical
+// baseline Radius-Stepping is designed to out-bound: fixed step width
+// Delta, light/heavy edge split, bucketed frontier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+struct DeltaSteppingStats {
+  std::size_t buckets_processed = 0;  // outer steps (nonempty buckets)
+  std::size_t phases = 0;             // inner light-edge substeps
+  std::size_t relaxations = 0;        // arcs relaxed (attempted)
+};
+
+/// Delta-stepping SSSP. Relaxations within a phase run in parallel with
+/// atomic WriteMin; bucket bookkeeping is sequential (the standard
+/// shared-memory formulation). `delta = 0` picks the common heuristic
+/// Delta = max(1, L / max_degree).
+std::vector<Dist> delta_stepping(const Graph& g, Vertex source,
+                                 Dist delta = 0,
+                                 DeltaSteppingStats* stats = nullptr);
+
+}  // namespace rs

@@ -1,0 +1,68 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/radius_stepping.hpp"
+#include "core/rs_bst.hpp"
+#include "core/rs_unweighted.hpp"
+#include "core/sp_tree.hpp"
+
+namespace rs {
+
+SsspEngine::SsspEngine(Graph g, const PreprocessOptions& opts)
+    : original_(std::move(g)), pre_(preprocess(original_, opts)) {}
+
+SsspEngine::SsspEngine(Graph original, PreprocessResult pre)
+    : original_(std::move(original)), pre_(std::move(pre)) {
+  if (pre_.graph.num_vertices() != original_.num_vertices() ||
+      pre_.radius.size() != original_.num_vertices()) {
+    throw std::invalid_argument("SsspEngine: preprocessing/graph mismatch");
+  }
+}
+
+QueryResult SsspEngine::query(Vertex source, QueryEngine engine) const {
+  QueryResult out;
+  out.source = source;
+  switch (engine) {
+    case QueryEngine::kFlat:
+      out.dist = radius_stepping(pre_.graph, source, pre_.radius, &out.stats);
+      break;
+    case QueryEngine::kBst:
+      out.dist =
+          radius_stepping_bst(pre_.graph, source, pre_.radius, &out.stats);
+      break;
+    case QueryEngine::kUnweighted:
+      if (pre_.added_edges != 0 || pre_.graph.max_weight() != 1) {
+        throw std::invalid_argument(
+            "SsspEngine: unweighted engine needs a unit-weight graph with no "
+            "shortcut edges (use ShortcutHeuristic::kNone)");
+      }
+      out.dist = radius_stepping_unweighted(pre_.graph, source, pre_.radius,
+                                            &out.stats);
+      break;
+  }
+  return out;
+}
+
+std::vector<QueryResult> SsspEngine::query_batch(
+    const std::vector<Vertex>& sources, QueryEngine engine) const {
+  std::vector<QueryResult> out;
+  out.reserve(sources.size());
+  for (const Vertex s : sources) out.push_back(query(s, engine));
+  return out;
+}
+
+std::vector<Vertex> SsspEngine::path(const QueryResult& q,
+                                     Vertex target) const {
+  if (target >= original_.num_vertices()) {
+    throw std::invalid_argument("SsspEngine::path: bad target");
+  }
+  if (q.dist[target] == kInfDist) return {};
+  // Distances are identical on the original graph (shortcuts preserve
+  // them), so parents derived there avoid shortcut edges entirely.
+  const std::vector<Vertex> parent = parents_from_distances(original_, q.dist);
+  return extract_path(parent, target);
+}
+
+}  // namespace rs

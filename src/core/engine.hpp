@@ -1,0 +1,64 @@
+// SsspEngine: the batteries-included entry point a downstream application
+// uses. Owns the preprocessed (k, rho)-graph and radii, answers queries
+// from any source with the engine of your choice, and reconstructs paths.
+//
+//   SsspEngine engine(graph, {.rho = 64, .k = 3});
+//   auto q = engine.query(source);
+//   auto hop_route = engine.path(q, target);
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace rs {
+
+/// Which Radius-Stepping implementation answers queries.
+enum class QueryEngine : std::uint8_t {
+  kFlat,        // atomic-array engine (default; fastest)
+  kBst,         // Algorithm 2 on the treap substrate
+  kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
+                // and preprocessing added no shortcut edges
+};
+
+struct QueryResult {
+  Vertex source = kNoVertex;
+  std::vector<Dist> dist;
+  RunStats stats;
+};
+
+class SsspEngine {
+ public:
+  /// Preprocesses `g` (ball searches + shortcuts per `opts`). The original
+  /// graph is kept for path reconstruction so paths never use shortcut
+  /// edges.
+  SsspEngine(Graph g, const PreprocessOptions& opts);
+
+  /// Wraps an existing preprocessing result (e.g. loaded from disk).
+  SsspEngine(Graph original, PreprocessResult pre);
+
+  /// Distances from `source` (plus run statistics).
+  QueryResult query(Vertex source, QueryEngine engine = QueryEngine::kFlat) const;
+
+  /// One query per source (the multi-source regime preprocessing is
+  /// amortized over, §5.4). Results are returned in input order.
+  std::vector<QueryResult> query_batch(
+      const std::vector<Vertex>& sources,
+      QueryEngine engine = QueryEngine::kFlat) const;
+
+  /// Shortest path from a query's source to `target`, as vertices of the
+  /// ORIGINAL graph (shortcut edges expanded away). Empty if unreachable.
+  std::vector<Vertex> path(const QueryResult& q, Vertex target) const;
+
+  const Graph& original_graph() const { return original_; }
+  const Graph& preprocessed_graph() const { return pre_.graph; }
+  const PreprocessResult& preprocessing() const { return pre_; }
+
+ private:
+  Graph original_;
+  PreprocessResult pre_;
+};
+
+}  // namespace rs

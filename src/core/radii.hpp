@@ -1,0 +1,29 @@
+// Radius-function helpers. Radius-Stepping is correct for *any* radii
+// (Section 3); these constructors give the instructive special cases:
+//   r ≡ 0        -> Dijkstra-like (settle one distance class per step)
+//   r ≡ infinity -> Bellman-Ford (single step, substeps to convergence)
+//   r ≡ Delta    -> almost Delta-stepping (Delta added to the nearest
+//                   frontier distance rather than to d_{i-1})
+// The bounded-step/substep behaviour of the paper needs r(v) = r_rho(v)
+// from preprocessing (shortcut/shortcut.hpp).
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+inline std::vector<Dist> constant_radii(Vertex n, Dist r) {
+  return std::vector<Dist>(n, r);
+}
+
+inline std::vector<Dist> dijkstra_radii(Vertex n) { return constant_radii(n, 0); }
+
+/// Large enough that delta + r exceeds every real distance, small enough
+/// never to overflow when added to a tentative distance.
+inline std::vector<Dist> bellman_ford_radii(Vertex n) {
+  return constant_radii(n, kInfDist / 2);
+}
+
+}  // namespace rs

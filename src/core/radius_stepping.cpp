@@ -1,0 +1,205 @@
+#include "core/radius_stepping.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+#include "parallel/write_min.hpp"
+
+namespace rs {
+
+namespace {
+
+/// Thread-bucketed collection of vertices updated in one substep. A vertex
+/// is recorded once no matter how many relaxations hit it (claim flag).
+class UpdateCollector {
+ public:
+  explicit UpdateCollector(Vertex n)
+      : claimed_(n), buckets_(static_cast<std::size_t>(num_workers())) {
+    parallel_for(0, n, [&](std::size_t i) {
+      claimed_[i].store(0, std::memory_order_relaxed);
+    });
+  }
+
+  /// Call from inside a parallel region.
+  void record(Vertex v) {
+    if (claimed_[v].exchange(1, std::memory_order_relaxed) == 0) {
+      buckets_[static_cast<std::size_t>(omp_get_thread_num())].push_back(v);
+    }
+  }
+
+  /// Drains all buckets into one list and resets the claim flags.
+  std::vector<Vertex> take() {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) total += b.size();
+    std::vector<Vertex> out;
+    out.reserve(total);
+    for (auto& b : buckets_) {
+      out.insert(out.end(), b.begin(), b.end());
+      b.clear();
+    }
+    for (const Vertex v : out) {
+      claimed_[v].store(0, std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint8_t>> claimed_;
+  std::vector<std::vector<Vertex>> buckets_;
+};
+
+}  // namespace
+
+std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
+                                  const std::vector<Dist>& radius,
+                                  RunStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping: radius size mismatch");
+  }
+  if (source >= n) {
+    throw std::invalid_argument("radius_stepping: bad source");
+  }
+
+  std::vector<std::atomic<Dist>> dist(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    dist[i].store(kInfDist, std::memory_order_relaxed);
+  });
+  std::vector<std::uint8_t> settled(n, 0);
+
+  RunStats local;
+  dist[source].store(0, std::memory_order_relaxed);
+  settled[source] = 1;
+  local.settled = 1;
+
+  // Frontier: unsettled vertices with finite tentative distance. Seeded by
+  // relaxing the source (Line 2 of Algorithm 1).
+  std::vector<Vertex> frontier;
+  for (EdgeId e = g.first_arc(source); e < g.last_arc(source); ++e) {
+    const Vertex v = g.arc_target(e);
+    if (v == source) continue;
+    if (write_min(dist[v], static_cast<Dist>(g.arc_weight(e)))) {
+      ++local.relaxations;
+    }
+    if (!settled[v]) frontier.push_back(v);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+
+  UpdateCollector collector(n);
+  const int nw = num_workers();
+
+  // Round distance of the previous step (d_{i-1}). Vertices with
+  // delta <= prev_di are exactly S_{i-1} (Theorem 3.1): final, safe to skip
+  // as relaxation targets. d_0 = 0 covers the source.
+  Dist prev_di = 0;
+
+  while (!frontier.empty()) {
+    ++local.steps;
+
+    // Line 4: d_i = min over the frontier of delta(v) + r(v).
+    const Dist di = parallel_min(
+        std::size_t{0}, frontier.size(), kInfDist, [&](std::size_t i) {
+          const Vertex v = frontier[i];
+          return dist[v].load(std::memory_order_relaxed) + radius[v];
+        });
+
+    // First substep's active set: every unsettled vertex with delta <= d_i.
+    std::vector<Vertex> active;
+    for (const Vertex v : frontier) {
+      if (dist[v].load(std::memory_order_relaxed) <= di) active.push_back(v);
+    }
+    // Vertices inside d_i are settled the moment they appear; mark now so
+    // relaxations skip them as targets-for-activation bookkeeping.
+    for (const Vertex v : active) settled[v] = 1;
+    local.settled += active.size();
+    local.max_active = std::max(local.max_active, active.size());
+
+    // Lines 5-9: Bellman-Ford substeps until no delta(v) <= d_i changes.
+    std::size_t substeps_this_step = 0;
+    std::size_t relaxed_this_step = 0;
+    std::vector<Vertex> newly_frontier;
+    while (!active.empty()) {
+      ++substeps_this_step;
+      std::atomic<std::size_t> relax_count{0};
+#pragma omp parallel num_threads(nw)
+      {
+        std::size_t my_relax = 0;
+#pragma omp for schedule(dynamic, 64)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
+             ++i) {
+          const Vertex u = active[static_cast<std::size_t>(i)];
+          const Dist du = dist[u].load(std::memory_order_relaxed);
+          for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+            const Vertex v = g.arc_target(e);
+            // Line 7 relaxes targets outside S_{i-1} only; vertices settled
+            // in *this* step may still improve while the annulus converges,
+            // so they stay relaxable.
+            if (dist[v].load(std::memory_order_relaxed) <= prev_di) continue;
+            if (write_min(dist[v], du + g.arc_weight(e))) {
+              ++my_relax;
+              collector.record(v);
+            }
+          }
+        }
+        relax_count.fetch_add(my_relax, std::memory_order_relaxed);
+      }
+      relaxed_this_step += relax_count.load(std::memory_order_relaxed);
+
+      // Partition this substep's updated vertices: inside d_i -> active for
+      // the next substep (and settled); beyond d_i -> frontier candidates.
+      active.clear();
+      for (const Vertex v : collector.take()) {
+        if (dist[v].load(std::memory_order_relaxed) <= di) {
+          active.push_back(v);
+          if (!settled[v]) {
+            settled[v] = 1;
+            ++local.settled;
+          }
+        } else if (!settled[v]) {
+          newly_frontier.push_back(v);
+        }
+      }
+      local.max_active = std::max(local.max_active, active.size());
+    }
+    // Loop iterations equal Algorithm 1's repeat-until iterations: the
+    // final iteration relaxes the last-updated vertices and observes no
+    // further update with delta <= d_i (the Line 9 exit), so no extra
+    // "observation" substep is added.
+    local.substeps += substeps_this_step;
+    local.max_substeps_in_step =
+        std::max(local.max_substeps_in_step, substeps_this_step);
+    local.relaxations += relaxed_this_step;
+
+    // Rebuild the frontier: drop settled vertices, add the new arrivals.
+    std::sort(newly_frontier.begin(), newly_frontier.end());
+    newly_frontier.erase(
+        std::unique(newly_frontier.begin(), newly_frontier.end()),
+        newly_frontier.end());
+    std::vector<Vertex> next;
+    next.reserve(frontier.size() + newly_frontier.size());
+    for (const Vertex v : frontier) {
+      if (!settled[v]) next.push_back(v);
+    }
+    for (const Vertex v : newly_frontier) {
+      if (!settled[v]) next.push_back(v);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.swap(next);
+    prev_di = di;
+  }
+
+  if (stats != nullptr) *stats = local;
+  std::vector<Dist> out(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    out[i] = dist[i].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace rs

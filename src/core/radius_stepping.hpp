@@ -1,0 +1,28 @@
+// Radius-Stepping (Algorithm 1) — the paper's primary contribution.
+//
+// The "flat" engine here keeps tentative distances in an atomic array and
+// runs each Bellman-Ford substep as a parallel edge-map with WriteMin; the
+// step boundary d_i is a parallel min-reduce over the frontier. This is the
+// engine a practical implementation uses (the BST engine of Algorithm 2
+// lives in core/rs_bst.hpp and produces identical results).
+//
+// Given radii from preprocessing (r(v) = r_rho(v) on a (k, rho)-graph) the
+// run obeys the paper's bounds: <= ceil(n/rho) * (1 + ceil(log2(rho * L)))
+// steps (Theorem 3.3) and <= k + 2 substeps per step (Theorem 3.2).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Single-source shortest paths from `source`. `radius[v]` is the per-vertex
+/// radius r(v); any nonnegative values are correct (see core/radii.hpp),
+/// preprocessing radii give the bounded step counts.
+std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
+                                  const std::vector<Dist>& radius,
+                                  RunStats* stats = nullptr);
+
+}  // namespace rs

@@ -1,0 +1,23 @@
+#include "core/rs_bst.hpp"
+
+#include "core/rs_bst_impl.hpp"
+#include "pset/flat_set.hpp"
+#include "pset/treap.hpp"
+
+namespace rs {
+
+std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
+                                      const std::vector<Dist>& radius,
+                                      RunStats* stats) {
+  return detail::radius_stepping_ordered<Treap<std::pair<Dist, Vertex>>>(
+      g, source, radius, stats);
+}
+
+std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
+                                          const std::vector<Dist>& radius,
+                                          RunStats* stats) {
+  return detail::radius_stepping_ordered<FlatSet<std::pair<Dist, Vertex>>>(
+      g, source, radius, stats);
+}
+
+}  // namespace rs

@@ -1,0 +1,34 @@
+// Radius-Stepping, Algorithm 2: the BST formulation.
+//
+// This engine follows the paper's efficient implementation literally: two
+// ordered sets Q (tentative distances) and R (tentative distance + vertex
+// radius) stored in join-based treaps; the round distance d_i is R's
+// minimum, the active set A_i is Q.split(d_i), and each substep's batch of
+// successful relaxations is applied to Q and R with bulk
+// difference / union operations — the O(log n)-per-update bookkeeping the
+// work/depth analysis (Lemma 3.9) charges.
+//
+// It computes identical distances AND an identical step sequence to the
+// flat engine (core/radius_stepping.hpp); tests assert both.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace rs {
+
+std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
+                                      const std::vector<Dist>& radius,
+                                      RunStats* stats = nullptr);
+
+/// The same Algorithm 2 on the flat sorted-array substrate
+/// (pset/flat_set.hpp): O(n)-copy bulk operations instead of the treap's
+/// O(p log q). Identical results; exists to show the analysis only needs
+/// the ordered-set interface and to benchmark the substrate crossover.
+std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
+                                          const std::vector<Dist>& radius,
+                                          RunStats* stats = nullptr);
+
+}  // namespace rs

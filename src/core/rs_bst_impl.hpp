@@ -1,0 +1,193 @@
+// Algorithm 2 templated over the ordered-set substrate.
+//
+// Anything providing empty/size/min/insert/erase/split_leq/union_with/
+// subtract/from_sorted over std::pair<Dist, Vertex> keys works: the treap
+// (pset/treap.hpp, the paper's O(p log q) substrate) and the flat sorted
+// array (pset/flat_set.hpp) are both instantiated in rs_bst.cpp. See
+// core/rs_bst.hpp for the algorithmic commentary.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <omp.h>
+
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+#include "parallel/primitives.hpp"
+
+namespace rs::detail {
+
+template <typename OrderedSet>
+std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
+                                          const std::vector<Dist>& radius,
+                                          RunStats* stats) {
+  using Key = std::pair<Dist, Vertex>;
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping_bst: radius size mismatch");
+  }
+  if (source >= n) throw std::invalid_argument("radius_stepping_bst: source");
+
+  std::vector<Dist> dist(n, kInfDist);
+  RunStats local;
+  dist[source] = 0;
+  local.settled = 1;
+
+  // Lines 3-4: seed Q and R with the source's relaxed neighbours.
+  OrderedSet q;  // {(delta(v), v)} for the inactive frontier
+  OrderedSet r;  // {(delta(v) + radius(v), v)}, same membership as Q
+  for (EdgeId e = g.first_arc(source); e < g.last_arc(source); ++e) {
+    const Vertex v = g.arc_target(e);
+    if (v == source) continue;
+    const Dist nd = g.arc_weight(e);
+    if (nd < dist[v]) {
+      if (dist[v] != kInfDist) {
+        q.erase({dist[v], v});
+        r.erase({dist[v] + radius[v], v});
+      }
+      dist[v] = nd;
+      q.insert({nd, v});
+      r.insert({nd + radius[v], v});
+      ++local.relaxations;
+    }
+  }
+
+  // `touched_stamp[v] == substep_id` marks v as updated this substep;
+  // `old_dist[v]` remembers its distance before the substep's batch.
+  std::vector<std::uint64_t> touched_stamp(n, 0);
+  std::vector<Dist> old_dist(n, 0);
+  std::vector<std::uint8_t> in_this_step(n, 0);  // member of A_i (settled)
+  std::uint64_t substep_id = 0;
+  Dist prev_di = 0;
+
+  const int nw = num_workers();
+  std::vector<std::vector<std::pair<Vertex, Dist>>> proposals(
+      static_cast<std::size_t>(nw));
+
+  while (!q.empty()) {
+    ++local.steps;
+
+    // Line 6: d_i = min of R.
+    const Dist di = r.min().first;
+
+    // Line 7: A_i = Q.split(d_i); Line 8: drop A_i's keys from R.
+    OrderedSet moved = q.split_leq({di, kNoVertex});
+    std::vector<Key> moved_keys = moved.to_vector();
+    std::vector<Vertex> active;
+    active.reserve(moved_keys.size());
+    {
+      std::vector<Key> r_keys;
+      r_keys.reserve(moved_keys.size());
+      for (const auto& [d, v] : moved_keys) {
+        active.push_back(v);
+        in_this_step[v] = 1;
+        r_keys.push_back({d + radius[v], v});
+      }
+      std::sort(r_keys.begin(), r_keys.end());
+      r.subtract(OrderedSet::from_sorted(std::move(r_keys)));
+    }
+    // R's minimum is delta(v) + r(v) >= delta(v) for some frontier v, so the
+    // split must free at least that vertex; an empty active set means Q and
+    // R lost sync (a structural bug, not an input condition).
+    if (active.empty()) {
+      throw std::logic_error("radius_stepping_bst: Q/R inconsistency");
+    }
+    local.settled += active.size();
+    local.max_active = std::max(local.max_active, active.size());
+
+    // Lines 9-19: substeps. Each substep gathers relaxation proposals in
+    // parallel (Jacobi-style, from the pre-substep distances), applies
+    // them, and pushes the Q/R updates as batched set operations.
+    std::size_t substeps_this_step = 0;
+    while (!active.empty()) {
+      ++substeps_this_step;
+      ++substep_id;
+      for (auto& p : proposals) p.clear();
+#pragma omp parallel num_threads(nw)
+      {
+        auto& mine = proposals[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
+             ++i) {
+          const Vertex u = active[static_cast<std::size_t>(i)];
+          const Dist du = dist[u];
+          for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+            const Vertex v = g.arc_target(e);
+            if (dist[v] <= prev_di) continue;  // v in S_{i-1}: final
+            const Dist nd = du + g.arc_weight(e);
+            if (nd < dist[v]) mine.push_back({v, nd});
+          }
+        }
+      }
+
+      // Apply the batch sequentially (set-structure updates are the
+      // sequential spine of this engine; the paper batches them with
+      // pack/sort — the bulk union/difference below are those ops).
+      std::vector<Vertex> touched;
+      for (const auto& ps : proposals) {
+        for (const auto& [v, nd] : ps) {
+          if (nd >= dist[v]) continue;  // superseded within the batch
+          if (touched_stamp[v] != substep_id) {
+            touched_stamp[v] = substep_id;
+            old_dist[v] = dist[v];
+            touched.push_back(v);
+          }
+          dist[v] = nd;
+          ++local.relaxations;
+        }
+      }
+
+      // Classify touched vertices and build the Q/R batch updates.
+      std::vector<Key> q_remove;
+      std::vector<Key> r_remove;
+      std::vector<Key> q_insert;
+      std::vector<Key> r_insert;
+      std::vector<Vertex> next_active;
+      for (const Vertex v : touched) {
+        const Dist nd = dist[v];
+        const Dist od = old_dist[v];
+        if (in_this_step[v]) {
+          // Already in A_i: improved again within the annulus; re-relax.
+          next_active.push_back(v);
+          continue;
+        }
+        if (od != kInfDist) {
+          q_remove.push_back({od, v});
+          r_remove.push_back({od + radius[v], v});
+        }
+        if (nd <= di) {
+          // Line 11-14: migrate from Q/R into A_i.
+          in_this_step[v] = 1;
+          next_active.push_back(v);
+          ++local.settled;
+        } else {
+          q_insert.push_back({nd, v});
+          r_insert.push_back({nd + radius[v], v});
+        }
+      }
+      std::sort(q_remove.begin(), q_remove.end());
+      std::sort(r_remove.begin(), r_remove.end());
+      std::sort(q_insert.begin(), q_insert.end());
+      std::sort(r_insert.begin(), r_insert.end());
+      q.subtract(OrderedSet::from_sorted(std::move(q_remove)));
+      r.subtract(OrderedSet::from_sorted(std::move(r_remove)));
+      q.union_with(OrderedSet::from_sorted(std::move(q_insert)));
+      r.union_with(OrderedSet::from_sorted(std::move(r_insert)));
+
+      active.swap(next_active);
+      local.max_active = std::max(local.max_active, active.size());
+    }
+    local.substeps += substeps_this_step;
+    local.max_substeps_in_step =
+        std::max(local.max_substeps_in_step, substeps_this_step);
+    prev_di = di;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return dist;
+}
+
+}  // namespace rs::detail

@@ -1,0 +1,97 @@
+#include "core/rs_unweighted.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
+                                             const std::vector<Dist>& radius,
+                                             RunStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping_unweighted: radius size");
+  }
+  if (source >= n) {
+    throw std::invalid_argument("radius_stepping_unweighted: bad source");
+  }
+
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<std::atomic<Vertex>> owner(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    owner[i].store(kNoVertex, std::memory_order_relaxed);
+  });
+
+  RunStats local;
+  dist[source] = 0;
+  owner[source].store(source, std::memory_order_relaxed);
+  local.settled = 1;
+
+  const int nw = num_workers();
+  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(nw));
+
+  // Expands `frontier` (all at hop `level`) by one BFS level.
+  auto expand = [&](const std::vector<Vertex>& frontier, Dist level) {
+    for (auto& b : buckets) b.clear();
+#pragma omp parallel num_threads(nw)
+    {
+      auto& mine = buckets[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const Vertex u = frontier[static_cast<std::size_t>(i)];
+        for (const Vertex v : g.neighbors(u)) {
+          Vertex expect = kNoVertex;
+          if (owner[v].compare_exchange_strong(expect, u,
+                                               std::memory_order_relaxed)) {
+            mine.push_back(v);
+          }
+        }
+      }
+    }
+    std::size_t total = 0;
+    for (const auto& b : buckets) total += b.size();
+    std::vector<Vertex> next;
+    next.reserve(total);
+    for (const auto& b : buckets) next.insert(next.end(), b.begin(), b.end());
+    for (const Vertex v : next) dist[v] = level;
+    local.relaxations += total;
+    return next;
+  };
+
+  std::vector<Vertex> frontier = expand({source}, 1);
+  Dist level = 1;  // hop distance of the current frontier
+
+  while (!frontier.empty()) {
+    ++local.steps;
+    // d_i = min over the frontier of delta(v) + r(v); all deltas == level.
+    const Dist min_r = parallel_min(
+        std::size_t{0}, frontier.size(), kInfDist,
+        [&](std::size_t i) { return radius[frontier[i]]; });
+    const Dist di = level + min_r;
+
+    // Settle levels level .. d_i, one parallel substep per level.
+    std::size_t substeps_this_step = 0;
+    while (!frontier.empty() && level <= di) {
+      ++substeps_this_step;
+      local.max_active = std::max(local.max_active, frontier.size());
+      local.settled += frontier.size();
+      std::vector<Vertex> next = expand(frontier, level + 1);
+      frontier.swap(next);
+      ++level;
+    }
+    local.substeps += substeps_this_step;
+    local.max_substeps_in_step =
+        std::max(local.max_substeps_in_step, substeps_this_step);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return dist;
+}
+
+}  // namespace rs

@@ -1,0 +1,25 @@
+// Radius-Stepping for unweighted graphs (Section 3.4).
+//
+// On a unit-weight graph every frontier vertex carries the same tentative
+// distance, so no priority structure is needed: the engine is a
+// level-synchronous BFS whose step boundaries d_i are chosen by the radius
+// rule d_i = level + min r(v). One step settles levels (d_{i-1}, d_i]; each
+// level is one parallel substep, giving the O(m + n) work and
+// O((n / rho) log rho) round bound of Lemma 3.10.
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Hop distances from `source` using radius-guided BFS. Edge weights are
+/// ignored (treated as 1). Step/substep accounting matches the weighted
+/// engine run on the unit-weighted graph (tested).
+std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
+                                             const std::vector<Dist>& radius,
+                                             RunStats* stats = nullptr);
+
+}  // namespace rs

@@ -1,0 +1,75 @@
+#include "core/sp_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+std::vector<Vertex> parents_from_distances(const Graph& g,
+                                           const std::vector<Dist>& dist) {
+  const Vertex n = g.num_vertices();
+  if (dist.size() != n) {
+    throw std::invalid_argument("parents_from_distances: size mismatch");
+  }
+  std::vector<Vertex> parent(n, kNoVertex);
+  parallel_for(0, n, [&](std::size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
+    const Dist dv = dist[v];
+    if (dv == kInfDist || dv == 0) return;  // unreachable or source
+    Vertex best = kNoVertex;
+    for (EdgeId e = g.first_arc(v); e < g.last_arc(v); ++e) {
+      const Vertex u = g.arc_target(e);
+      if (dist[u] != kInfDist && dist[u] + g.arc_weight(e) == dv) {
+        best = std::min(best, u);
+      }
+    }
+    parent[v] = best;
+  }, /*grain=*/256);
+  return parent;
+}
+
+std::vector<Vertex> extract_path(const std::vector<Vertex>& parent,
+                                 Vertex target) {
+  std::vector<Vertex> path;
+  Vertex cur = target;
+  while (cur != kNoVertex) {
+    path.push_back(cur);
+    if (path.size() > parent.size()) {
+      throw std::logic_error("extract_path: parent cycle");
+    }
+    cur = parent[cur];
+  }
+  // A lone unreachable target has parent kNoVertex and dist infinity; the
+  // caller distinguishes source (path == {source}) from unreachable by
+  // checking its distance. We return the walked chain reversed.
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool validate_shortest_path_tree(const Graph& g, const std::vector<Dist>& dist,
+                                 const std::vector<Vertex>& parent) {
+  const Vertex n = g.num_vertices();
+  if (dist.size() != n || parent.size() != n) return false;
+  for (Vertex v = 0; v < n; ++v) {
+    if (dist[v] == kInfDist) {
+      if (parent[v] != kNoVertex) return false;
+      continue;
+    }
+    if (dist[v] == 0) continue;  // source (or zero-weight chain head)
+    const Vertex p = parent[v];
+    if (p == kNoVertex || p >= n) return false;
+    bool edge_ok = false;
+    for (EdgeId e = g.first_arc(p); e < g.last_arc(p); ++e) {
+      if (g.arc_target(e) == v && dist[p] + g.arc_weight(e) == dist[v]) {
+        edge_ok = true;
+        break;
+      }
+    }
+    if (!edge_ok) return false;
+  }
+  return true;
+}
+
+}  // namespace rs

@@ -1,0 +1,34 @@
+// Shortest-path tree reconstruction and path extraction on top of a
+// distance array.
+//
+// The parallel engines compute distances only (an atomic parent array would
+// double the relaxation traffic); a downstream user who wants actual paths
+// derives parents afterwards with one deterministic O(m) pass — for each v,
+// the predecessor minimizing (delta(u) + w(u, v), u). This matches how
+// production SSSP systems (and the paper's work accounting) treat paths.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Parents realizing `dist` (which must be a valid SSSP distance vector for
+/// `g`, e.g. from radius_stepping). parent[source] = kNoVertex; unreachable
+/// vertices get kNoVertex. Deterministic: ties pick the smallest vertex id.
+std::vector<Vertex> parents_from_distances(const Graph& g,
+                                           const std::vector<Dist>& dist);
+
+/// Vertices of the shortest s->t path implied by `parent` (s first, t
+/// last); empty if t is unreachable.
+std::vector<Vertex> extract_path(const std::vector<Vertex>& parent,
+                                 Vertex target);
+
+/// Validates that (dist, parent) form a consistent shortest-path tree:
+/// every parent edge exists and closes the distance exactly. Test oracle
+/// and debugging aid.
+bool validate_shortest_path_tree(const Graph& g, const std::vector<Dist>& dist,
+                                 const std::vector<Vertex>& parent);
+
+}  // namespace rs

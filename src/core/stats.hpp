@@ -1,0 +1,26 @@
+// Per-run instrumentation. Steps and substeps are the quantities the
+// paper's evaluation reports (Tables 4-7 and Figures 4-5 are step counts;
+// Theorem 3.2's k+2 bound is a substep count), so every engine records them.
+#pragma once
+
+#include <cstddef>
+
+namespace rs {
+
+struct RunStats {
+  /// Outer while-loop iterations of Algorithm 1 (one d_i per step).
+  std::size_t steps = 0;
+  /// Total inner repeat-loop iterations across all steps.
+  std::size_t substeps = 0;
+  /// Largest number of substeps any single step needed; Theorem 3.2 bounds
+  /// this by k + 2 on a (k, rho)-graph.
+  std::size_t max_substeps_in_step = 0;
+  /// Successful relaxations (tentative-distance improvements).
+  std::size_t relaxations = 0;
+  /// Largest active set |A_i| seen.
+  std::size_t max_active = 0;
+  /// Vertices settled (== n reachable from the source on termination).
+  std::size_t settled = 0;
+};
+
+}  // namespace rs

@@ -1,0 +1,72 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+Graph build_graph(Vertex n, std::vector<EdgeTriple> triples,
+                  const BuildOptions& opts) {
+  for (const EdgeTriple& t : triples) {
+    if (t.u >= n || t.v >= n) {
+      throw std::invalid_argument("build_graph: endpoint out of range");
+    }
+  }
+  if (opts.remove_self_loops) {
+    std::erase_if(triples, [](const EdgeTriple& t) { return t.u == t.v; });
+  }
+  if (opts.symmetrize) {
+    const std::size_t m = triples.size();
+    triples.resize(2 * m);
+    parallel_for(0, m, [&](std::size_t i) {
+      const EdgeTriple& t = triples[i];
+      triples[m + i] = EdgeTriple{t.v, t.u, t.w};
+    });
+  }
+  parallel_sort(triples, [](const EdgeTriple& a, const EdgeTriple& b) {
+    return std::tuple(a.u, a.v, a.w) < std::tuple(b.u, b.v, b.w);
+  });
+  if (opts.dedup) {
+    // Sorted by (u, v, w): the first triple of each (u, v) group carries the
+    // minimum weight, so unique-by-endpoint keeps exactly that one.
+    auto last = std::unique(triples.begin(), triples.end(),
+                            [](const EdgeTriple& a, const EdgeTriple& b) {
+                              return a.u == b.u && a.v == b.v;
+                            });
+    triples.erase(last, triples.end());
+  }
+
+  const std::size_t m = triples.size();
+  std::vector<EdgeId> counts(n, 0);
+  for (const EdgeTriple& t : triples) ++counts[t.u];
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + counts[v];
+
+  std::vector<Vertex> targets(m);
+  std::vector<Weight> weights(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    // Triples are sorted by u, so arcs of u occupy a contiguous range that
+    // starts at offsets[u]; index i within the range is i - (first index of
+    // u's group) == i - (offsets[u] of the sorted order). Because the sort
+    // is global we can address directly: position i in the sorted array IS
+    // the CSR slot.
+    targets[i] = triples[i].v;
+    weights[i] = triples[i].w;
+  });
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+Graph merge_edges(const Graph& g, std::vector<EdgeTriple> extra,
+                  const BuildOptions& opts) {
+  std::vector<EdgeTriple> all = g.to_triples();
+  all.insert(all.end(), extra.begin(), extra.end());
+  // The base graph already stores both arc directions; symmetrizing again
+  // only duplicates them, and dedup removes the copies. Extra arcs do need
+  // symmetrizing, which this achieves in one pass.
+  return build_graph(g.num_vertices(), std::move(all), opts);
+}
+
+}  // namespace rs

@@ -1,0 +1,329 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+
+namespace rs::gen {
+
+namespace {
+
+/// Union-find used when a generator must guarantee connectivity.
+class UnionFind {
+ public:
+  explicit UnionFind(Vertex n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), Vertex{0});
+  }
+  Vertex find(Vertex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<Vertex> parent_;
+};
+
+}  // namespace
+
+Graph grid2d(Vertex rows, Vertex cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid2d: empty");
+  const Vertex n = rows * cols;
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<std::size_t>(2) * n);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      const Vertex v = r * cols + c;
+      if (c + 1 < cols) edges.push_back({v, v + 1, 1});
+      if (r + 1 < rows) edges.push_back({v, v + cols, 1});
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph grid3d(Vertex nx, Vertex ny, Vertex nz) {
+  if (nx == 0 || ny == 0 || nz == 0) throw std::invalid_argument("grid3d: empty");
+  const Vertex n = nx * ny * nz;
+  auto id = [&](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<std::size_t>(3) * n);
+  for (Vertex z = 0; z < nz; ++z) {
+    for (Vertex y = 0; y < ny; ++y) {
+      for (Vertex x = 0; x < nx; ++x) {
+        const Vertex v = id(x, y, z);
+        if (x + 1 < nx) edges.push_back({v, id(x + 1, y, z), 1});
+        if (y + 1 < ny) edges.push_back({v, id(x, y + 1, z), 1});
+        if (z + 1 < nz) edges.push_back({v, id(x, y, z + 1), 1});
+      }
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph road_network(Vertex rows, Vertex cols, std::uint64_t seed,
+                   double keep_prob, double diag_prob) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("road_network: too small");
+  const Vertex n = rows * cols;
+  const SplitRng rng(seed);
+
+  // Candidate lattice edges (+ diagonals), each tagged with a random rank.
+  struct Cand {
+    EdgeTriple e;
+    std::uint64_t rank;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(static_cast<std::size_t>(3) * n);
+  std::uint64_t idx = 0;
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      const Vertex v = r * cols + c;
+      if (c + 1 < cols) cands.push_back({{v, v + 1, 1}, rng.get(0, idx++)});
+      if (r + 1 < rows) cands.push_back({{v, v + cols, 1}, rng.get(0, idx++)});
+      if (r + 1 < rows && c + 1 < cols && rng.uniform(1, v) < diag_prob) {
+        cands.push_back({{v, v + cols + 1, 1}, rng.get(0, idx++)});
+      }
+    }
+  }
+  // Random spanning tree first (randomized Kruskal over rank order), then
+  // keep each remaining edge independently with keep_prob.
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.rank < b.rank; });
+  UnionFind uf(n);
+  std::vector<EdgeTriple> edges;
+  edges.reserve(cands.size());
+  std::uint64_t i = 0;
+  for (const Cand& c : cands) {
+    if (uf.unite(c.e.u, c.e.v)) {
+      edges.push_back(c.e);
+    } else if (rng.uniform(2, i) < keep_prob) {
+      edges.push_back(c.e);
+    }
+    ++i;
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph barabasi_albert(Vertex n, Vertex edges_per_vertex, std::uint64_t seed) {
+  const Vertex m0 = std::max<Vertex>(edges_per_vertex, 1);
+  if (n <= m0) throw std::invalid_argument("barabasi_albert: n too small");
+  const SplitRng rng(seed);
+
+  // Standard endpoint-list trick: sampling a uniform element of `endpoints`
+  // is sampling a vertex proportionally to its degree.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * m0);
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<std::size_t>(n) * m0);
+
+  // Seed clique over the first m0 + 1 vertices keeps the graph connected.
+  for (Vertex u = 0; u <= m0; ++u) {
+    for (Vertex v = u + 1; v <= m0; ++v) {
+      edges.push_back({u, v, 1});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::uint64_t draw = 0;
+  std::vector<Vertex> picked;
+  for (Vertex u = m0 + 1; u < n; ++u) {
+    picked.clear();
+    while (picked.size() < m0) {
+      const Vertex t = endpoints[rng.bounded(0, draw++, endpoints.size())];
+      if (t != u && std::find(picked.begin(), picked.end(), t) == picked.end()) {
+        picked.push_back(t);
+      }
+    }
+    for (const Vertex t : picked) {
+      edges.push_back({u, t, 1});
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph web_graph(Vertex n, Vertex core_deg, std::uint64_t seed,
+                double core_fraction, double chain_prob) {
+  if (n < 16) throw std::invalid_argument("web_graph: n too small");
+  const Vertex core_n =
+      std::max<Vertex>(core_deg + 2, static_cast<Vertex>(n * core_fraction));
+  if (core_n >= n) {
+    return barabasi_albert(n, core_deg, seed);
+  }
+  Graph core = barabasi_albert(core_n, core_deg, seed);
+  std::vector<EdgeTriple> edges = core.to_triples();
+  // to_triples holds both arc directions; keep one per undirected edge.
+  std::erase_if(edges, [](const EdgeTriple& t) { return t.u > t.v; });
+
+  // Degree-biased endpoint list for the periphery's attachment choices.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2 * edges.size());
+  for (const EdgeTriple& t : edges) {
+    endpoints.push_back(t.u);
+    endpoints.push_back(t.v);
+  }
+  const SplitRng rng(seed ^ 0xabcdef1234ull);
+  Vertex prev = 0;
+  for (Vertex v = core_n; v < n; ++v) {
+    const bool chain = v > core_n && rng.uniform(0, v) < chain_prob;
+    const Vertex target =
+        chain ? prev
+              : endpoints[rng.bounded(1, v, endpoints.size())];
+    edges.push_back({v, target, 1});
+    prev = v;
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph rmat(std::uint32_t scale, EdgeId edge_factor, std::uint64_t seed,
+           double a, double b, double c) {
+  if (scale == 0 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  const Vertex n = Vertex{1} << scale;
+  const EdgeId m = edge_factor * n;
+  const SplitRng rng(seed);
+  std::vector<EdgeTriple> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    Vertex u = 0;
+    Vertex v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double p = rng.uniform(i, bit);
+      if (p < a) {
+        // top-left: nothing set
+      } else if (p < a + b) {
+        v |= Vertex{1} << bit;
+      } else if (p < a + b + c) {
+        u |= Vertex{1} << bit;
+      } else {
+        u |= Vertex{1} << bit;
+        v |= Vertex{1} << bit;
+      }
+    }
+    edges[i] = EdgeTriple{u, v, 1};
+  });
+  return build_graph(n, std::move(edges));
+}
+
+Graph erdos_renyi(Vertex n, EdgeId m_edges, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: n too small");
+  const SplitRng rng(seed);
+  std::vector<EdgeTriple> edges(m_edges);
+  parallel_for(0, m_edges, [&](std::size_t i) {
+    const Vertex u = static_cast<Vertex>(rng.bounded(0, 2 * i, n));
+    Vertex v = static_cast<Vertex>(rng.bounded(0, 2 * i + 1, n));
+    if (v == u) v = (v + 1) % n;
+    edges[i] = EdgeTriple{u, v, 1};
+  });
+  return build_graph(n, std::move(edges));
+}
+
+Graph random_geometric(Vertex n, double radius, std::uint64_t seed,
+                       Weight weight_scale) {
+  if (n < 2 || radius <= 0 || radius > 1.0) {
+    throw std::invalid_argument("random_geometric: bad parameters");
+  }
+  const SplitRng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (Vertex v = 0; v < n; ++v) {
+    x[v] = rng.uniform(0, v);
+    y[v] = rng.uniform(1, v);
+  }
+  // Bucket grid with cell side = radius: candidates live in the 3x3
+  // neighbourhood, giving expected O(n) work at the connectivity radius.
+  const std::uint32_t cells =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius));
+  const double cell = 1.0 / cells;
+  std::vector<std::vector<Vertex>> grid(static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double c) {
+    return std::min<std::uint32_t>(cells - 1,
+                                   static_cast<std::uint32_t>(c / cell));
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    grid[cell_of(y[v]) * cells + cell_of(x[v])].push_back(v);
+  }
+
+  const double r2 = radius * radius;
+  std::vector<EdgeTriple> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint32_t cx = cell_of(x[v]);
+    const std::uint32_t cy = cell_of(y[v]);
+    for (std::uint32_t gy = cy == 0 ? 0 : cy - 1;
+         gy <= std::min(cells - 1, cy + 1); ++gy) {
+      for (std::uint32_t gx = cx == 0 ? 0 : cx - 1;
+           gx <= std::min(cells - 1, cx + 1); ++gx) {
+        for (const Vertex u : grid[gy * cells + gx]) {
+          if (u <= v) continue;  // one direction; builder symmetrizes
+          const double dx = x[u] - x[v];
+          const double dy = y[u] - y[v];
+          const double d2 = dx * dx + dy * dy;
+          if (d2 > r2) continue;
+          const double d = std::sqrt(d2) / radius;  // (0, 1]
+          const Weight w = std::max<Weight>(
+              1, static_cast<Weight>(d * weight_scale));
+          edges.push_back({v, u, w});
+        }
+      }
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph chain(Vertex n) {
+  if (n == 0) throw std::invalid_argument("chain: empty");
+  std::vector<EdgeTriple> edges;
+  edges.reserve(n);
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1});
+  return build_graph(n, std::move(edges));
+}
+
+Graph star(Vertex n) {
+  if (n == 0) throw std::invalid_argument("star: empty");
+  std::vector<EdgeTriple> edges;
+  edges.reserve(n);
+  for (Vertex v = 1; v < n; ++v) edges.push_back({0, v, 1});
+  return build_graph(n, std::move(edges));
+}
+
+Graph complete(Vertex n) {
+  if (n == 0) throw std::invalid_argument("complete: empty");
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back({u, v, 1});
+  }
+  return build_graph(n, std::move(edges));
+}
+
+Graph bipartite_chain(Vertex groups, Vertex d) {
+  if (groups < 2 || d == 0) {
+    throw std::invalid_argument("bipartite_chain: need >= 2 groups");
+  }
+  const Vertex n = groups * d;
+  std::vector<EdgeTriple> edges;
+  edges.reserve(static_cast<std::size_t>(groups - 1) * d * d);
+  for (Vertex g = 0; g + 1 < groups; ++g) {
+    for (Vertex i = 0; i < d; ++i) {
+      for (Vertex j = 0; j < d; ++j) {
+        edges.push_back({g * d + i, (g + 1) * d + j, 1});
+      }
+    }
+  }
+  return build_graph(n, std::move(edges));
+}
+
+}  // namespace rs::gen

@@ -1,0 +1,83 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's SNAP datasets (see DESIGN.md §3): the
+// jittered road network replaces the Pennsylvania/Texas road maps, the
+// scale-free generators (Barabási–Albert, R-MAT) replace the Notre Dame /
+// Stanford webgraphs, and the grids match the paper's synthetic grids
+// exactly. All generators are deterministic in their seed and produce
+// connected, simple, undirected graphs unless noted.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace rs::gen {
+
+/// rows x cols 4-neighbour lattice (the paper's 2-D grid). Unit weights.
+Graph grid2d(Vertex rows, Vertex cols);
+
+/// x*y*z 6-neighbour lattice (the paper's 3-D grid). Unit weights.
+Graph grid3d(Vertex nx, Vertex ny, Vertex nz);
+
+/// Road-network stand-in: a 2-D lattice whose non-tree edges survive with
+/// probability `keep_prob`, plus occasional diagonal "highway ramps"
+/// (probability `diag_prob`). A random spanning tree is always kept, so the
+/// result is connected with average degree ~2.5-3.5, near-planar, and
+/// Theta(sqrt(n)) hop diameter — the properties the paper's road-map
+/// experiments exercise. Unit weights.
+Graph road_network(Vertex rows, Vertex cols, std::uint64_t seed,
+                   double keep_prob = 0.55, double diag_prob = 0.05);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices weighted by degree. Scale-free with
+/// hub vertices, connected by construction. Stand-in for webgraphs.
+Graph barabasi_albert(Vertex n, Vertex edges_per_vertex, std::uint64_t seed);
+
+/// Webgraph stand-in with both of the structures real web crawls have: a
+/// preferential-attachment core (fraction `core_fraction` of n, attachment
+/// degree `core_deg`) producing hubs, plus a low-degree periphery whose
+/// vertices attach by a single edge — to the core (degree-biased) or, with
+/// probability `chain_prob`, to the previous periphery vertex, forming the
+/// thin "tendrils" that make shortest-path trees deep. Connected.
+Graph web_graph(Vertex n, Vertex core_deg, std::uint64_t seed,
+                double core_fraction = 0.6, double chain_prob = 0.4);
+
+/// R-MAT recursive-matrix graph (Chakrabarti et al.) on 2^scale vertices
+/// with `edge_factor * 2^scale` sampled edges and quadrant probabilities
+/// (a, b, c, 1-a-b-c). May be disconnected; callers typically extract the
+/// largest component (stats::largest_component). Unit weights.
+Graph rmat(std::uint32_t scale, EdgeId edge_factor, std::uint64_t seed,
+           double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Erdős–Rényi G(n, m_edges) multigraph sample (deduplicated). May be
+/// disconnected for small average degree.
+Graph erdos_renyi(Vertex n, EdgeId m_edges, std::uint64_t seed);
+
+/// Random geometric graph: n points uniform in the unit square, each
+/// connected to every point within `radius` (grid-bucket search). Weights
+/// are Euclidean distances scaled to integers in [1, weight_scale]. The
+/// standard model for wireless meshes and another credible road-network
+/// stand-in. May be disconnected for small radius — callers can take
+/// largest_component, or pass connect_radius_factor > 0... connectivity is
+/// whp for radius >= sqrt(2 ln n / (pi n)).
+Graph random_geometric(Vertex n, double radius, std::uint64_t seed,
+                       Weight weight_scale = 1000);
+
+/// Path 0-1-2-...-(n-1). The highest-diameter graph; worst case for step
+/// counts. Unit weights.
+Graph chain(Vertex n);
+
+/// Star with center 0. Unit weights.
+Graph star(Vertex n);
+
+/// Complete graph K_n (small n only). Unit weights.
+Graph complete(Vertex n);
+
+/// The Figure-2 worst case: `groups` groups of `d` vertices where
+/// consecutive groups are completely bipartitely connected. Reaching more
+/// than 3d vertices from any vertex forces a search to scan Theta(d^2)
+/// edges, showing the O(rho^2) ball-search bound is tight. Unit weights.
+Graph bipartite_chain(Vertex groups, Vertex d);
+
+}  // namespace rs::gen

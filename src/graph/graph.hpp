@@ -1,0 +1,80 @@
+// Compressed-sparse-row graph: the storage format every algorithm runs on.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+/// Immutable CSR graph. For undirected graphs both arc directions are
+/// stored, so `num_edges()` counts directed arcs (2x the undirected count).
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeId> offsets, std::vector<Vertex> targets,
+        std::vector<Weight> weights);
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(targets_.size()); }
+  /// Number of undirected edges (arcs / 2) — what the paper calls m.
+  EdgeId num_undirected_edges() const { return num_edges() / 2; }
+
+  EdgeId degree(Vertex v) const {
+    assert(v < n_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  EdgeId first_arc(Vertex v) const { return offsets_[v]; }
+  EdgeId last_arc(Vertex v) const { return offsets_[v + 1]; }
+
+  Vertex arc_target(EdgeId e) const { return targets_[e]; }
+  Weight arc_weight(EdgeId e) const { return weights_[e]; }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {targets_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+  std::span<const Weight> neighbor_weights(Vertex v) const {
+    return {weights_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<Vertex>& targets() const { return targets_; }
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  /// Largest edge weight (the paper's L); 1 for an edgeless graph.
+  Weight max_weight() const;
+  /// Smallest nonzero edge weight; the paper normalizes this to 1.
+  Weight min_weight() const;
+  EdgeId max_degree() const;
+
+  /// Copy of this graph with each adjacency list sorted by ascending weight
+  /// (tie-break by target id). Preprocessing's truncated Dijkstra relies on
+  /// this to consider only the lightest rho edges per vertex (Lemma 4.2).
+  Graph with_weight_sorted_adjacency() const;
+
+  /// Copy with each adjacency list sorted by target id (canonical form,
+  /// handy for equality checks in tests).
+  Graph with_target_sorted_adjacency() const;
+
+  /// All arcs as triples (u, v, w); order follows the CSR layout.
+  std::vector<EdgeTriple> to_triples() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  template <typename Cmp>
+  Graph with_sorted_adjacency(Cmp cmp) const;
+
+  Vertex n_ = 0;
+  std::vector<EdgeId> offsets_;   // size n_ + 1
+  std::vector<Vertex> targets_;   // size m
+  std::vector<Weight> weights_;   // size m
+};
+
+}  // namespace rs

@@ -1,0 +1,34 @@
+// Graph serialization: DIMACS shortest-path (.gr) and plain edge lists.
+// Lets users run the library on the SNAP/DIMACS datasets the paper used
+// when those files are available locally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rs::io {
+
+/// Reads the 9th DIMACS Implementation Challenge ".gr" format:
+///   c <comment>
+///   p sp <n> <m>
+///   a <u> <v> <w>     (1-based vertex ids)
+/// Arcs are symmetrized and deduplicated. Throws std::runtime_error on
+/// malformed input.
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+
+/// Writes the graph in DIMACS format (each undirected edge emitted once).
+void write_dimacs(const Graph& g, std::ostream& out);
+void write_dimacs_file(const Graph& g, const std::string& path);
+
+/// Reads whitespace-separated "u v [w]" lines (0-based; missing w = 1).
+/// Lines starting with '#' or '%' are comments. Vertex count is
+/// 1 + max id unless `n_hint` is larger.
+Graph read_edge_list(std::istream& in, Vertex n_hint = 0);
+Graph read_edge_list_file(const std::string& path, Vertex n_hint = 0);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+
+}  // namespace rs::io

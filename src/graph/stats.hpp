@@ -1,0 +1,43 @@
+// Structural queries: connectivity, components, degree statistics,
+// eccentricity estimates. Used for sanity checks, test oracles, and bench
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+/// Component id per vertex, ids dense in [0, #components).
+std::vector<Vertex> connected_components(const Graph& g);
+
+/// Parallel label propagation: each round every vertex adopts the minimum
+/// label in its closed neighbourhood until a fixed point. Labels are then
+/// densified. Same output as connected_components (component ids may map
+/// differently but partition identically; this one guarantees the minimum
+/// vertex id semantics internally and densifies in first-seen order).
+std::vector<Vertex> connected_components_parallel(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Induced subgraph of the largest connected component. `old_to_new` (if
+/// non-null) receives the vertex mapping (kNoVertex for dropped vertices).
+Graph largest_component(const Graph& g,
+                        std::vector<Vertex>* old_to_new = nullptr);
+
+struct DegreeStats {
+  EdgeId min = 0;
+  EdgeId max = 0;
+  double mean = 0.0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+/// Hop eccentricity of `source` (longest BFS distance in its component).
+Vertex bfs_eccentricity(const Graph& g, Vertex source);
+
+/// Lower bound on hop diameter via a double BFS sweep from `source`.
+Vertex approx_diameter(const Graph& g, Vertex source = 0);
+
+}  // namespace rs

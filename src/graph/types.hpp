@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every module.
+//
+// The paper's experiments use integer weights in [1, 10^4] with the minimum
+// nonzero weight normalized to 1 and L = max weight. Integer weights keep
+// all distance arithmetic exact and make the atomic WriteMin used by the
+// parallel relaxation a single CAS on a uint64_t.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rs {
+
+using Vertex = std::uint32_t;
+using Weight = std::uint32_t;
+using Dist = std::uint64_t;
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "unreached". Large enough that dist + weight never wraps.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max() / 4;
+
+/// Sentinel for "no vertex" (parents, leads, ...).
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+/// A weighted directed arc; undirected graphs store both directions.
+struct EdgeTriple {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 1;
+
+  friend bool operator==(const EdgeTriple&, const EdgeTriple&) = default;
+};
+
+}  // namespace rs

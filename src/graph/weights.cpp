@@ -1,0 +1,38 @@
+#include "graph/weights.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+
+namespace rs {
+
+Graph assign_uniform_weights(const Graph& g, std::uint64_t seed, Weight lo,
+                             Weight hi) {
+  if (lo == 0 || lo > hi) {
+    throw std::invalid_argument("assign_uniform_weights: bad range");
+  }
+  const SplitRng rng(seed);
+  const Vertex n = g.num_vertices();
+  std::vector<Weight> weights(g.num_edges());
+  parallel_for(0, n, [&](std::size_t u) {
+    for (EdgeId e = g.first_arc(static_cast<Vertex>(u));
+         e < g.last_arc(static_cast<Vertex>(u)); ++e) {
+      const Vertex v = g.arc_target(e);
+      const std::uint64_t a = std::min<std::uint64_t>(u, v);
+      const std::uint64_t b = std::max<std::uint64_t>(u, v);
+      const std::uint64_t key = a * 0x100000001ull + b;
+      weights[e] = lo + static_cast<Weight>(
+                            rng.bounded(key, 0, hi - lo + std::uint64_t{1}));
+    }
+  }, /*grain=*/256);
+  return Graph(g.offsets(), g.targets(), std::move(weights));
+}
+
+Graph assign_unit_weights(const Graph& g) {
+  return Graph(g.offsets(), g.targets(),
+               std::vector<Weight>(g.num_edges(), 1));
+}
+
+}  // namespace rs

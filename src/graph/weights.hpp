@@ -1,0 +1,23 @@
+// Weight assignment, matching the paper's experimental protocol (§5.1):
+// graphs without native weights get a uniform random integer in [1, 10^4]
+// per undirected edge.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace rs {
+
+inline constexpr Weight kPaperMaxWeight = 10'000;  // the paper's L
+
+/// Returns a copy of `g` where every undirected edge carries an independent
+/// uniform weight in [lo, hi]. Both arc directions of an edge receive the
+/// same weight (the weight is a pure hash of the unordered endpoint pair).
+Graph assign_uniform_weights(const Graph& g, std::uint64_t seed,
+                             Weight lo = 1, Weight hi = kPaperMaxWeight);
+
+/// Returns a copy of `g` with all weights set to 1 (the unweighted setting).
+Graph assign_unit_weights(const Graph& g);
+
+}  // namespace rs

@@ -1,0 +1,45 @@
+#include "parallel/primitives.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace rs {
+
+namespace {
+std::atomic<int>& worker_count() {
+  static std::atomic<int> count{[] {
+    // RS_THREADS (if set) wins over the OpenMP default.
+    if (const char* env = std::getenv("RS_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    return omp_get_max_threads();
+  }()};
+  return count;
+}
+}  // namespace
+
+int num_workers() { return worker_count().load(std::memory_order_relaxed); }
+
+void set_num_workers(int n) {
+  if (n < 1) n = 1;
+  worker_count().store(n, std::memory_order_relaxed);
+  omp_set_num_threads(n);
+}
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  return (env == nullptr || *env == '\0') ? fallback : std::string(env);
+}
+
+}  // namespace rs

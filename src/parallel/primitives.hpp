@@ -1,0 +1,211 @@
+// Parallel primitives used throughout the library.
+//
+// All primitives are OpenMP-backed and degrade gracefully to sequential
+// execution when OpenMP runs with one thread. Grain sizes keep per-task
+// work large enough that scheduling overhead never dominates; callers can
+// tune them but the defaults are sensible for the graph sizes in this repo.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <omp.h>
+
+namespace rs {
+
+/// Returns the number of worker threads the parallel primitives will use.
+int num_workers();
+
+/// Sets the number of worker threads (clamped to >= 1). Affects all
+/// subsequent parallel primitives. Thread-safe with respect to itself.
+void set_num_workers(int n);
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable. Used by benches for RS_SOURCES / RS_THREADS overrides.
+std::int64_t env_int64(const char* name, std::int64_t fallback);
+
+/// Reads a string environment variable, returning `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+namespace detail {
+constexpr std::size_t kDefaultGrain = 1024;
+}  // namespace detail
+
+/// Applies `f(i)` for all i in [begin, end) in parallel.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f,
+                  std::size_t grain = detail::kDefaultGrain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (n <= grain || num_workers() == 1) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = static_cast<std::int64_t>(begin);
+       i < static_cast<std::int64_t>(end); ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+}
+
+/// Parallel reduction of `f(i)` over [begin, end) with combiner `combine`
+/// and identity `id`. `combine` must be associative and commutative.
+template <typename T, typename F, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T id, F&& f,
+                  Combine&& combine, std::size_t grain = detail::kDefaultGrain) {
+  if (begin >= end) return id;
+  const std::size_t n = end - begin;
+  if (n <= grain || num_workers() == 1) {
+    T acc = id;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  const int nw = num_workers();
+  std::vector<T> partial(static_cast<std::size_t>(nw), id);
+#pragma omp parallel num_threads(nw)
+  {
+    const int tid = omp_get_thread_num();
+    T acc = id;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = static_cast<std::int64_t>(begin);
+         i < static_cast<std::int64_t>(end); ++i) {
+      acc = combine(acc, f(static_cast<std::size_t>(i)));
+    }
+    partial[static_cast<std::size_t>(tid)] = acc;
+  }
+  T acc = id;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Parallel min-reduction of f(i) over [begin, end).
+template <typename T, typename F>
+T parallel_min(std::size_t begin, std::size_t end, T id, F&& f) {
+  return parallel_reduce(
+      begin, end, id, std::forward<F>(f),
+      [](const T& a, const T& b) { return a < b ? a : b; });
+}
+
+/// Parallel sum-reduction of f(i) over [begin, end).
+template <typename T, typename F>
+T parallel_sum(std::size_t begin, std::size_t end, F&& f) {
+  return parallel_reduce(begin, end, T{}, std::forward<F>(f),
+                         [](const T& a, const T& b) { return a + b; });
+}
+
+/// Exclusive prefix sum of `in`; returns the total. `out` may alias `in`.
+/// out[i] = in[0] + ... + in[i-1].
+template <typename T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  const int nw = num_workers();
+  if (n < 4 * detail::kDefaultGrain || nw == 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  const std::size_t nblocks = static_cast<std::size_t>(nw);
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<T> block_sum(nblocks, T{});
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(nblocks); ++b) {
+    const std::size_t lo = static_cast<std::size_t>(b) * block;
+    const std::size_t hi = std::min(n, lo + block);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sum[static_cast<std::size_t>(b)] = acc;
+  }
+  std::vector<T> block_off(nblocks, T{});
+  T total{};
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    block_off[b] = total;
+    total += block_sum[b];
+  }
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(nblocks); ++b) {
+    const std::size_t lo = static_cast<std::size_t>(b) * block;
+    const std::size_t hi = std::min(n, lo + block);
+    T acc = block_off[static_cast<std::size_t>(b)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+  }
+  return total;
+}
+
+/// Keeps elements of `in` whose index satisfies `pred(i)`, preserving order.
+template <typename T, typename Pred>
+std::vector<T> pack(const std::vector<T>& in, Pred&& pred) {
+  const std::size_t n = in.size();
+  std::vector<std::uint64_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  std::vector<std::uint64_t> offs;
+  const std::uint64_t total = exclusive_scan(flags, offs);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offs[i]] = in[i];
+  });
+  return out;
+}
+
+/// Produces the indices i in [0, n) with `pred(i)` true, in increasing order.
+template <typename Pred>
+std::vector<std::uint32_t> pack_index(std::size_t n, Pred&& pred) {
+  std::vector<std::uint64_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  std::vector<std::uint64_t> offs;
+  const std::uint64_t total = exclusive_scan(flags, offs);
+  std::vector<std::uint32_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offs[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+namespace detail {
+template <typename It, typename Cmp>
+void merge_sort_tasks(It lo, It hi, Cmp& cmp, int depth) {
+  const auto n = static_cast<std::size_t>(hi - lo);
+  if (depth <= 0 || n < 8192) {
+    std::sort(lo, hi, cmp);
+    return;
+  }
+  It mid = lo + static_cast<std::ptrdiff_t>(n / 2);
+#pragma omp task shared(cmp)
+  merge_sort_tasks(lo, mid, cmp, depth - 1);
+  merge_sort_tasks(mid, hi, cmp, depth - 1);
+#pragma omp taskwait
+  std::inplace_merge(lo, mid, hi, cmp);
+}
+}  // namespace detail
+
+/// Parallel comparison sort (task-based merge sort; stable enough for our
+/// deterministic pipelines because comparators are total orders here).
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  if (v.size() < 16384 || num_workers() == 1) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  int depth = 0;
+  for (int w = num_workers(); (1 << depth) < 4 * w; ++depth) {
+  }
+#pragma omp parallel num_threads(num_workers())
+#pragma omp single
+  detail::merge_sort_tasks(v.begin(), v.end(), cmp, depth);
+}
+
+}  // namespace rs

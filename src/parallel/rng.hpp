@@ -1,0 +1,46 @@
+// Deterministic splittable random numbers.
+//
+// Graph generators and weight assignment must be reproducible regardless of
+// thread schedule, so every random decision is a pure hash of (seed, index)
+// rather than a draw from shared mutable state.
+#pragma once
+
+#include <cstdint>
+
+namespace rs {
+
+/// Stateless mixing function (splitmix64 finalizer). Good avalanche; cheap.
+inline std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic PRNG addressed by (seed, stream, index).
+class SplitRng {
+ public:
+  explicit SplitRng(std::uint64_t seed) : seed_(hash64(seed ^ 0xdb91f34c8a5e02d7ull)) {}
+
+  /// The i-th value of stream `stream`; pure function of (seed, stream, i).
+  std::uint64_t get(std::uint64_t stream, std::uint64_t i) const {
+    return hash64(seed_ ^ hash64(stream * 0x9ddfea08eb382d69ull + i));
+  }
+
+  /// Uniform in [0, bound) — bound > 0. Uses 64-bit multiply-shift.
+  std::uint64_t bounded(std::uint64_t stream, std::uint64_t i,
+                        std::uint64_t bound) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(get(stream, i)) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform(std::uint64_t stream, std::uint64_t i) const {
+    return static_cast<double>(get(stream, i) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace rs

@@ -1,0 +1,59 @@
+// Atomic priority-write (WriteMin), the PRAM primitive Radius-Stepping's
+// substeps are built on: concurrent relaxations of the same vertex combine
+// to the minimum, making the result independent of scheduling order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace rs {
+
+/// Atomically performs `cell = min(cell, value)`.
+/// Returns true iff this call strictly lowered the stored value.
+template <typename T>
+bool write_min(std::atomic<T>& cell, T value) {
+  static_assert(std::is_integral_v<T>, "write_min needs an integral type");
+  T cur = cell.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (cell.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically performs `cell = max(cell, value)`; true iff it raised it.
+template <typename T>
+bool write_max(std::atomic<T>& cell, T value) {
+  static_assert(std::is_integral_v<T>, "write_max needs an integral type");
+  T cur = cell.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (cell.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Packs a (priority, payload) pair into one uint64 so that write_min on the
+/// packed word implements "min by priority, tie-break by payload".
+/// Priority must fit in 40 bits, payload in 24 bits.
+struct PackedMin {
+  static constexpr int kPayloadBits = 24;
+  static constexpr std::uint64_t kPayloadMask = (1ull << kPayloadBits) - 1;
+
+  static std::uint64_t pack(std::uint64_t priority, std::uint32_t payload) {
+    return (priority << kPayloadBits) | (payload & kPayloadMask);
+  }
+  static std::uint64_t priority(std::uint64_t packed) {
+    return packed >> kPayloadBits;
+  }
+  static std::uint32_t payload(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed & kPayloadMask);
+  }
+};
+
+}  // namespace rs

@@ -1,0 +1,133 @@
+// Indexed d-ary min-heap with decrease-key.
+//
+// The workhorse priority queue for Dijkstra's algorithm and the truncated
+// ball search. Keys are addressed by a dense integer id in [0, capacity);
+// the position index makes decrease-key O(log n) without handles.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+/// Min-heap over (key, id) with id-addressable decrease-key.
+/// Arity 4 by default: shallower than binary, sift-down still cheap.
+template <typename Key, int Arity = 4>
+class IndexedHeap {
+  static_assert(Arity >= 2);
+
+ public:
+  explicit IndexedHeap(std::size_t capacity)
+      : pos_(capacity, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(Vertex id) const { return pos_[id] != kAbsent; }
+
+  Key key_of(Vertex id) const {
+    assert(contains(id));
+    return heap_[pos_[id]].key;
+  }
+
+  /// Inserts a new id or lowers its key; raising a key is rejected (returns
+  /// false, no change) — Dijkstra never needs it.
+  bool insert_or_decrease(Vertex id, Key key) {
+    const std::uint32_t p = pos_[id];
+    if (p == kAbsent) {
+      heap_.push_back({key, id});
+      pos_[id] = static_cast<std::uint32_t>(heap_.size() - 1);
+      sift_up(heap_.size() - 1);
+      return true;
+    }
+    if (key >= heap_[p].key) return false;
+    heap_[p].key = key;
+    sift_up(p);
+    return true;
+  }
+
+  struct Entry {
+    Key key;
+    Vertex id;
+  };
+
+  Entry min() const {
+    assert(!empty());
+    return heap_.front();
+  }
+
+  Entry extract_min() {
+    assert(!empty());
+    const Entry top = heap_.front();
+    remove_at(0);
+    return top;
+  }
+
+  /// Removes an arbitrary element by id. O(log n).
+  void remove(Vertex id) {
+    assert(contains(id));
+    remove_at(pos_[id]);
+  }
+
+  void clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  void remove_at(std::size_t i) {
+    pos_[heap_[i].id] = kAbsent;
+    if (i + 1 != heap_.size()) {
+      heap_[i] = heap_.back();
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      heap_.pop_back();
+      // The moved element may need to go either way.
+      sift_down(i);
+      sift_up(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (heap_[parent].key <= e.key) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + Arity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (heap_[best].key >= e.key) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;
+};
+
+}  // namespace rs

@@ -1,0 +1,105 @@
+// Monotone bucket queue — the structure Meyer & Sanders' Delta-stepping
+// keeps its frontier in. Buckets hold vertices by floor(dist / delta) and
+// the cursor only moves forward (extracted priorities are nondecreasing).
+// Live keys always lie within max_edge_weight of the cursor's lower bound,
+// so a cyclic array of ceil(L/delta) + 3 buckets suffices regardless of the
+// total distance range.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+class BucketQueue {
+ public:
+  /// `delta` is the bucket width; `max_edge_weight` (the paper's L) bounds
+  /// how far above the current bucket a relaxation can land.
+  BucketQueue(std::size_t capacity, Dist delta, Dist max_edge_weight)
+      : delta_(delta),
+        num_buckets_(static_cast<std::size_t>(max_edge_weight / delta) + 3),
+        buckets_(num_buckets_),
+        where_(capacity, kAbsent) {
+    assert(delta > 0);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  bool contains(Vertex id) const { return where_[id] != kAbsent; }
+
+  std::size_t bucket_of(Dist key) const {
+    return static_cast<std::size_t>(key / delta_);
+  }
+
+  /// Inserts `id` with `key`, or moves it if the key decreased into an
+  /// earlier bucket. Keys below the current cursor are clamped into the
+  /// cursor bucket (delta-stepping re-relaxes inside the current bucket).
+  void insert_or_decrease(Vertex id, Dist key) {
+    const std::size_t b = std::max(bucket_of(key), cursor_);
+    assert(b < cursor_ + num_buckets_ && "key beyond cyclic bucket span");
+    const std::size_t cur = where_[id];
+    if (cur == b) return;
+    if (cur != kAbsent) {
+      if (b > cur) return;  // never move backwards in priority
+      remove_from_bucket(id, cur);
+    } else {
+      ++size_;
+    }
+    buckets_[b % num_buckets_].push_back(id);
+    where_[id] = b;
+  }
+
+  void remove(Vertex id) {
+    const std::size_t cur = where_[id];
+    if (cur == kAbsent) return;
+    remove_from_bucket(id, cur);
+    where_[id] = kAbsent;
+    --size_;
+  }
+
+  /// Index of the first non-empty bucket (advances the cursor to it).
+  /// Pre: !empty().
+  std::size_t next_bucket() {
+    assert(!empty());
+    while (buckets_[cursor_ % num_buckets_].empty()) ++cursor_;
+    return cursor_;
+  }
+
+  /// Moves the contents of bucket `b` out, clearing it.
+  std::vector<Vertex> take_bucket(std::size_t b) {
+    std::vector<Vertex>& src = buckets_[b % num_buckets_];
+    std::vector<Vertex> out;
+    out.swap(src);
+    for (const Vertex id : out) where_[id] = kAbsent;
+    size_ -= out.size();
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+
+  void remove_from_bucket(Vertex id, std::size_t b) {
+    std::vector<Vertex>& vec = buckets_[b % num_buckets_];
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == id) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        return;
+      }
+    }
+    assert(false && "id not in claimed bucket");
+  }
+
+  Dist delta_;
+  std::size_t num_buckets_;
+  std::vector<std::vector<Vertex>> buckets_;
+  std::vector<std::size_t> where_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rs

@@ -1,0 +1,154 @@
+// Pairing heap with O(1) amortized decrease-key.
+//
+// Stands in for the Fibonacci heap the paper's preprocessing analysis
+// charges (Lemma 4.2): pairing heaps share the O(1) insert / decrease-key
+// and O(log n) amortized extract-min profile and are faster in practice.
+// Nodes are pool-allocated and addressed by dense vertex id.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+template <typename Key>
+class PairingHeap {
+ public:
+  explicit PairingHeap(std::size_t capacity)
+      : nodes_(capacity) {}
+
+  bool empty() const { return root_ == kNull; }
+  std::size_t size() const { return size_; }
+  bool contains(Vertex id) const { return nodes_[id].in_heap; }
+
+  Key key_of(Vertex id) const {
+    assert(contains(id));
+    return nodes_[id].key;
+  }
+
+  Vertex min_id() const {
+    assert(!empty());
+    return root_;
+  }
+  Key min_key() const {
+    assert(!empty());
+    return nodes_[root_].key;
+  }
+
+  /// Inserts a new id or lowers its key; raising is rejected (returns false).
+  bool insert_or_decrease(Vertex id, Key key) {
+    Node& nd = nodes_[id];
+    if (!nd.in_heap) {
+      nd = Node{};
+      nd.key = key;
+      nd.in_heap = true;
+      root_ = (root_ == kNull) ? id : meld(root_, id);
+      ++size_;
+      return true;
+    }
+    if (key >= nd.key) return false;
+    nd.key = key;
+    if (id == root_) return true;
+    detach(id);
+    root_ = meld(root_, id);
+    return true;
+  }
+
+  struct Entry {
+    Key key;
+    Vertex id;
+  };
+
+  Entry extract_min() {
+    assert(!empty());
+    const Vertex top = root_;
+    const Entry out{nodes_[top].key, top};
+    root_ = two_pass_merge(nodes_[top].child);
+    if (root_ != kNull) nodes_[root_].parent = kNull;
+    nodes_[top].in_heap = false;
+    nodes_[top].child = kNull;
+    --size_;
+    return out;
+  }
+
+  void clear() {
+    for (Node& nd : nodes_) nd = Node{};
+    root_ = kNull;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr Vertex kNull = kNoVertex;
+
+  struct Node {
+    Key key{};
+    Vertex parent = kNull;
+    Vertex child = kNull;    // leftmost child
+    Vertex sibling = kNull;  // next sibling to the right
+    bool in_heap = false;
+  };
+
+  /// Links two roots, returning the smaller one.
+  Vertex meld(Vertex a, Vertex b) {
+    if (nodes_[b].key < nodes_[a].key) std::swap(a, b);
+    // b becomes the leftmost child of a.
+    nodes_[b].parent = a;
+    nodes_[b].sibling = nodes_[a].child;
+    nodes_[a].child = b;
+    return a;
+  }
+
+  /// Unlinks `id` from its parent's child list.
+  void detach(Vertex id) {
+    const Vertex parent = nodes_[id].parent;
+    assert(parent != kNull);
+    Vertex cur = nodes_[parent].child;
+    if (cur == id) {
+      nodes_[parent].child = nodes_[id].sibling;
+    } else {
+      while (nodes_[cur].sibling != id) cur = nodes_[cur].sibling;
+      nodes_[cur].sibling = nodes_[id].sibling;
+    }
+    nodes_[id].parent = kNull;
+    nodes_[id].sibling = kNull;
+  }
+
+  /// Standard two-pass pairing: left-to-right pairwise meld, then
+  /// right-to-left accumulate.
+  Vertex two_pass_merge(Vertex first) {
+    if (first == kNull) return kNull;
+    scratch_.clear();
+    Vertex cur = first;
+    while (cur != kNull) {
+      const Vertex a = cur;
+      const Vertex b = nodes_[a].sibling;
+      if (b == kNull) {
+        nodes_[a].sibling = kNull;
+        nodes_[a].parent = kNull;
+        scratch_.push_back(a);
+        break;
+      }
+      cur = nodes_[b].sibling;
+      nodes_[a].sibling = kNull;
+      nodes_[b].sibling = kNull;
+      nodes_[a].parent = kNull;
+      nodes_[b].parent = kNull;
+      scratch_.push_back(meld(a, b));
+    }
+    Vertex acc = scratch_.back();
+    for (std::size_t i = scratch_.size() - 1; i-- > 0;) {
+      acc = meld(scratch_[i], acc);
+    }
+    return acc;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Vertex> scratch_;
+  Vertex root_ = kNull;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rs

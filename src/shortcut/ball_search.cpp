@@ -1,0 +1,133 @@
+#include "shortcut/ball_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+BallSearchWorkspace::BallSearchWorkspace(Vertex n)
+    : dist_(n, 0), hops_(n, 0), parent_(n, kNoVertex), stamp_(n, 0), heap_(n) {}
+
+Ball BallSearchWorkspace::run(const Graph& g, Vertex source,
+                              const BallOptions& opts) {
+  const Vertex rho = opts.rho;
+  if (rho == 0) throw std::invalid_argument("ball_search: rho must be >= 1");
+  const Vertex edge_limit = opts.edge_limit == 0 ? rho : opts.edge_limit;
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap: force-reset once every 2^32 searches
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  heap_.clear();
+
+  Ball ball;
+  ball.source = source;
+  ball.vertices.reserve(rho + 4);
+
+  auto touch = [&](Vertex v, Dist d, Vertex h, Vertex p) {
+    dist_[v] = d;
+    hops_[v] = h;
+    parent_[v] = p;
+    stamp_[v] = epoch_;
+  };
+  touch(source, 0, 0, kNoVertex);
+  heap_.insert_or_decrease(source, Key{0, 0});
+
+  Dist r_rho = 0;
+  bool radius_fixed = false;
+  while (!heap_.empty()) {
+    const auto [key, u] = heap_.min();
+    if (radius_fixed && key.d > r_rho) break;
+    heap_.extract_min();
+    ball.vertices.push_back(BallVertex{u, key.d, key.h, parent_[u]});
+    if (!radius_fixed && ball.vertices.size() >= rho) {
+      r_rho = key.d;
+      radius_fixed = true;
+      if (!opts.settle_ties) break;  // exactly-rho variant: stop here
+    }
+    const EdgeId lo = g.first_arc(u);
+    const EdgeId hi =
+        std::min(g.last_arc(u), lo + static_cast<EdgeId>(edge_limit));
+    for (EdgeId e = lo; e < hi; ++e) {
+      ++ball.arcs_scanned;
+      const Vertex v = g.arc_target(e);
+      const Key cand{key.d + g.arc_weight(e), static_cast<Vertex>(key.h + 1)};
+      if (fresh(v)) {
+        touch(v, cand.d, cand.h, u);
+        heap_.insert_or_decrease(v, cand);
+      } else if (heap_.contains(v)) {
+        const Key cur{dist_[v], hops_[v]};
+        if (cand < cur) {
+          touch(v, cand.d, cand.h, u);
+          heap_.insert_or_decrease(v, cand);
+        }
+      }
+      // Settled vertices (stamped, not in heap) are final: skip.
+    }
+  }
+  ball.radius = radius_fixed ? r_rho
+                             : (ball.vertices.empty()
+                                    ? 0
+                                    : ball.vertices.back().dist);
+  heap_.clear();
+  return ball;
+}
+
+Ball ball_search(const Graph& g, Vertex source, Vertex rho, Vertex edge_limit) {
+  BallSearchWorkspace ws(g.num_vertices());
+  return ws.run(g, source, rho, edge_limit);
+}
+
+std::vector<Dist> all_radii(const Graph& g, Vertex rho) {
+  const Graph gw = g.with_weight_sorted_adjacency();
+  const Vertex n = g.num_vertices();
+  std::vector<Dist> radius(n, 0);
+  // Radii only: the tie class never affects r_rho, so stop at the rho-th
+  // pop (far cheaper on unweighted hub graphs than the full §5.1 protocol).
+  const BallOptions opts{rho, 0, /*settle_ties=*/false};
+#pragma omp parallel num_threads(num_workers())
+  {
+    BallSearchWorkspace ws(n);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      radius[static_cast<std::size_t>(v)] =
+          ws.run(gw, static_cast<Vertex>(v), opts).radius;
+    }
+  }
+  return radius;
+}
+
+bool radii_enclose_rho(const Graph& g, const std::vector<Dist>& radius,
+                       Vertex rho) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) return false;
+  const Graph gw = g.with_weight_sorted_adjacency();
+  std::atomic<bool> ok{true};
+#pragma omp parallel num_threads(num_workers())
+  {
+    BallSearchWorkspace ws(n);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      if (!ok.load(std::memory_order_relaxed)) continue;
+      // Unrestricted edge limit: the check must count the true ball, and
+      // settle_ties makes the count include the whole boundary class.
+      const Ball ball = ws.run(
+          gw, static_cast<Vertex>(v),
+          BallOptions{rho, static_cast<Vertex>(n), /*settle_ties=*/true});
+      // Members within radius[v]:
+      std::size_t inside = 0;
+      for (const BallVertex& bv : ball.vertices) {
+        if (bv.dist <= radius[static_cast<std::size_t>(v)]) ++inside;
+      }
+      if (inside < rho) ok.store(false, std::memory_order_relaxed);
+    }
+  }
+  return ok.load();
+}
+
+}  // namespace rs

@@ -1,0 +1,135 @@
+#include "shortcut/global_opt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "shortcut/ball_search.hpp"
+
+namespace rs {
+
+namespace {
+
+/// Committed shortcut edges, addressable from both endpoints.
+class ExtraEdges {
+ public:
+  explicit ExtraEdges(Vertex n) : adj_(n) {}
+
+  void add(Vertex u, Vertex v, Weight w) {
+    adj_[u].push_back({v, w});
+    adj_[v].push_back({u, w});
+    triples_.push_back({u, v, w});
+  }
+
+  const std::vector<std::pair<Vertex, Weight>>& of(Vertex v) const {
+    return adj_[v];
+  }
+
+  std::vector<EdgeTriple> take_triples() { return std::move(triples_); }
+  std::size_t count() const { return triples_.size(); }
+
+ private:
+  std::vector<std::vector<std::pair<Vertex, Weight>>> adj_;
+  std::vector<EdgeTriple> triples_;
+};
+
+}  // namespace
+
+PreprocessResult preprocess_global(const Graph& g,
+                                   const PreprocessOptions& options) {
+  if (options.rho == 0) throw std::invalid_argument("preprocess_global: rho");
+  if (options.k == 0) throw std::invalid_argument("preprocess_global: k");
+  const Vertex n = g.num_vertices();
+  const Vertex k = options.k;
+  const Graph gw = g.with_weight_sorted_adjacency();
+
+  PreprocessResult result;
+  result.options = options;
+  result.radius.assign(n, 0);
+
+  ExtraEdges extra(n);
+  BallSearchWorkspace ws(n);
+  const BallOptions ball_opts{options.rho, 0, options.settle_ties};
+
+  // Scratch: global vertex -> position in the current ball (stamped).
+  std::vector<std::uint32_t> pos(n, 0);
+  std::vector<std::uint32_t> pos_stamp(n, 0);
+  std::uint32_t stamp = 0;
+
+  for (Vertex s = 0; s < n; ++s) {
+    const Ball ball = ws.run(gw, s, ball_opts);
+    result.radius[s] = ball.radius;
+    const std::size_t b = ball.vertices.size();
+    ++stamp;
+    for (std::size_t i = 0; i < b; ++i) {
+      pos[ball.vertices[i].v] = static_cast<std::uint32_t>(i);
+      pos_stamp[ball.vertices[i].v] = stamp;
+    }
+    auto in_ball = [&](Vertex v) { return pos_stamp[v] == stamp; };
+
+    // Hop depth of each member along shortest paths, using original AND
+    // committed edges. Members are in settle order, so every shortest-path
+    // predecessor (strictly smaller distance; weights >= 1) is already
+    // labelled. hop[i] also tracks the argmin predecessor for the cover
+    // rule's climb.
+    std::vector<Vertex> hop(b, 0);
+    std::vector<std::uint32_t> pred(b, 0);
+    for (std::size_t i = 1; i < b; ++i) {
+      const BallVertex& bv = ball.vertices[i];
+      Vertex best_hop = std::numeric_limits<Vertex>::max();
+      std::uint32_t best_pred = 0;
+      auto consider = [&](Vertex u, Weight w) {
+        if (!in_ball(u)) return;
+        const std::uint32_t pi = pos[u];
+        if (pi >= i) return;  // only settled-earlier members are final
+        if (ball.vertices[pi].dist + w != bv.dist) return;
+        if (hop[pi] + 1 < best_hop) {
+          best_hop = hop[pi] + 1;
+          best_pred = pi;
+        }
+      };
+      for (EdgeId e = g.first_arc(bv.v); e < g.last_arc(bv.v); ++e) {
+        consider(g.arc_target(e), g.arc_weight(e));
+      }
+      for (const auto& [u, w] : extra.of(bv.v)) consider(u, w);
+
+      const bool orphan = best_hop == std::numeric_limits<Vertex>::max();
+      // `orphan` is possible only under the exactly-rho tie variant, where
+      // a same-distance predecessor may have been cut from the ball.
+      hop[i] = orphan ? k + 1 : best_hop;
+      pred[i] = best_pred;
+
+      if (hop[i] > k) {
+        // Cover rule: shortcut the ancestor at depth k on the min-hop
+        // chain, resetting it to depth 1 (this vertex then sits at depth
+        // 2, and the whole sibling fan below that ancestor is fixed for
+        // free). For k == 1 — or when no usable chain exists — depth 2 is
+        // already too deep, so shortcut the vertex itself.
+        std::uint32_t a = static_cast<std::uint32_t>(i);
+        if (k > 1 && !orphan) {
+          a = pred[i];  // hop[pred] == hop[i] - 1 == k exactly
+        }
+        const BallVertex& target = ball.vertices[a];
+        if (target.dist > std::numeric_limits<Weight>::max()) {
+          throw std::overflow_error("preprocess_global: weight overflow");
+        }
+        extra.add(s, target.v, static_cast<Weight>(target.dist));
+        hop[a] = 1;
+        if (a != static_cast<std::uint32_t>(i)) hop[i] = 2;
+      }
+    }
+  }
+
+  const EdgeId before = g.num_undirected_edges();
+  const std::size_t raw = extra.count();
+  result.graph = merge_edges(g, extra.take_triples());
+  result.added_edges = result.graph.num_undirected_edges() - before;
+  result.added_factor =
+      before == 0 ? 0.0
+                  : static_cast<double>(raw) / static_cast<double>(before);
+  return result;
+}
+
+}  // namespace rs

@@ -1,0 +1,39 @@
+#include "shortcut/kradius.hpp"
+
+#include <omp.h>
+
+#include "baseline/dijkstra.hpp"
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+Dist k_radius_exact(const Graph& g, Vertex source, Vertex k) {
+  const ShortestPathTreeResult tree = dijkstra_min_hop_tree(g, source);
+  Dist best = kInfDist;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (tree.dist[v] == kInfDist || v == source) continue;
+    if (tree.hops[v] > k && tree.dist[v] < best) best = tree.dist[v];
+  }
+  return best;
+}
+
+std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k) {
+  const Vertex n = g.num_vertices();
+  std::vector<Dist> out(n, kInfDist);
+#pragma omp parallel for schedule(dynamic, 4) num_threads(num_workers())
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    out[static_cast<std::size_t>(v)] =
+        k_radius_exact(g, static_cast<Vertex>(v), k);
+  }
+  return out;
+}
+
+bool is_k_rho_graph(const Graph& g, const std::vector<Dist>& radius, Vertex k) {
+  const std::vector<Dist> kr = all_k_radii_exact(g, k);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (radius[v] > kr[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace rs

@@ -1,0 +1,109 @@
+#include "shortcut/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rs {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'P', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_preprocessing: truncated input");
+  return value;
+}
+
+template <typename T>
+std::vector<T> get_vec(std::istream& in, std::size_t count) {
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("load_preprocessing: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void save_preprocessing(const PreprocessResult& pre, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  put(out, pre.options.rho);
+  put(out, pre.options.k);
+  put(out, static_cast<std::uint8_t>(pre.options.heuristic));
+  put(out, static_cast<std::uint8_t>(pre.options.settle_ties));
+  put(out, pre.added_edges);
+  put(out, pre.added_factor);
+  const Graph& g = pre.graph;
+  put(out, g.num_vertices());
+  put(out, g.num_edges());
+  put_vec(out, g.offsets());
+  put_vec(out, g.targets());
+  put_vec(out, g.weights());
+  put_vec(out, pre.radius);
+  if (!out) throw std::runtime_error("save_preprocessing: write failed");
+}
+
+void save_preprocessing_file(const PreprocessResult& pre,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_preprocessing: cannot open " + path);
+  save_preprocessing(pre, out);
+}
+
+PreprocessResult load_preprocessing(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_preprocessing: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_preprocessing: unsupported version");
+  }
+  PreprocessResult pre;
+  pre.options.rho = get<Vertex>(in);
+  pre.options.k = get<Vertex>(in);
+  const auto heuristic = get<std::uint8_t>(in);
+  if (heuristic > static_cast<std::uint8_t>(ShortcutHeuristic::kDP)) {
+    throw std::runtime_error("load_preprocessing: bad heuristic tag");
+  }
+  pre.options.heuristic = static_cast<ShortcutHeuristic>(heuristic);
+  pre.options.settle_ties = get<std::uint8_t>(in) != 0;
+  pre.added_edges = get<EdgeId>(in);
+  pre.added_factor = get<double>(in);
+  const Vertex n = get<Vertex>(in);
+  const EdgeId m = get<EdgeId>(in);
+  auto offsets = get_vec<EdgeId>(in, n + 1);
+  auto targets = get_vec<Vertex>(in, m);
+  auto weights = get_vec<Weight>(in, m);
+  pre.radius = get_vec<Dist>(in, n);
+  // Graph's constructor re-validates the CSR invariants.
+  pre.graph = Graph(std::move(offsets), std::move(targets), std::move(weights));
+  return pre;
+}
+
+PreprocessResult load_preprocessing_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_preprocessing: cannot open " + path);
+  return load_preprocessing(in);
+}
+
+}  // namespace rs

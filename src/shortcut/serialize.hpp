@@ -1,0 +1,29 @@
+// Binary serialization of preprocessing results. Preprocessing costs
+// O(m log n + n rho^2) work; persisting it lets a service pay that once and
+// reload in O(n + m).
+//
+// Format (little-endian, versioned):
+//   magic "RSPP", u32 version,
+//   u32 rho, u32 k, u8 heuristic, u8 settle_ties,
+//   u64 added_edges, f64 added_factor,
+//   u32 n, u64 m_arcs,
+//   offsets[n+1] (u64), targets[m] (u32), weights[m] (u32),
+//   radius[n] (u64)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "shortcut/shortcut.hpp"
+
+namespace rs {
+
+void save_preprocessing(const PreprocessResult& pre, std::ostream& out);
+void save_preprocessing_file(const PreprocessResult& pre,
+                             const std::string& path);
+
+/// Throws std::runtime_error on malformed or version-mismatched input.
+PreprocessResult load_preprocessing(std::istream& in);
+PreprocessResult load_preprocessing_file(const std::string& path);
+
+}  // namespace rs

@@ -1,0 +1,68 @@
+// Shortcut construction: turns any graph into a (k, rho)-graph (Section 4).
+//
+// For every vertex the rho-nearest ball is computed (ball_search); then a
+// heuristic picks which ball members get a direct shortcut edge from the
+// ball's source so that every member lies within k hops:
+//
+//  * kFull1Rho  — shortcut every member beyond 1 hop (the k = 1 scheme;
+//                 up to n*rho edges, fewest needed for k = 1);
+//  * kGreedy    — shortcut members at tree depth k+1, 2k+1, ... (§4.2.1);
+//  * kDP        — per-tree optimal selection via the F(u, t) dynamic
+//                 program (§4.2.2);
+//  * kNone      — add nothing (radii only). Step counts of Radius-Stepping
+//                 depend on rho alone (§5.3), so the step-count experiments
+//                 can run without materializing shortcuts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "shortcut/ball_search.hpp"
+
+namespace rs {
+
+enum class ShortcutHeuristic : std::uint8_t { kNone, kFull1Rho, kGreedy, kDP };
+
+const char* to_string(ShortcutHeuristic h);
+
+struct PreprocessOptions {
+  Vertex rho = 64;
+  Vertex k = 3;  // ignored by kFull1Rho (k = 1) and kNone
+  ShortcutHeuristic heuristic = ShortcutHeuristic::kDP;
+  /// Paper §5.1 tie protocol (settle the whole distance class of the
+  /// rho-th vertex). Set false for the exactly-rho footnote variant —
+  /// needed to keep unweighted hub graphs tractable at large rho.
+  bool settle_ties = true;
+};
+
+struct PreprocessResult {
+  /// Original graph plus shortcut edges (merged, deduplicated).
+  Graph graph;
+  /// r(v) = r_rho(v), valid radii for Radius-Stepping on `graph`.
+  std::vector<Dist> radius;
+  /// Unique new undirected edges contributed by shortcutting.
+  EdgeId added_edges = 0;
+  /// added_edges / original undirected m — the paper's Tables 2-3 metric.
+  double added_factor = 0.0;
+  PreprocessOptions options;
+};
+
+/// Runs ball searches from every vertex in parallel and applies the chosen
+/// shortcut heuristic. The result satisfies r(v) <= r̄_k(v) and
+/// |B(v, r(v))| >= rho on the returned graph (Lemma 4.1), with k = 1 for
+/// kFull1Rho and k = options.k for kGreedy / kDP.
+PreprocessResult preprocess(const Graph& g, const PreprocessOptions& options);
+
+/// Shortcut targets for one ball under a heuristic: ball-vertex indices
+/// (into ball.vertices) that receive a direct edge from ball.source.
+/// Exposed for unit tests; preprocess() uses it internally.
+std::vector<std::uint32_t> select_shortcuts(const Ball& ball, Vertex k,
+                                            ShortcutHeuristic heuristic);
+
+/// Minimum number of shortcut edges for one shortest-path tree so that all
+/// members sit within k hops — exhaustive search over subsets, exponential;
+/// test oracle for the DP's per-tree optimality.
+std::size_t min_shortcuts_bruteforce(const Ball& ball, Vertex k);
+
+}  // namespace rs

@@ -1,0 +1,65 @@
+#include "shortcut/tuning.hpp"
+
+#include <algorithm>
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+#include "shortcut/ball_search.hpp"
+
+namespace rs {
+
+double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
+                             ShortcutHeuristic heuristic, Vertex sample_size,
+                             std::uint64_t seed) {
+  if (heuristic == ShortcutHeuristic::kNone) return 0.0;
+  const Vertex n = g.num_vertices();
+  if (n == 0 || g.num_undirected_edges() == 0) return 0.0;
+  sample_size = std::min<Vertex>(sample_size, n);
+  const Graph gw = g.with_weight_sorted_adjacency();
+  const SplitRng rng(seed);
+
+  const int nw = num_workers();
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nw), 0);
+  const BallOptions opts{rho, 0, /*settle_ties=*/false};
+#pragma omp parallel num_threads(nw)
+  {
+    BallSearchWorkspace ws(n);
+    std::uint64_t mine = 0;
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sample_size); ++i) {
+      const Vertex src = static_cast<Vertex>(
+          rng.bounded(0, static_cast<std::uint64_t>(i), n));
+      const Ball ball = ws.run(gw, src, opts);
+      mine += select_shortcuts(ball, k, heuristic).size();
+    }
+    counts[static_cast<std::size_t>(omp_get_thread_num())] = mine;
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  const double per_source = static_cast<double>(total) / sample_size;
+  return per_source * static_cast<double>(n) /
+         static_cast<double>(g.num_undirected_edges());
+}
+
+TuningAdvice choose_parameters(const Graph& g, double budget_factor, Vertex k,
+                               ShortcutHeuristic heuristic, Vertex max_rho,
+                               Vertex sample_size, std::uint64_t seed) {
+  TuningAdvice advice;
+  advice.k = k;
+  advice.heuristic = heuristic;
+  advice.rho = 8;
+  advice.estimated_factor =
+      estimate_added_factor(g, advice.rho, k, heuristic, sample_size, seed);
+  for (Vertex rho = 16; rho <= max_rho && rho < g.num_vertices(); rho *= 2) {
+    const double f =
+        estimate_added_factor(g, rho, k, heuristic, sample_size, seed);
+    if (f > budget_factor) break;
+    advice.rho = rho;
+    advice.estimated_factor = f;
+  }
+  return advice;
+}
+
+}  // namespace rs

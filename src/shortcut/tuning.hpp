@@ -1,0 +1,46 @@
+// Parameter selection, automating Section 5.4's guidance: "the total number
+// of edges should be around O(m); k = 3 or 4 works reasonably well; rho in
+// 50-100 yields the best bang for the buck; raise rho when preprocessing is
+// amortized over many sources."
+//
+// The added-edge cost of a (k, rho) choice is estimated by running the
+// shortcut heuristic on a random sample of ball trees — O(sample * rho^2)
+// instead of the full O(n rho^2) — then rho is chosen as the largest rung
+// of a geometric ladder whose estimate fits the caller's edge budget.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace rs {
+
+/// Estimated added-edge factor (added / m) for preprocessing `g` with
+/// (rho, k, heuristic), from `sample_size` sampled sources. Ignores global
+/// deduplication, so it slightly overestimates — a safe direction for
+/// budgeting.
+double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
+                             ShortcutHeuristic heuristic,
+                             Vertex sample_size = 64,
+                             std::uint64_t seed = 7);
+
+struct TuningAdvice {
+  Vertex rho = 0;
+  Vertex k = 0;
+  ShortcutHeuristic heuristic = ShortcutHeuristic::kDP;
+  /// Estimated added-edge factor at the chosen parameters.
+  double estimated_factor = 0.0;
+};
+
+/// Largest rho from {8, 16, 32, ..., max_rho} whose estimated added-edge
+/// factor stays within `budget_factor` (the paper suggests ~1.0, i.e. at
+/// most doubling the graph). k defaults to the paper's recommendation.
+TuningAdvice choose_parameters(const Graph& g, double budget_factor = 1.0,
+                               Vertex k = 3,
+                               ShortcutHeuristic heuristic = ShortcutHeuristic::kDP,
+                               Vertex max_rho = 1024,
+                               Vertex sample_size = 64,
+                               std::uint64_t seed = 7);
+
+}  // namespace rs

@@ -1,0 +1,214 @@
+#include "shortcut/ball_search.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+/// The rho-th smallest distance (counting the source's 0 as the first).
+Dist rho_th_distance(const std::vector<Dist>& dist, Vertex rho) {
+  std::vector<Dist> finite;
+  for (const Dist d : dist) {
+    if (d != kInfDist) finite.push_back(d);
+  }
+  std::sort(finite.begin(), finite.end());
+  if (finite.size() < rho) return finite.back();
+  return finite[rho - 1];
+}
+
+class BallRadiusTest
+    : public ::testing::TestWithParam<std::tuple<int, Vertex>> {};
+
+TEST_P(BallRadiusTest, RadiusMatchesFullDijkstra) {
+  const auto [seed, rho] = GetParam();
+  for (const auto& [name, g] : test::weighted_suite(seed)) {
+    const Graph gw = g.with_weight_sorted_adjacency();
+    const Vertex src = g.num_vertices() / 3;
+    const auto full = dijkstra(g, src);
+    const Ball ball = ball_search(gw, src, rho);
+    EXPECT_EQ(ball.radius, rho_th_distance(full, rho)) << name << " rho=" << rho;
+
+    // Every ball member's distance is exact.
+    for (const BallVertex& bv : ball.vertices) {
+      EXPECT_EQ(bv.dist, full[bv.v]) << name << " member " << bv.v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndRhos, BallRadiusTest,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(1, 2, 5, 16, 64)));
+
+TEST(BallSearch, SourceIsFirstWithZeroDistance) {
+  const Graph g = test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
+  const Ball ball = ball_search(g, 7, 10);
+  ASSERT_FALSE(ball.vertices.empty());
+  EXPECT_EQ(ball.vertices[0].v, 7u);
+  EXPECT_EQ(ball.vertices[0].dist, 0u);
+  EXPECT_EQ(ball.vertices[0].hops, 0u);
+  EXPECT_EQ(ball.vertices[0].parent, kNoVertex);
+}
+
+TEST(BallSearch, SettleOrderIsNondecreasing) {
+  const Graph g = test::weighted_suite(2)[2].graph.with_weight_sorted_adjacency();
+  const Ball ball = ball_search(g, 0, 32);
+  for (std::size_t i = 1; i < ball.vertices.size(); ++i) {
+    EXPECT_LE(ball.vertices[i - 1].dist, ball.vertices[i].dist);
+  }
+}
+
+TEST(BallSearch, SettleTiesIncludesWholeDistanceClass) {
+  // Unit-weight star from a leaf: all other leaves tie at distance 2. With
+  // an unrestricted edge limit the whole class settles; the default
+  // lightest-rho-edges restriction (Lemma 4.2) only guarantees the rho
+  // nearest, so it truncates the tie class.
+  const Graph g = gen::star(50).with_weight_sorted_adjacency();
+  const Ball full = ball_search(g, 1, 3, /*edge_limit=*/50);
+  EXPECT_EQ(full.radius, 2u);
+  EXPECT_EQ(full.vertices.size(), 50u);  // source + hub + all 48 tied leaves
+
+  const Ball restricted = ball_search(g, 1, 3);
+  EXPECT_EQ(restricted.radius, 2u);
+  EXPECT_EQ(restricted.vertices.size(), 4u);  // source + hub + 2 leaves
+}
+
+TEST(BallSearch, ExactRhoModeStopsAtRho) {
+  const Graph g = gen::star(50).with_weight_sorted_adjacency();
+  BallSearchWorkspace ws(g.num_vertices());
+  const Ball ball = ws.run(g, 1, BallOptions{3, 0, /*settle_ties=*/false});
+  EXPECT_EQ(ball.radius, 2u);       // identical radius
+  EXPECT_EQ(ball.vertices.size(), 3u);  // but only rho members
+}
+
+TEST(BallSearch, RhoOneIsJustTheSource) {
+  const Graph g = test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
+  const Ball ball = ball_search(g, 4, 1);
+  EXPECT_EQ(ball.radius, 0u);
+  EXPECT_EQ(ball.vertices.size(), 1u);
+}
+
+TEST(BallSearch, ParentsFormInBallTreeWithCorrectHops) {
+  for (const auto& [name, g0] : test::weighted_suite(4)) {
+    const Graph g = g0.with_weight_sorted_adjacency();
+    const Ball ball = ball_search(g, 0, 24);
+    // Map each member to its position; parents must settle earlier.
+    std::vector<std::int64_t> pos(g.num_vertices(), -1);
+    for (std::size_t i = 0; i < ball.vertices.size(); ++i) {
+      pos[ball.vertices[i].v] = static_cast<std::int64_t>(i);
+    }
+    for (std::size_t i = 1; i < ball.vertices.size(); ++i) {
+      const BallVertex& bv = ball.vertices[i];
+      ASSERT_NE(bv.parent, kNoVertex) << name;
+      const std::int64_t pp = pos[bv.parent];
+      ASSERT_GE(pp, 0) << name;
+      ASSERT_LT(pp, static_cast<std::int64_t>(i)) << name;
+      EXPECT_EQ(bv.hops,
+                ball.vertices[static_cast<std::size_t>(pp)].hops + 1)
+          << name;
+    }
+  }
+}
+
+TEST(BallSearch, EdgeRestrictionPreservesRadiiOnDistinctWeights) {
+  // Lemma 4.2's lightest-rho-edges restriction: with all-distinct weights
+  // the rho-nearest set (and hence the radius) is unaffected.
+  for (const auto& [name, g0] : test::weighted_suite(5)) {
+    // Make weights effectively distinct by re-rolling into a huge range.
+    const Graph g = assign_uniform_weights(g0, 77, 1, 1'000'000)
+                        .with_weight_sorted_adjacency();
+    BallSearchWorkspace ws(g.num_vertices());
+    for (const Vertex rho : {Vertex{4}, Vertex{16}}) {
+      const Ball restricted = ws.run(g, 1, rho);
+      const Ball unrestricted =
+          ws.run(g, 1, BallOptions{rho, static_cast<Vertex>(g.num_vertices()),
+                                   true});
+      EXPECT_EQ(restricted.radius, unrestricted.radius) << name << " rho=" << rho;
+      EXPECT_EQ(restricted.vertices.size(), unrestricted.vertices.size())
+          << name << " rho=" << rho;
+    }
+  }
+}
+
+TEST(BallSearch, SmallComponentExhaustsGracefully) {
+  // rho larger than the component: ball = whole component.
+  const Graph g = gen::chain(5).with_weight_sorted_adjacency();
+  const Ball ball = ball_search(g, 2, 100, 100);
+  EXPECT_EQ(ball.vertices.size(), 5u);
+  EXPECT_EQ(ball.radius, 2u);  // farthest settled
+}
+
+TEST(BallSearch, RejectsRhoZero)  {
+  const Graph g = gen::chain(5);
+  EXPECT_THROW(ball_search(g, 0, 0), std::invalid_argument);
+}
+
+TEST(BallSearch, Figure2WorstCaseScansQuadraticEdges) {
+  // Paper Figure 2: reaching rho > 3d vertices forces Theta(d^2) arc scans.
+  const Vertex d = 24;
+  const Graph g = gen::bipartite_chain(8, d).with_weight_sorted_adjacency();
+  const Vertex rho = 3 * d + 1;
+  const Ball ball = ball_search(g, d /*interior group member*/, rho,
+                                /*edge_limit=*/rho);
+  EXPECT_GE(ball.vertices.size(), rho);
+  // Members of three groups each scan ~d arcs -> at least d^2 scans.
+  EXPECT_GE(ball.arcs_scanned, static_cast<EdgeId>(d) * d);
+}
+
+TEST(AllRadii, MatchesPerSourceBalls) {
+  const auto suite = test::weighted_suite(6);
+  const auto& g = suite[0].graph;
+  const Vertex rho = 12;
+  const auto radii = all_radii(g, rho);
+  const Graph gw = g.with_weight_sorted_adjacency();
+  BallSearchWorkspace ws(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); v += 17) {
+    EXPECT_EQ(radii[v], ws.run(gw, v, rho).radius) << v;
+  }
+}
+
+TEST(AllRadii, RhoOneGivesAllZeros) {
+  const Graph g = test::weighted_suite(1)[0].graph;
+  for (const Dist r : all_radii(g, 1)) EXPECT_EQ(r, 0u);
+}
+
+TEST(RadiiEncloseRho, RhoRadiiAlwaysPass) {
+  for (const auto& [name, g] : test::weighted_suite(7)) {
+    for (const Vertex rho : {Vertex{2}, Vertex{8}, Vertex{24}}) {
+      EXPECT_TRUE(radii_enclose_rho(g, all_radii(g, rho), rho))
+          << name << " rho=" << rho;
+    }
+  }
+}
+
+TEST(RadiiEncloseRho, DetectsTooSmallRadii) {
+  const Graph g = test::weighted_suite(8)[0].graph;
+  // Zero radii enclose only the vertex itself: fails for rho >= 2.
+  EXPECT_FALSE(radii_enclose_rho(g, std::vector<Dist>(g.num_vertices(), 0), 2));
+  EXPECT_TRUE(radii_enclose_rho(g, std::vector<Dist>(g.num_vertices(), 0), 1));
+  // Shrinking one vertex's r_rho by 1 must be caught.
+  auto radius = all_radii(g, 8);
+  radius[5] -= 1;
+  EXPECT_FALSE(radii_enclose_rho(g, radius, 8));
+  // Size mismatch.
+  EXPECT_FALSE(radii_enclose_rho(g, std::vector<Dist>(3, 0), 1));
+}
+
+TEST(BallSearch, RadiusMonotoneInRho) {
+  for (const auto& [name, g] : test::weighted_suite(9)) {
+    Dist prev = 0;
+    for (const Vertex rho : {Vertex{1}, Vertex{4}, Vertex{16}, Vertex{64}}) {
+      const Ball ball = ball_search(g.with_weight_sorted_adjacency(), 2, rho);
+      EXPECT_GE(ball.radius, prev) << name << " rho=" << rho;
+      prev = ball.radius;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,173 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "shortcut/serialize.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+TEST(SsspEngine, QueryMatchesDijkstraOnAllEngines) {
+  for (const auto& [name, g] : test::weighted_suite(1)) {
+    PreprocessOptions opts;
+    opts.rho = 12;
+    opts.k = 2;
+    const SsspEngine engine(g, opts);
+    const auto ref = dijkstra(g, 0);
+    EXPECT_EQ(engine.query(0, QueryEngine::kFlat).dist, ref) << name;
+    EXPECT_EQ(engine.query(0, QueryEngine::kBst).dist, ref) << name;
+  }
+}
+
+TEST(SsspEngine, PathAvoidsShortcutEdgesAndClosesDistance) {
+  const Graph g = assign_uniform_weights(gen::grid2d(12, 12), 5, 1, 50);
+  PreprocessOptions opts;
+  opts.rho = 16;
+  opts.k = 1;
+  opts.heuristic = ShortcutHeuristic::kFull1Rho;  // plenty of shortcuts
+  const SsspEngine engine(g, opts);
+  const QueryResult q = engine.query(0);
+  const Vertex target = g.num_vertices() - 1;
+  const auto path = engine.path(q, target);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), target);
+  // Every hop must be an ORIGINAL edge and the weights must sum to d.
+  Dist total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    bool found = false;
+    for (EdgeId e = g.first_arc(path[i - 1]); e < g.last_arc(path[i - 1]); ++e) {
+      if (g.arc_target(e) == path[i]) {
+        total += g.arc_weight(e);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "hop " << i << " uses a non-original edge";
+  }
+  EXPECT_EQ(total, q.dist[target]);
+}
+
+TEST(SsspEngine, QueryBatchMatchesIndividualQueries) {
+  const Graph g = assign_uniform_weights(gen::grid2d(10, 10), 2);
+  PreprocessOptions opts;
+  opts.rho = 8;
+  const SsspEngine engine(g, opts);
+  const std::vector<Vertex> sources{0, 17, 42, 99};
+  const auto batch = engine.query_batch(sources);
+  ASSERT_EQ(batch.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch[i].source, sources[i]);
+    EXPECT_EQ(batch[i].dist, engine.query(sources[i]).dist);
+  }
+}
+
+TEST(SsspEngine, PathToUnreachableIsEmpty) {
+  const Graph g = build_graph(3, {{0, 1, 4}});
+  PreprocessOptions opts;
+  opts.rho = 2;
+  opts.heuristic = ShortcutHeuristic::kNone;
+  const SsspEngine engine(g, opts);
+  const QueryResult q = engine.query(0);
+  EXPECT_TRUE(engine.path(q, 2).empty());
+  EXPECT_THROW(engine.path(q, 9), std::invalid_argument);
+}
+
+TEST(SsspEngine, UnweightedEngineGuardRails) {
+  const Graph unit = gen::grid2d(8, 8);
+  PreprocessOptions none;
+  none.rho = 8;
+  none.heuristic = ShortcutHeuristic::kNone;
+  const SsspEngine ok(unit, none);
+  EXPECT_EQ(ok.query(0, QueryEngine::kUnweighted).dist, dijkstra(unit, 0));
+
+  PreprocessOptions dp;
+  dp.rho = 8;
+  dp.k = 2;
+  const SsspEngine with_shortcuts(unit, dp);
+  EXPECT_THROW(with_shortcuts.query(0, QueryEngine::kUnweighted),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Graph g = assign_uniform_weights(gen::road_network(12, 12, 3), 4);
+  PreprocessOptions opts;
+  opts.rho = 10;
+  opts.k = 2;
+  opts.heuristic = ShortcutHeuristic::kGreedy;
+  const PreprocessResult pre = preprocess(g, opts);
+
+  std::stringstream buf;
+  save_preprocessing(pre, buf);
+  const PreprocessResult loaded = load_preprocessing(buf);
+
+  EXPECT_EQ(loaded.graph, pre.graph);
+  EXPECT_EQ(loaded.radius, pre.radius);
+  EXPECT_EQ(loaded.added_edges, pre.added_edges);
+  EXPECT_DOUBLE_EQ(loaded.added_factor, pre.added_factor);
+  EXPECT_EQ(loaded.options.rho, opts.rho);
+  EXPECT_EQ(loaded.options.k, opts.k);
+  EXPECT_EQ(loaded.options.heuristic, opts.heuristic);
+}
+
+TEST(Serialize, LoadedPreprocessingAnswersQueries) {
+  const Graph g = assign_uniform_weights(gen::grid2d(15, 15), 9);
+  PreprocessOptions opts;
+  opts.rho = 16;
+  const PreprocessResult pre = preprocess(g, opts);
+  std::stringstream buf;
+  save_preprocessing(pre, buf);
+
+  const SsspEngine engine(g, load_preprocessing(buf));
+  EXPECT_EQ(engine.query(7).dist, dijkstra(g, 7));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buf;
+  buf << "not a preprocessing file";
+  EXPECT_THROW(load_preprocessing(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const Graph g = gen::chain(6);
+  PreprocessOptions opts;
+  opts.rho = 3;
+  const PreprocessResult pre = preprocess(g, opts);
+  std::stringstream buf;
+  save_preprocessing(pre, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_preprocessing(cut), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Graph g = gen::chain(10);
+  PreprocessOptions opts;
+  opts.rho = 4;
+  const PreprocessResult pre = preprocess(g, opts);
+  const std::string path = ::testing::TempDir() + "/rs_pre_test.bin";
+  save_preprocessing_file(pre, path);
+  const PreprocessResult loaded = load_preprocessing_file(path);
+  EXPECT_EQ(loaded.graph, pre.graph);
+  EXPECT_THROW(load_preprocessing_file("/nonexistent/x.bin"),
+               std::runtime_error);
+}
+
+TEST(SsspEngine, RejectsMismatchedPreprocessing) {
+  const Graph g = gen::chain(10);
+  const Graph other = gen::chain(12);
+  PreprocessOptions opts;
+  opts.rho = 4;
+  const PreprocessResult pre = preprocess(g, opts);
+  EXPECT_THROW(SsspEngine(other, pre), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rs

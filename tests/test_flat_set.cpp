@@ -1,0 +1,102 @@
+#include "pset/flat_set.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/rs_bst.hpp"
+#include "baseline/dijkstra.hpp"
+#include "parallel/rng.hpp"
+#include "shortcut/ball_search.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+using IntSet = FlatSet<std::uint64_t>;
+
+TEST(FlatSet, BasicOperations) {
+  IntSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.min(), 3u);
+  EXPECT_EQ(s.extract_min(), 3u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, SplitLeq) {
+  IntSet s;
+  for (std::uint64_t k = 0; k < 20; ++k) s.insert(k * 3);
+  IntSet lo = s.split_leq(30);
+  EXPECT_EQ(lo.size(), 11u);  // 0..30
+  EXPECT_EQ(lo.to_vector().back(), 30u);
+  EXPECT_EQ(s.min(), 33u);
+}
+
+class FlatSetOpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatSetOpTest, UnionAndDifferenceMatchStdSet) {
+  const SplitRng rng(static_cast<std::uint64_t>(GetParam()));
+  std::set<std::uint64_t> sa, sb;
+  IntSet fa, fb, fa2, fb2;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.bounded(0, static_cast<std::uint64_t>(i), 700);
+    const std::uint64_t b = rng.bounded(1, static_cast<std::uint64_t>(i), 700);
+    sa.insert(a);
+    fa.insert(a);
+    fa2.insert(a);
+    sb.insert(b);
+    fb.insert(b);
+    fb2.insert(b);
+  }
+  std::set<std::uint64_t> u = sa;
+  u.insert(sb.begin(), sb.end());
+  fa.union_with(std::move(fb));
+  EXPECT_EQ(fa.to_vector(), std::vector<std::uint64_t>(u.begin(), u.end()));
+
+  std::vector<std::uint64_t> d;
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::back_inserter(d));
+  fa2.subtract(std::move(fb2));
+  EXPECT_EQ(fa2.to_vector(), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatSetOpTest, ::testing::Range(0, 6));
+
+TEST(FlatSet, FromSortedAndEdgeCases) {
+  IntSet s = IntSet::from_sorted({1, 4, 9});
+  EXPECT_EQ(s.size(), 3u);
+  IntSet empty;
+  s.union_with(std::move(empty));
+  EXPECT_EQ(s.size(), 3u);
+  IntSet empty2;
+  s.subtract(std::move(empty2));
+  EXPECT_EQ(s.size(), 3u);
+  IntSet below = s.split_leq(0);
+  EXPECT_TRUE(below.empty());
+}
+
+class FlatSetEngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatSetEngineTest, EngineOnFlatSetMatchesTreapEngine) {
+  for (const auto& [name, g] : test::weighted_suite(GetParam())) {
+    const auto radius = all_radii(g, 8);
+    RunStats treap_stats, flat_stats;
+    const auto treap = radius_stepping_bst(g, 0, radius, &treap_stats);
+    const auto flat = radius_stepping_flatset(g, 0, radius, &flat_stats);
+    EXPECT_EQ(flat, treap) << name;
+    EXPECT_EQ(flat_stats.steps, treap_stats.steps) << name;
+    EXPECT_EQ(flat, dijkstra(g, 0)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatSetEngineTest, ::testing::Range(1, 4));
+
+}  // namespace
+}  // namespace rs

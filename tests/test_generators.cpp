@@ -1,0 +1,186 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+
+namespace rs {
+namespace {
+
+TEST(Grid2d, SizeAndEdgeCount) {
+  const Graph g = gen::grid2d(10, 7);
+  EXPECT_EQ(g.num_vertices(), 70u);
+  // rows*(cols-1) + (rows-1)*cols undirected edges.
+  EXPECT_EQ(g.num_undirected_edges(), 10u * 6 + 9 * 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Grid2d, DegenerateLine) {
+  const Graph g = gen::grid2d(1, 5);
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+  EXPECT_EQ(approx_diameter(g), 4u);
+}
+
+TEST(Grid3d, SizeAndEdgeCount) {
+  const Graph g = gen::grid3d(4, 5, 6);
+  EXPECT_EQ(g.num_vertices(), 120u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u * 5 * 6 + 4 * 4 * 6 + 4 * 5 * 5);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 6u);
+}
+
+TEST(RoadNetwork, ConnectedWithRoadLikeDegrees) {
+  const Graph g = gen::road_network(40, 40, 1);
+  EXPECT_EQ(g.num_vertices(), 1600u);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.mean, 2.0);   // at least tree density
+  EXPECT_LE(s.mean, 4.5);   // sparser than the full lattice + diagonals
+  // Large hop diameter, like a road map.
+  EXPECT_GE(approx_diameter(g), 39u);
+}
+
+TEST(RoadNetwork, DeterministicInSeed) {
+  EXPECT_EQ(gen::road_network(20, 20, 5), gen::road_network(20, 20, 5));
+  EXPECT_NE(gen::road_network(20, 20, 5), gen::road_network(20, 20, 6));
+}
+
+TEST(RoadNetwork, KeepProbExtremes) {
+  // keep_prob = 1 with no diagonals: the full lattice.
+  const Graph full = gen::road_network(10, 10, 3, 1.0, 0.0);
+  EXPECT_EQ(full.num_undirected_edges(), gen::grid2d(10, 10).num_undirected_edges());
+  // keep_prob = 0: exactly the spanning tree.
+  const Graph tree = gen::road_network(10, 10, 3, 0.0, 0.0);
+  EXPECT_EQ(tree.num_undirected_edges(), 99u);
+  EXPECT_TRUE(is_connected(tree));
+}
+
+TEST(BarabasiAlbert, ConnectedScaleFree) {
+  const Graph g = gen::barabasi_albert(5000, 4, 11);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = degree_stats(g);
+  // Preferential attachment produces hubs far above the mean degree.
+  EXPECT_GE(s.max, static_cast<EdgeId>(8 * s.mean));
+  EXPECT_GE(s.min, 1u);
+  // Low diameter.
+  EXPECT_LE(approx_diameter(g), 12u);
+}
+
+TEST(BarabasiAlbert, EdgeCountMatchesAttachment) {
+  const Vertex n = 1000;
+  const Vertex m0 = 3;
+  const Graph g = gen::barabasi_albert(n, m0, 2);
+  // Seed clique (m0+1 choose 2) + m0 per additional vertex; dedup can only
+  // remove a handful (attachment picks are distinct by construction).
+  const EdgeId expect = (m0 + 1) * m0 / 2 + (n - m0 - 1) * m0;
+  EXPECT_EQ(g.num_undirected_edges(), expect);
+}
+
+TEST(BarabasiAlbert, RejectsTooSmallN) {
+  EXPECT_THROW(gen::barabasi_albert(3, 4, 1), std::invalid_argument);
+}
+
+TEST(WebGraph, HubsPlusTendrils) {
+  const Graph g = gen::web_graph(8000, 8, 5);
+  EXPECT_EQ(g.num_vertices(), 8000u);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = degree_stats(g);
+  // Hubs from the preferential core...
+  EXPECT_GE(s.max, static_cast<EdgeId>(10 * s.mean));
+  // ...and a degree-1 periphery.
+  EXPECT_EQ(s.min, 1u);
+  // Tendrils give it a larger hop diameter than the pure BA core.
+  EXPECT_GE(approx_diameter(g), 10u);
+  // Deterministic.
+  EXPECT_EQ(gen::web_graph(1000, 6, 2), gen::web_graph(1000, 6, 2));
+}
+
+TEST(WebGraph, DegeneratesToBaWhenCoreCoversAll) {
+  const Graph g = gen::web_graph(500, 4, 3, /*core_fraction=*/1.0);
+  EXPECT_EQ(g, gen::barabasi_albert(500, 4, 3));
+}
+
+TEST(Rmat, ProducesSkewedGraphWithinVertexBound) {
+  const Graph g = gen::rmat(12, 8, 7);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_GT(g.num_undirected_edges(), 1000u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.max, static_cast<EdgeId>(5 * s.mean));
+}
+
+TEST(ErdosRenyi, RoughEdgeCount) {
+  const Graph g = gen::erdos_renyi(2000, 10000, 5);
+  // Dedup and self-loop removal lose only a small fraction at this density.
+  EXPECT_GT(g.num_undirected_edges(), 9000u);
+  EXPECT_LE(g.num_undirected_edges(), 10000u);
+}
+
+TEST(ChainStarComplete, Shapes) {
+  const Graph c = gen::chain(10);
+  EXPECT_EQ(c.num_undirected_edges(), 9u);
+  EXPECT_EQ(approx_diameter(c), 9u);
+
+  const Graph s = gen::star(10);
+  EXPECT_EQ(s.num_undirected_edges(), 9u);
+  EXPECT_EQ(s.degree(0), 9u);
+  EXPECT_EQ(approx_diameter(s), 2u);
+
+  const Graph k = gen::complete(8);
+  EXPECT_EQ(k.num_undirected_edges(), 28u);
+  EXPECT_EQ(k.max_degree(), 7u);
+}
+
+TEST(BipartiteChain, Figure2Structure) {
+  const Vertex d = 5;
+  const Graph g = gen::bipartite_chain(4, d);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u * d * d);
+  EXPECT_TRUE(is_connected(g));
+  // Interior vertices see two full neighbour groups.
+  EXPECT_EQ(g.degree(d), 2 * d);
+  // End-group vertices see one.
+  EXPECT_EQ(g.degree(0), d);
+}
+
+TEST(Weights, UniformAssignmentSymmetricAndInRange) {
+  const Graph g = assign_uniform_weights(gen::grid2d(20, 20), 9, 1, 100);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+      const Weight w = g.arc_weight(e);
+      EXPECT_GE(w, 1u);
+      EXPECT_LE(w, 100u);
+      // Reverse arc carries the same weight.
+      const Vertex v = g.arc_target(e);
+      bool found = false;
+      for (EdgeId e2 = g.first_arc(v); e2 < g.last_arc(v); ++e2) {
+        if (g.arc_target(e2) == u && g.arc_weight(e2) == w) found = true;
+      }
+      EXPECT_TRUE(found) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Weights, DeterministicInSeedOnly) {
+  const Graph base = gen::grid2d(15, 15);
+  EXPECT_EQ(assign_uniform_weights(base, 3), assign_uniform_weights(base, 3));
+  EXPECT_NE(assign_uniform_weights(base, 3), assign_uniform_weights(base, 4));
+}
+
+TEST(Weights, UnitWeights) {
+  const Graph g = assign_unit_weights(
+      assign_uniform_weights(gen::grid2d(5, 5), 1));
+  EXPECT_EQ(g.max_weight(), 1u);
+  EXPECT_EQ(g.min_weight(), 1u);
+}
+
+TEST(Weights, RejectsBadRange) {
+  const Graph g = gen::grid2d(3, 3);
+  EXPECT_THROW(assign_uniform_weights(g, 1, 0, 5), std::invalid_argument);
+  EXPECT_THROW(assign_uniform_weights(g, 1, 9, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,179 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "graph/types.hpp"
+
+namespace rs {
+namespace {
+
+Graph triangle() {
+  return build_graph(3, {{0, 1, 5}, {1, 2, 3}, {0, 2, 10}});
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = build_graph(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, VerticesWithoutEdges) {
+  const Graph g = build_graph(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, TriangleStructure) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // both arc directions
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.max_weight(), 10u);
+  EXPECT_EQ(g.min_weight(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, NeighborSpansMatchArcAccessors) {
+  const Graph g = triangle();
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    ASSERT_EQ(nbrs.size(), ws.size());
+    std::size_t idx = 0;
+    for (EdgeId e = g.first_arc(v); e < g.last_arc(v); ++e, ++idx) {
+      EXPECT_EQ(g.arc_target(e), nbrs[idx]);
+      EXPECT_EQ(g.arc_weight(e), ws[idx]);
+    }
+  }
+}
+
+TEST(Builder, SymmetrizeAddsReverseArcs) {
+  const Graph g = build_graph(2, {{0, 1, 7}});
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.arc_target(g.first_arc(1)), 0u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(1)), 7u);
+}
+
+TEST(Builder, NoSymmetrizeKeepsDirection) {
+  BuildOptions opts;
+  opts.symmetrize = false;
+  const Graph g = build_graph(2, {{0, 1, 7}}, opts);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Builder, DedupKeepsMinimumWeight) {
+  const Graph g = build_graph(2, {{0, 1, 9}, {0, 1, 4}, {1, 0, 6}});
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(0)), 4u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(1)), 4u);
+}
+
+TEST(Builder, SelfLoopsRemovedByDefault) {
+  const Graph g = build_graph(2, {{0, 0, 1}, {0, 1, 2}});
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Builder, SelfLoopsKeptWhenRequested) {
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  opts.symmetrize = false;
+  opts.dedup = false;
+  const Graph g = build_graph(2, {{0, 0, 1}, {0, 1, 2}}, opts);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(build_graph(2, {{0, 2, 1}}), std::invalid_argument);
+}
+
+TEST(Builder, AdjacencySortedByTarget) {
+  const Graph g = build_graph(4, {{0, 3, 1}, {0, 1, 1}, {0, 2, 1}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, WeightSortedAdjacency) {
+  const Graph g = build_graph(4, {{0, 1, 9}, {0, 2, 1}, {0, 3, 5}});
+  const Graph gw = g.with_weight_sorted_adjacency();
+  const auto ws = gw.neighbor_weights(0);
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ws.begin(), ws.end()));
+  // Same edge multiset.
+  EXPECT_EQ(gw.with_target_sorted_adjacency(), g.with_target_sorted_adjacency());
+}
+
+TEST(Graph, ToTriplesRoundTrip) {
+  const Graph g = triangle();
+  const Graph g2 = build_graph(3, g.to_triples());
+  EXPECT_EQ(g, g2.with_target_sorted_adjacency());
+}
+
+TEST(Graph, RejectsInconsistentCsr) {
+  EXPECT_THROW(Graph({0, 2}, {1}, {1}), std::invalid_argument);      // offsets vs arcs
+  EXPECT_THROW(Graph({0, 1}, {5}, {1}), std::invalid_argument);      // target range
+  EXPECT_THROW(Graph({0, 1}, {0}, {1, 2}), std::invalid_argument);   // weights size
+  EXPECT_THROW(Graph({1, 0}, {}, {}), std::invalid_argument);        // non-monotone
+}
+
+TEST(MergeEdges, AddsNewEdgesAndDedups) {
+  const Graph g = triangle();
+  const Graph merged = merge_edges(g, {{0, 1, 2}, {1, 2, 99}});
+  // (0,1) improved to weight 2; (1,2) keeps 3; no new pairs.
+  EXPECT_EQ(merged.num_undirected_edges(), 3u);
+  EXPECT_EQ(merged.arc_weight(merged.first_arc(0)), 2u);
+}
+
+TEST(MergeEdges, CountsNewPairs) {
+  const Graph g = build_graph(4, {{0, 1, 1}, {1, 2, 1}});
+  const Graph merged = merge_edges(g, {{0, 3, 5}});
+  EXPECT_EQ(merged.num_undirected_edges(), 3u);
+  EXPECT_EQ(merged.degree(3), 1u);
+}
+
+TEST(Stats, ConnectedComponents) {
+  const Graph g = build_graph(5, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}});
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Stats, LargestComponentExtraction) {
+  const Graph g = build_graph(6, {{0, 1, 2}, {1, 2, 3}, {3, 4, 1}});
+  std::vector<Vertex> map;
+  const Graph big = largest_component(g, &map);
+  EXPECT_EQ(big.num_vertices(), 3u);
+  EXPECT_EQ(big.num_undirected_edges(), 2u);
+  EXPECT_TRUE(is_connected(big));
+  EXPECT_EQ(map[5], kNoVertex);
+  EXPECT_NE(map[0], kNoVertex);
+}
+
+TEST(Stats, DegreeStats) {
+  const Graph g = build_graph(4, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0 / 4.0);
+}
+
+TEST(Stats, EccentricityAndDiameter) {
+  // Path 0-1-2-3: ecc(0)=3, diameter=3.
+  const Graph g = build_graph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  EXPECT_EQ(bfs_eccentricity(g, 0), 3u);
+  EXPECT_EQ(bfs_eccentricity(g, 1), 2u);
+  EXPECT_EQ(approx_diameter(g, 1), 3u);
+}
+
+}  // namespace
+}  // namespace rs

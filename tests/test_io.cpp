@@ -1,0 +1,117 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+
+namespace rs {
+namespace {
+
+TEST(Dimacs, ParsesWellFormedInput) {
+  std::istringstream in(
+      "c a comment\n"
+      "p sp 3 2\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n");
+  const Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(0)), 5u);
+}
+
+TEST(Dimacs, RoundTripPreservesGraph) {
+  const Graph g = assign_uniform_weights(gen::grid2d(12, 9), 5);
+  std::ostringstream out;
+  io::write_dimacs(g, out);
+  std::istringstream in(out.str());
+  const Graph g2 = io::read_dimacs(in);
+  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+}
+
+TEST(Dimacs, RejectsMissingHeader) {
+  std::istringstream in("a 1 2 5\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsOutOfRangeVertex) {
+  std::istringstream in("p sp 2 1\na 1 3 5\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsZeroBasedVertex) {
+  std::istringstream in("p sp 2 1\na 0 1 5\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnknownTag) {
+  std::istringstream in("p sp 2 1\nx 1 2 5\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, EmptyBodyIsValid) {
+  std::istringstream in("p sp 4 0\n");
+  const Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(EdgeList, ParsesWithAndWithoutWeights) {
+  std::istringstream in(
+      "# comment\n"
+      "% another\n"
+      "0 1 5\n"
+      "1 2\n");
+  const Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.arc_weight(g.first_arc(0)), 5u);
+  // Missing weight defaults to 1.
+  bool found = false;
+  for (EdgeId e = g.first_arc(1); e < g.last_arc(1); ++e) {
+    if (g.arc_target(e) == 2) {
+      EXPECT_EQ(g.arc_weight(e), 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EdgeList, HonorsVertexCountHint) {
+  std::istringstream in("0 1\n");
+  const Graph g = io::read_edge_list(in, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(EdgeList, RoundTrip) {
+  const Graph g = assign_uniform_weights(gen::road_network(10, 10, 2), 3);
+  std::ostringstream out;
+  io::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph g2 = io::read_edge_list(in, g.num_vertices());
+  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+}
+
+TEST(EdgeList, RejectsGarbageLine) {
+  std::istringstream in("zero one\n");
+  EXPECT_THROW(io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(File, MissingFileThrows) {
+  EXPECT_THROW(io::read_dimacs_file("/nonexistent/file.gr"), std::runtime_error);
+  EXPECT_THROW(io::read_edge_list_file("/nonexistent/file.txt"),
+               std::runtime_error);
+}
+
+TEST(File, WriteReadRoundTrip) {
+  const Graph g = assign_uniform_weights(gen::grid2d(6, 6), 8);
+  const std::string path = ::testing::TempDir() + "/rs_io_test.gr";
+  io::write_dimacs_file(g, path);
+  const Graph g2 = io::read_dimacs_file(path);
+  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,249 @@
+#include "parallel/primitives.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "parallel/rng.hpp"
+#include "parallel/write_min.hpp"
+
+namespace rs {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100'000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelReduce, SumMatchesSequential) {
+  const std::size_t n = 250'000;
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i * 7 + 1;
+  const std::uint64_t expect = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  const std::uint64_t got =
+      parallel_sum<std::uint64_t>(0, n, [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(ParallelReduce, MinFindsGlobalMinimum) {
+  const std::size_t n = 99'991;
+  SplitRng rng(3);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.get(0, i);
+  const std::uint64_t expect = *std::min_element(v.begin(), v.end());
+  EXPECT_EQ(parallel_min(std::size_t{0}, n, ~std::uint64_t{0},
+                         [&](std::size_t i) { return v[i]; }),
+            expect);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  EXPECT_EQ(parallel_sum<int>(10, 10, [](std::size_t) { return 1; }), 0);
+}
+
+class ScanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanTest, ExclusiveScanMatchesSequential) {
+  const std::size_t n = GetParam();
+  SplitRng rng(n);
+  std::vector<std::uint64_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = rng.bounded(1, i, 100);
+  std::vector<std::uint64_t> expect(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += in[i];
+  }
+  std::vector<std::uint64_t> out;
+  const std::uint64_t total = exclusive_scan(in, out);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanTest,
+                         ::testing::Values(0, 1, 2, 100, 4096, 100'000,
+                                           1'000'003));
+
+TEST(Scan, InPlaceAliasing) {
+  std::vector<std::uint64_t> v{3, 1, 4, 1, 5};
+  const std::uint64_t total = exclusive_scan(v, v);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Pack, KeepsPredicateOrder) {
+  const std::size_t n = 50'000;
+  std::vector<int> in(n);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = pack(in, [&](std::size_t i) { return in[i] % 3 == 0; });
+  ASSERT_FALSE(out.empty());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i] % 3, 0);
+    if (i > 0) EXPECT_LT(out[i - 1], out[i]);
+  }
+  EXPECT_EQ(out.size(), (n + 2) / 3);
+}
+
+TEST(PackIndex, MatchesManualFilter) {
+  const std::size_t n = 10'000;
+  const auto out = pack_index(n, [](std::size_t i) { return i % 7 == 1; });
+  std::vector<std::uint32_t> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 7 == 1) expect.push_back(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(out, expect);
+}
+
+class SortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortTest, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  SplitRng rng(n + 17);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.get(0, i);
+  std::vector<std::uint64_t> expect = v;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortTest,
+                         ::testing::Values(0, 1, 2, 1000, 16'384, 300'000));
+
+TEST(Sort, CustomComparator) {
+  std::vector<int> v{5, 3, 9, 1};
+  parallel_sort(v, std::greater<int>{});
+  EXPECT_EQ(v, (std::vector<int>{9, 5, 3, 1}));
+}
+
+TEST(WriteMin, LowersAndRejects) {
+  std::atomic<std::uint64_t> cell{100};
+  EXPECT_TRUE(write_min(cell, std::uint64_t{50}));
+  EXPECT_EQ(cell.load(), 50u);
+  EXPECT_FALSE(write_min(cell, std::uint64_t{50}));
+  EXPECT_FALSE(write_min(cell, std::uint64_t{70}));
+  EXPECT_EQ(cell.load(), 50u);
+}
+
+TEST(WriteMin, ConcurrentWritersConvergeToMinimum) {
+  std::atomic<std::uint64_t> cell{~std::uint64_t{0}};
+  std::atomic<int> successes{0};
+  const int writers = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        if (write_min(cell, std::uint64_t(t * 1000 + i))) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cell.load(), 0u);  // thread 0 iteration 0
+  // Each success strictly lowers the value, so successes are bounded by the
+  // number of distinct values and at least 1.
+  EXPECT_GE(successes.load(), 1);
+}
+
+TEST(WriteMax, RaisesOnly) {
+  std::atomic<std::uint32_t> cell{10};
+  EXPECT_TRUE(write_max(cell, 20u));
+  EXPECT_FALSE(write_max(cell, 15u));
+  EXPECT_EQ(cell.load(), 20u);
+}
+
+TEST(PackedMin, RoundTripsPriorityAndPayload) {
+  const std::uint64_t p = (1ull << 39) + 12345;
+  const std::uint32_t payload = (1u << 23) + 99;
+  const std::uint64_t packed = PackedMin::pack(p, payload);
+  EXPECT_EQ(PackedMin::priority(packed), p);
+  EXPECT_EQ(PackedMin::payload(packed), payload);
+}
+
+TEST(PackedMin, OrdersByPriorityFirst) {
+  EXPECT_LT(PackedMin::pack(1, 0xffffff), PackedMin::pack(2, 0));
+  EXPECT_LT(PackedMin::pack(5, 3), PackedMin::pack(5, 4));
+}
+
+TEST(SplitRng, DeterministicAndSeedSensitive) {
+  SplitRng a(42);
+  SplitRng b(42);
+  SplitRng c(43);
+  EXPECT_EQ(a.get(1, 2), b.get(1, 2));
+  EXPECT_NE(a.get(1, 2), c.get(1, 2));
+  EXPECT_NE(a.get(1, 2), a.get(1, 3));
+  EXPECT_NE(a.get(1, 2), a.get(2, 2));
+}
+
+TEST(SplitRng, BoundedStaysInRangeAndIsRoughlyUniform) {
+  SplitRng rng(7);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t v = rng.bounded(0, static_cast<std::uint64_t>(i), bound);
+    ASSERT_LT(v, bound);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, trials / 20);  // each bucket within 2x of fair share
+    EXPECT_LT(c, trials / 5);
+  }
+}
+
+TEST(SplitRng, UniformInUnitInterval) {
+  SplitRng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(0, static_cast<std::uint64_t>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Workers, SetAndRestore) {
+  const int before = num_workers();
+  set_num_workers(2);
+  EXPECT_EQ(num_workers(), 2);
+  set_num_workers(0);  // clamps to 1
+  EXPECT_EQ(num_workers(), 1);
+  set_num_workers(before);
+}
+
+TEST(Env, Int64FallbackAndParse) {
+  EXPECT_EQ(env_int64("RS_TEST_UNSET_VAR_XYZ", 17), 17);
+  ::setenv("RS_TEST_VAR_ABC", "123", 1);
+  EXPECT_EQ(env_int64("RS_TEST_VAR_ABC", 0), 123);
+  ::setenv("RS_TEST_VAR_ABC", "garbage", 1);
+  EXPECT_EQ(env_int64("RS_TEST_VAR_ABC", 5), 5);
+  ::unsetenv("RS_TEST_VAR_ABC");
+}
+
+TEST(Env, StringFallback) {
+  EXPECT_EQ(env_string("RS_TEST_UNSET_VAR_XYZ", "dflt"), "dflt");
+  ::setenv("RS_TEST_VAR_STR", "hello", 1);
+  EXPECT_EQ(env_string("RS_TEST_VAR_STR", "dflt"), "hello");
+  ::unsetenv("RS_TEST_VAR_STR");
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,222 @@
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/rng.hpp"
+#include "pq/binary_heap.hpp"
+#include "pq/bucket_queue.hpp"
+#include "pq/pairing_heap.hpp"
+
+namespace rs {
+namespace {
+
+// ---------------------------------------------------------------- IndexedHeap
+
+TEST(IndexedHeap, BasicInsertExtract) {
+  IndexedHeap<std::uint64_t> h(10);
+  EXPECT_TRUE(h.empty());
+  h.insert_or_decrease(3, 30);
+  h.insert_or_decrease(1, 10);
+  h.insert_or_decrease(2, 20);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.min().id, 1u);
+  EXPECT_EQ(h.extract_min().key, 10u);
+  EXPECT_EQ(h.extract_min().id, 2u);
+  EXPECT_EQ(h.extract_min().id, 3u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, DecreaseKeyMovesElementUp) {
+  IndexedHeap<std::uint64_t> h(10);
+  for (Vertex v = 0; v < 10; ++v) h.insert_or_decrease(v, 100 + v);
+  EXPECT_TRUE(h.insert_or_decrease(9, 1));
+  EXPECT_EQ(h.min().id, 9u);
+  EXPECT_EQ(h.key_of(9), 1u);
+}
+
+TEST(IndexedHeap, IncreaseKeyRejected) {
+  IndexedHeap<std::uint64_t> h(4);
+  h.insert_or_decrease(0, 5);
+  EXPECT_FALSE(h.insert_or_decrease(0, 7));
+  EXPECT_EQ(h.key_of(0), 5u);
+}
+
+TEST(IndexedHeap, RemoveArbitrary) {
+  IndexedHeap<std::uint64_t> h(8);
+  for (Vertex v = 0; v < 8; ++v) h.insert_or_decrease(v, v * 3);
+  h.remove(0);  // remove the min
+  h.remove(4);  // remove an interior element
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_FALSE(h.contains(4));
+  std::vector<Vertex> order;
+  while (!h.empty()) order.push_back(h.extract_min().id);
+  EXPECT_EQ(order, (std::vector<Vertex>{1, 2, 3, 5, 6, 7}));
+}
+
+TEST(IndexedHeap, ClearResetsMembership) {
+  IndexedHeap<std::uint64_t> h(4);
+  h.insert_or_decrease(2, 1);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+  h.insert_or_decrease(2, 9);
+  EXPECT_EQ(h.key_of(2), 9u);
+}
+
+class HeapRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeapRandomTest, MatchesReferenceHeapUnderMixedOps) {
+  const int seed = GetParam();
+  SplitRng rng(static_cast<std::uint64_t>(seed));
+  const Vertex n = 500;
+  IndexedHeap<std::uint64_t> h(n);
+  PairingHeap<std::uint64_t> p(n);
+  std::vector<std::uint64_t> best(n, ~std::uint64_t{0});
+
+  // Mixed insert/decrease workload, then full drain; both heaps must agree
+  // with the reference min tracking.
+  std::uint64_t op = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const Vertex v = static_cast<Vertex>(rng.bounded(0, op++, n));
+    const std::uint64_t key = rng.bounded(1, op++, 1'000'000);
+    if (key < best[v]) best[v] = key;
+    h.insert_or_decrease(v, key);
+    p.insert_or_decrease(v, key);
+    EXPECT_EQ(h.key_of(v), best[v]);
+    EXPECT_EQ(p.key_of(v), best[v]);
+  }
+  ASSERT_EQ(h.size(), p.size());
+  std::uint64_t last = 0;
+  while (!h.empty()) {
+    const auto eh = h.extract_min();
+    const auto ep = p.extract_min();
+    EXPECT_EQ(eh.key, ep.key);
+    EXPECT_GE(eh.key, last);  // nondecreasing extraction order
+    last = eh.key;
+    EXPECT_EQ(eh.key, best[eh.id]);
+  }
+  EXPECT_TRUE(p.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapRandomTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------- PairingHeap
+
+TEST(PairingHeap, BasicOrder) {
+  PairingHeap<std::uint64_t> h(5);
+  h.insert_or_decrease(0, 50);
+  h.insert_or_decrease(1, 10);
+  h.insert_or_decrease(2, 30);
+  EXPECT_EQ(h.min_id(), 1u);
+  EXPECT_EQ(h.min_key(), 10u);
+  EXPECT_EQ(h.extract_min().id, 1u);
+  EXPECT_EQ(h.extract_min().id, 2u);
+  EXPECT_EQ(h.extract_min().id, 0u);
+}
+
+TEST(PairingHeap, DecreaseKeyOnNonRoot) {
+  PairingHeap<std::uint64_t> h(6);
+  for (Vertex v = 0; v < 6; ++v) h.insert_or_decrease(v, 100 + v);
+  EXPECT_TRUE(h.insert_or_decrease(5, 1));
+  EXPECT_EQ(h.min_id(), 5u);
+  EXPECT_FALSE(h.insert_or_decrease(5, 2));  // raise rejected
+}
+
+TEST(PairingHeap, ReinsertAfterExtract) {
+  PairingHeap<std::uint64_t> h(3);
+  h.insert_or_decrease(0, 5);
+  h.extract_min();
+  EXPECT_FALSE(h.contains(0));
+  h.insert_or_decrease(0, 9);
+  EXPECT_TRUE(h.contains(0));
+  EXPECT_EQ(h.min_key(), 9u);
+}
+
+TEST(PairingHeap, ClearEmptiesEverything) {
+  PairingHeap<std::uint64_t> h(4);
+  h.insert_or_decrease(1, 1);
+  h.insert_or_decrease(2, 2);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(1));
+}
+
+// ---------------------------------------------------------------- BucketQueue
+
+TEST(BucketQueue, MonotoneExtraction) {
+  BucketQueue q(10, /*delta=*/5, /*max_edge_weight=*/100);
+  q.insert_or_decrease(0, 12);  // bucket 2
+  q.insert_or_decrease(1, 3);   // bucket 0
+  q.insert_or_decrease(2, 7);   // bucket 1
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_bucket(), 0u);
+  EXPECT_EQ(q.take_bucket(0), (std::vector<Vertex>{1}));
+  EXPECT_EQ(q.next_bucket(), 1u);
+  EXPECT_EQ(q.take_bucket(1), (std::vector<Vertex>{2}));
+  EXPECT_EQ(q.next_bucket(), 2u);
+  EXPECT_EQ(q.take_bucket(2), (std::vector<Vertex>{0}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, DecreaseMovesToEarlierBucket) {
+  BucketQueue q(4, 10, 100);
+  q.insert_or_decrease(0, 55);
+  q.insert_or_decrease(0, 15);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_bucket(), 1u);
+  EXPECT_EQ(q.take_bucket(1), (std::vector<Vertex>{0}));
+}
+
+TEST(BucketQueue, NeverMovesBackwards) {
+  BucketQueue q(4, 10, 100);
+  q.insert_or_decrease(0, 15);
+  q.insert_or_decrease(0, 55);  // larger: ignored
+  EXPECT_EQ(q.next_bucket(), 1u);
+  EXPECT_EQ(q.take_bucket(1).size(), 1u);
+}
+
+TEST(BucketQueue, KeysBelowCursorClampIntoCurrentBucket) {
+  BucketQueue q(4, 10, 100);
+  q.insert_or_decrease(0, 35);
+  EXPECT_EQ(q.next_bucket(), 3u);
+  // While processing bucket 3, a relaxation yields key 31 for vertex 1:
+  // same bucket. And key 5 would belong to a passed bucket; it clamps.
+  q.insert_or_decrease(1, 5);
+  EXPECT_EQ(q.next_bucket(), 3u);
+  auto got = q.take_bucket(3);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<Vertex>{0, 1}));
+}
+
+TEST(BucketQueue, RemoveDropsElement) {
+  BucketQueue q(4, 10, 100);
+  q.insert_or_decrease(0, 15);
+  q.insert_or_decrease(1, 15);
+  q.remove(0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.contains(0));
+  EXPECT_EQ(q.take_bucket(q.next_bucket()), (std::vector<Vertex>{1}));
+}
+
+TEST(BucketQueue, CyclicReuseAcrossManyBuckets) {
+  // Cycle through many more buckets than the array holds.
+  BucketQueue q(2, /*delta=*/1, /*max_edge_weight=*/4);
+  Dist key = 0;
+  for (int round = 0; round < 50; ++round) {
+    q.insert_or_decrease(0, key);
+    q.insert_or_decrease(1, key + 3);
+    const std::size_t b0 = q.next_bucket();
+    EXPECT_EQ(b0, static_cast<std::size_t>(key));
+    EXPECT_EQ(q.take_bucket(b0), (std::vector<Vertex>{0}));
+    const std::size_t b1 = q.next_bucket();
+    EXPECT_EQ(b1, static_cast<std::size_t>(key + 3));
+    EXPECT_EQ(q.take_bucket(b1), (std::vector<Vertex>{1}));
+    key += 3;  // strictly increasing: monotone usage
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace rs

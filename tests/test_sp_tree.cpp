@@ -1,0 +1,110 @@
+#include "core/sp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "core/radius_stepping.hpp"
+#include "graph/builder.hpp"
+#include "shortcut/ball_search.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+TEST(ParentsFromDistances, HandComputed) {
+  const Graph g = build_graph(4, {{0, 1, 5}, {0, 2, 9}, {1, 3, 1}, {2, 3, 2}});
+  const auto dist = dijkstra(g, 0);
+  const auto parent = parents_from_distances(g, dist);
+  EXPECT_EQ(parent[0], kNoVertex);
+  EXPECT_EQ(parent[1], 0u);
+  EXPECT_EQ(parent[3], 1u);
+  EXPECT_EQ(parent[2], 3u);  // 0-1-3-2 is shorter than 0-2
+  EXPECT_TRUE(validate_shortest_path_tree(g, dist, parent));
+}
+
+class SpTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpTreeTest, ParentsValidForEverySuiteGraph) {
+  for (const auto& [name, g] : test::weighted_suite(GetParam())) {
+    const auto dist = radius_stepping(g, 0, all_radii(g, 8));
+    const auto parent = parents_from_distances(g, dist);
+    EXPECT_TRUE(validate_shortest_path_tree(g, dist, parent)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpTreeTest, ::testing::Range(1, 4));
+
+TEST(ParentsFromDistances, UnreachableGetNoParent) {
+  const Graph g = build_graph(4, {{0, 1, 3}});
+  const auto dist = dijkstra(g, 0);
+  const auto parent = parents_from_distances(g, dist);
+  EXPECT_EQ(parent[2], kNoVertex);
+  EXPECT_EQ(parent[3], kNoVertex);
+  EXPECT_TRUE(validate_shortest_path_tree(g, dist, parent));
+}
+
+TEST(ParentsFromDistances, DeterministicTieBreak) {
+  // Two equal-length routes to vertex 3 via 1 and 2: parent must be the
+  // smaller id (1).
+  const Graph g = build_graph(4, {{0, 1, 5}, {0, 2, 5}, {1, 3, 5}, {2, 3, 5}});
+  const auto parent = parents_from_distances(g, dijkstra(g, 0));
+  EXPECT_EQ(parent[3], 1u);
+}
+
+TEST(ParentsFromDistances, RejectsSizeMismatch) {
+  const Graph g = build_graph(3, {{0, 1, 1}});
+  EXPECT_THROW(parents_from_distances(g, std::vector<Dist>(2, 0)),
+               std::invalid_argument);
+}
+
+TEST(ExtractPath, WalksToSource) {
+  const Graph g = build_graph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  const auto parent = parents_from_distances(g, dijkstra(g, 0));
+  EXPECT_EQ(extract_path(parent, 3), (std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_EQ(extract_path(parent, 0), (std::vector<Vertex>{0}));
+}
+
+TEST(ExtractPath, DetectsCycles) {
+  std::vector<Vertex> parent{1, 0};  // malformed: 0 <-> 1
+  EXPECT_THROW(extract_path(parent, 0), std::logic_error);
+}
+
+TEST(ValidateTree, RejectsWrongParent) {
+  const Graph g = build_graph(3, {{0, 1, 1}, {1, 2, 1}});
+  const auto dist = dijkstra(g, 0);
+  std::vector<Vertex> parent{kNoVertex, 0, 0};  // 2's parent should be 1
+  EXPECT_FALSE(validate_shortest_path_tree(g, dist, parent));
+}
+
+TEST(PathCost, MatchesReportedDistance) {
+  for (const auto& [name, g] : test::weighted_suite(5)) {
+    const auto dist = dijkstra(g, 0);
+    const auto parent = parents_from_distances(g, dist);
+    const Vertex target = g.num_vertices() - 1;
+    if (dist[target] == kInfDist) continue;
+    const auto path = extract_path(parent, target);
+    ASSERT_GE(path.size(), 1u) << name;
+    EXPECT_EQ(path.front(), 0u) << name;
+    EXPECT_EQ(path.back(), target) << name;
+    Dist total = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const Vertex u = path[i - 1];
+      const Vertex v = path[i];
+      Weight w = 0;
+      bool found = false;
+      for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+        if (g.arc_target(e) == v) {
+          w = g.arc_weight(e);
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << name;
+      total += w;
+    }
+    EXPECT_EQ(total, dist[target]) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rs

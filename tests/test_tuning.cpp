@@ -1,0 +1,80 @@
+#include "shortcut/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+TEST(EstimateAddedFactor, FullSampleMatchesExactPreprocessing) {
+  // Sampling every vertex removes the sampling error; only global-dedup
+  // optimism remains, so the estimate upper-bounds the exact count.
+  const Graph g = assign_uniform_weights(gen::grid2d(12, 12), 3, 1, 1000);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  opts.heuristic = ShortcutHeuristic::kDP;
+  opts.settle_ties = false;
+  const PreprocessResult exact = preprocess(g, opts);
+  const double est = estimate_added_factor(g, opts.rho, opts.k, opts.heuristic,
+                                           g.num_vertices());
+  EXPECT_GE(est, exact.added_factor * 0.999);
+  // On this graph the dedup gap is modest; the estimate should be in the
+  // same ballpark, not an order of magnitude off.
+  EXPECT_LE(est, exact.added_factor * 4 + 0.5);
+}
+
+TEST(EstimateAddedFactor, NoneHeuristicIsFree) {
+  const Graph g = gen::grid2d(8, 8);
+  EXPECT_EQ(estimate_added_factor(g, 16, 2, ShortcutHeuristic::kNone), 0.0);
+}
+
+TEST(EstimateAddedFactor, GrowsWithRho) {
+  const Graph g = assign_uniform_weights(gen::road_network(20, 20, 4), 5);
+  double prev = -1.0;
+  for (const Vertex rho : {Vertex{4}, Vertex{16}, Vertex{64}}) {
+    const double f =
+        estimate_added_factor(g, rho, 2, ShortcutHeuristic::kDP, 64);
+    EXPECT_GE(f, prev) << "rho=" << rho;
+    prev = f;
+  }
+}
+
+TEST(ChooseParameters, RespectsBudget) {
+  const Graph g = assign_uniform_weights(gen::road_network(24, 24, 7), 8);
+  const TuningAdvice advice = choose_parameters(g, /*budget_factor=*/1.0);
+  EXPECT_GE(advice.rho, 8u);
+  EXPECT_LE(advice.estimated_factor, 1.0);
+  // Spending the budget must actually stay within ~budget after exact
+  // preprocessing (estimates only over-count).
+  PreprocessOptions opts;
+  opts.rho = advice.rho;
+  opts.k = advice.k;
+  opts.heuristic = advice.heuristic;
+  const PreprocessResult pre = preprocess(g, opts);
+  EXPECT_LE(pre.added_factor, 1.05);
+}
+
+TEST(ChooseParameters, BiggerBudgetBiggerRho) {
+  const Graph g = assign_uniform_weights(gen::grid2d(24, 24), 9);
+  const TuningAdvice small = choose_parameters(g, 0.25);
+  const TuningAdvice large = choose_parameters(g, 4.0);
+  EXPECT_LE(small.rho, large.rho);
+  EXPECT_LE(small.estimated_factor, 0.25);
+}
+
+TEST(ChooseParameters, HubGraphsAffordHugeRho) {
+  // The paper's webgraph observation: DP adds almost nothing even at large
+  // rho, so the budget check should sail to the ladder cap.
+  const Graph g = gen::barabasi_albert(4000, 8, 3);
+  const TuningAdvice advice =
+      choose_parameters(g, 1.0, 3, ShortcutHeuristic::kDP, /*max_rho=*/256);
+  EXPECT_EQ(advice.rho, 256u);
+  EXPECT_LT(advice.estimated_factor, 0.2);
+}
+
+}  // namespace
+}  // namespace rs
