@@ -266,6 +266,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::printf("usage: sssp_cli <gen|stats|preprocess|query|run> ...\n");
+    return 0;
+  }
   const Args args(argc, argv, 2);
   try {
     if (cmd == "gen") return cmd_gen(args);

@@ -16,7 +16,10 @@ Graph build_graph(Vertex n, std::vector<EdgeTriple> triples,
     }
   }
   if (opts.remove_self_loops) {
-    std::erase_if(triples, [](const EdgeTriple& t) { return t.u == t.v; });
+    triples.erase(
+        std::remove_if(triples.begin(), triples.end(),
+                       [](const EdgeTriple& t) { return t.u == t.v; }),
+        triples.end());
   }
   if (opts.symmetrize) {
     const std::size_t m = triples.size();

@@ -168,7 +168,9 @@ Graph web_graph(Vertex n, Vertex core_deg, std::uint64_t seed,
   Graph core = barabasi_albert(core_n, core_deg, seed);
   std::vector<EdgeTriple> edges = core.to_triples();
   // to_triples holds both arc directions; keep one per undirected edge.
-  std::erase_if(edges, [](const EdgeTriple& t) { return t.u > t.v; });
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const EdgeTriple& t) { return t.u > t.v; }),
+              edges.end());
 
   // Degree-biased endpoint list for the periphery's attachment choices.
   std::vector<Vertex> endpoints;

@@ -3,7 +3,6 @@
 
 #include <cassert>
 #include <cstddef>
-#include <span>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -34,11 +33,11 @@ class Graph {
   Vertex arc_target(EdgeId e) const { return targets_[e]; }
   Weight arc_weight(EdgeId e) const { return weights_[e]; }
 
-  std::span<const Vertex> neighbors(Vertex v) const {
+  Span<Vertex> neighbors(Vertex v) const {
     return {targets_.data() + offsets_[v],
             static_cast<std::size_t>(degree(v))};
   }
-  std::span<const Weight> neighbor_weights(Vertex v) const {
+  Span<Weight> neighbor_weights(Vertex v) const {
     return {weights_.data() + offsets_[v],
             static_cast<std::size_t>(degree(v))};
   }
@@ -65,7 +64,11 @@ class Graph {
   /// All arcs as triples (u, v, w); order follows the CSR layout.
   std::vector<EdgeTriple> to_triples() const;
 
-  friend bool operator==(const Graph&, const Graph&) = default;
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.n_ == b.n_ && a.offsets_ == b.offsets_ &&
+           a.targets_ == b.targets_ && a.weights_ == b.weights_;
+  }
+  friend bool operator!=(const Graph& a, const Graph& b) { return !(a == b); }
 
  private:
   template <typename Cmp>

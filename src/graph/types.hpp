@@ -6,10 +6,33 @@
 // parallel relaxation a single CAS on a uint64_t.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
 namespace rs {
+
+/// Minimal C++17 stand-in for std::span<const T>: a non-owning view over a
+/// contiguous run of elements (adjacency lists into the CSR arrays).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 using Vertex = std::uint32_t;
 using Weight = std::uint32_t;
@@ -28,7 +51,12 @@ struct EdgeTriple {
   Vertex v = 0;
   Weight w = 1;
 
-  friend bool operator==(const EdgeTriple&, const EdgeTriple&) = default;
+  friend bool operator==(const EdgeTriple& a, const EdgeTriple& b) {
+    return a.u == b.u && a.v == b.v && a.w == b.w;
+  }
+  friend bool operator!=(const EdgeTriple& a, const EdgeTriple& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace rs

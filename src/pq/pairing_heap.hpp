@@ -92,6 +92,12 @@ class PairingHeap {
   };
 
   /// Links two roots, returning the smaller one.
+  // GCC 12's -Warray-bounds sees the kNull sentinel (0xffffffff) flow in as
+  // a constant on the never-taken root_ == kNull branch of callers and
+  // reports an out-of-bounds subscript; every call site guards against
+  // kNull, so the access cannot happen.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
   Vertex meld(Vertex a, Vertex b) {
     if (nodes_[b].key < nodes_[a].key) std::swap(a, b);
     // b becomes the leftmost child of a.
@@ -100,6 +106,7 @@ class PairingHeap {
     nodes_[a].child = b;
     return a;
   }
+#pragma GCC diagnostic pop
 
   /// Unlinks `id` from its parent's child list.
   void detach(Vertex id) {

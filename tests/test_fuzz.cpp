@@ -12,8 +12,10 @@
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 #include "graph/weights.hpp"
+#include "core/radii.hpp"
 #include "parallel/rng.hpp"
 #include "shortcut/shortcut.hpp"
+#include "test_util.hpp"
 
 namespace rs {
 namespace {
@@ -114,6 +116,39 @@ TEST_P(FuzzTest, EveryAlgorithmAgreesOnRandomPipelines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 32));
+
+// Regression sweep over the adversarial palette: directed graphs with
+// self-loops and parallel arcs kept in the CSR. The preprocessing machinery
+// assumes undirected inputs, so this sweeps the raw engines with
+// constructed radii (correct for any radii by Theorem 3.1) instead.
+class AdversarialFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialFuzzTest, EnginesExactOnDirectedSelfLoopMultigraphs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const auto& c : test::adversarial_suite(seed)) {
+    const Vertex n = c.graph.num_vertices();
+    const SplitRng rng(seed + 9000);
+    for (int s = 0; s < 3; ++s) {
+      const Vertex src =
+          static_cast<Vertex>(rng.bounded(1, static_cast<std::uint64_t>(s), n));
+      const auto ref = dijkstra(c.graph, src);
+      ASSERT_EQ(bellman_ford(c.graph, src), ref) << c.name << " src " << src;
+      ASSERT_EQ(bellman_ford_parallel(c.graph, src), ref)
+          << c.name << " src " << src;
+      ASSERT_EQ(delta_stepping(c.graph, src), ref) << c.name << " src " << src;
+      ASSERT_EQ(radius_stepping(c.graph, src, dijkstra_radii(n)), ref)
+          << c.name << " src " << src;
+      ASSERT_EQ(radius_stepping(c.graph, src, constant_radii(n, 33)), ref)
+          << c.name << " src " << src;
+      ASSERT_EQ(radius_stepping(c.graph, src, bellman_ford_radii(n)), ref)
+          << c.name << " src " << src;
+      ASSERT_EQ(radius_stepping_bst(c.graph, src, constant_radii(n, 33)), ref)
+          << c.name << " src " << src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialFuzzTest, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace rs

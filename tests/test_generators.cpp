@@ -1,5 +1,7 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "graph/stats.hpp"
@@ -174,6 +176,33 @@ TEST(Weights, UnitWeights) {
       assign_uniform_weights(gen::grid2d(5, 5), 1));
   EXPECT_EQ(g.max_weight(), 1u);
   EXPECT_EQ(g.min_weight(), 1u);
+}
+
+TEST(WebGraph, SimpleSymmetricAndConnected) {
+  // Regression for the core-edge dedup pass in web_graph (the one-per-
+  // undirected-edge filter): the output must stay simple — no self-loops,
+  // no parallel arcs — symmetric, and connected.
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const Graph g = gen::web_graph(500, 4, seed);
+    EXPECT_TRUE(is_connected(g)) << seed;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        EXPECT_NE(nbrs[i], v) << "self-loop at " << v << " seed " << seed;
+        if (i > 0) {
+          // Adjacency lists are target-sorted; equal neighbours adjacent.
+          EXPECT_NE(nbrs[i], nbrs[i - 1])
+              << "parallel arc at " << v << " seed " << seed;
+        }
+      }
+    }
+    // Symmetry: every arc has its reverse.
+    for (const EdgeTriple& t : g.to_triples()) {
+      const auto nbrs = g.neighbors(t.v);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), t.u) != nbrs.end())
+          << t.u << "->" << t.v << " seed " << seed;
+    }
+  }
 }
 
 TEST(Weights, RejectsBadRange) {

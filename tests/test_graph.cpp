@@ -167,6 +167,57 @@ TEST(Stats, DegreeStats) {
   EXPECT_DOUBLE_EQ(s.mean, 6.0 / 4.0);
 }
 
+TEST(Span, AdjacencyViewMatchesCsrArrays) {
+  // rs::Span is the C++17 replacement for the std::span the accessors used
+  // to return; pin its whole surface against the raw CSR arrays.
+  const Graph g = triangle();
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    ASSERT_EQ(nbrs.size(), static_cast<std::size_t>(g.degree(v)));
+    ASSERT_EQ(wts.size(), nbrs.size());
+    EXPECT_EQ(nbrs.data(), g.targets().data() + g.first_arc(v));
+    EXPECT_EQ(wts.data(), g.weights().data() + g.first_arc(v));
+    std::size_t i = 0;
+    for (const Vertex u : nbrs) {  // range-for via begin()/end()
+      EXPECT_EQ(u, nbrs[i]);
+      EXPECT_EQ(u, g.arc_target(g.first_arc(v) + i));
+      ++i;
+    }
+    EXPECT_EQ(i, nbrs.size());
+    if (!nbrs.empty()) {
+      EXPECT_EQ(nbrs.front(), nbrs[0]);
+      EXPECT_EQ(nbrs.back(), nbrs[nbrs.size() - 1]);
+    }
+  }
+  const Graph lonely = build_graph(1, {});
+  EXPECT_TRUE(lonely.neighbors(0).empty());
+  EXPECT_EQ(lonely.neighbors(0).size(), 0u);
+}
+
+TEST(Graph, EqualityComparesAllComponents) {
+  // operator== / != were defaulted (C++20) and are now hand-written; make
+  // sure every member participates.
+  const Graph a = triangle();
+  const Graph b = triangle();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+  const Graph different_weight = build_graph(3, {{0, 1, 6}, {1, 2, 3}, {0, 2, 10}});
+  EXPECT_TRUE(a != different_weight);
+  const Graph different_edge = build_graph(3, {{0, 1, 5}, {1, 2, 3}});
+  EXPECT_TRUE(a != different_edge);
+  const Graph different_n = build_graph(4, {{0, 1, 5}, {1, 2, 3}, {0, 2, 10}});
+  EXPECT_TRUE(a != different_n);
+}
+
+TEST(EdgeTriple, EqualityComparesAllFields) {
+  const EdgeTriple t{1, 2, 3};
+  EXPECT_TRUE(t == (EdgeTriple{1, 2, 3}));
+  EXPECT_TRUE(t != (EdgeTriple{9, 2, 3}));
+  EXPECT_TRUE(t != (EdgeTriple{1, 9, 3}));
+  EXPECT_TRUE(t != (EdgeTriple{1, 2, 9}));
+}
+
 TEST(Stats, EccentricityAndDiameter) {
   // Path 0-1-2-3: ecc(0)=3, diameter=3.
   const Graph g = build_graph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});

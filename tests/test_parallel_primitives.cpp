@@ -95,7 +95,9 @@ TEST(Pack, KeepsPredicateOrder) {
   ASSERT_FALSE(out.empty());
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i] % 3, 0);
-    if (i > 0) EXPECT_LT(out[i - 1], out[i]);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1], out[i]);
+    }
   }
   EXPECT_EQ(out.size(), (n + 2) / 3);
 }
@@ -236,6 +238,15 @@ TEST(Env, Int64FallbackAndParse) {
   ::setenv("RS_TEST_VAR_ABC", "garbage", 1);
   EXPECT_EQ(env_int64("RS_TEST_VAR_ABC", 5), 5);
   ::unsetenv("RS_TEST_VAR_ABC");
+}
+
+TEST(Env, EmptyValueFallsBack) {
+  // CI sets RS_THREADS="" for the default-thread matrix leg; an empty
+  // value must behave exactly like an unset variable.
+  ::setenv("RS_TEST_VAR_EMPTY", "", 1);
+  EXPECT_EQ(env_int64("RS_TEST_VAR_EMPTY", 31), 31);
+  EXPECT_EQ(env_string("RS_TEST_VAR_EMPTY", "dflt"), "dflt");
+  ::unsetenv("RS_TEST_VAR_EMPTY");
 }
 
 TEST(Env, StringFallback) {

@@ -104,6 +104,47 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HeapRandomTest, ::testing::Range(0, 8));
 
 // ---------------------------------------------------------------- PairingHeap
 
+TEST(PairingHeap, DeepMeldDetachStress) {
+  // Exercises the meld/detach/two-pass-merge machinery (the code GCC's
+  // -Warray-bounds false-positives on) with long decrease-key chains that
+  // force detaches from deep child lists, validated against a binary heap.
+  const Vertex n = 512;
+  PairingHeap<std::uint64_t> p(n);
+  IndexedHeap<std::uint64_t> ref(n);
+  SplitRng rng(4242);
+  // Keys are kept globally unique (low bits carry the vertex id) so both
+  // heaps extract identical (key, id) sequences — no tie ambiguity.
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint64_t key = (1 + rng.get(round, v) % 100'000) * n + v;
+      EXPECT_EQ(p.insert_or_decrease(v, key), ref.insert_or_decrease(v, key));
+    }
+    // Decrease random subsets repeatedly: detach from arbitrary depths.
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      const Vertex v = static_cast<Vertex>(rng.bounded(round + 10, i, n));
+      if (!p.contains(v)) continue;
+      const std::uint64_t q = p.key_of(v) / n;
+      if (q == 0) continue;
+      const std::uint64_t nk = (rng.get(round + 20, i) % q) * n + v;
+      EXPECT_EQ(p.insert_or_decrease(v, nk), ref.insert_or_decrease(v, nk));
+      ASSERT_EQ(p.key_of(v), ref.key_of(v));
+    }
+    // Drain half, interleaving fresh inserts to rebuild structure.
+    for (Vertex i = 0; i < n / 2; ++i) {
+      ASSERT_FALSE(p.empty());
+      const auto got = p.extract_min();
+      const auto want = ref.extract_min();
+      ASSERT_EQ(got.key, want.key);
+      ASSERT_EQ(got.id, want.id);
+      ASSERT_EQ(p.size(), ref.size());
+    }
+  }
+  while (!p.empty()) {
+    ASSERT_EQ(p.extract_min().key, ref.extract_min().key);
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
 TEST(PairingHeap, BasicOrder) {
   PairingHeap<std::uint64_t> h(5);
   h.insert_or_decrease(0, 50);

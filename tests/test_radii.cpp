@@ -1,0 +1,121 @@
+// Unit coverage for core/radii.hpp: the constructed radius functions and
+// the step-count regimes they put Radius-Stepping into (r ≡ 0 behaves like
+// Dijkstra, r ≡ "infinity" like a single-step Bellman-Ford).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/dijkstra.hpp"
+#include "core/radii.hpp"
+#include "core/radius_stepping.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+TEST(Radii, ConstantRadiiShapeAndValues) {
+  const auto r = constant_radii(5, 42);
+  ASSERT_EQ(r.size(), 5u);
+  for (const Dist v : r) EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(constant_radii(0, 7).empty());
+}
+
+TEST(Radii, DijkstraRadiiAreZero) {
+  const auto r = dijkstra_radii(8);
+  ASSERT_EQ(r.size(), 8u);
+  for (const Dist v : r) EXPECT_EQ(v, 0u);
+}
+
+TEST(Radii, BellmanFordRadiiAreLargeButOverflowSafe) {
+  const auto r = bellman_ford_radii(3);
+  ASSERT_EQ(r.size(), 3u);
+  for (const Dist v : r) {
+    EXPECT_GE(v, kInfDist / 2);
+    // Adding a radius to any unsettled tentative distance (< kInfDist by
+    // construction, and kInfDist itself for unreached) must not wrap.
+    EXPECT_LE(v, std::numeric_limits<Dist>::max() - kInfDist);
+  }
+}
+
+TEST(Radii, ZeroRadiiSettleOneDistanceClassPerStep) {
+  // With r ≡ 0, d_i is the minimum frontier distance, so each outer step
+  // settles exactly one distinct distance value: steps == #classes.
+  const Graph g =
+      assign_uniform_weights(gen::grid2d(9, 11), /*seed=*/3, 1, 50);
+  const auto ref = dijkstra(g, 0);
+  RunStats stats;
+  const auto d = radius_stepping(g, 0, dijkstra_radii(g.num_vertices()), &stats);
+  EXPECT_EQ(d, ref);
+
+  std::set<Dist> classes;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (ref[v] > 0 && ref[v] < kInfDist) classes.insert(ref[v]);
+  }
+  EXPECT_EQ(stats.steps, classes.size());
+  // One distance class per step also means exactly one substep each.
+  EXPECT_EQ(stats.max_substeps_in_step, 1u);
+}
+
+TEST(Radii, BellmanFordRadiiFinishInOneStep) {
+  const Graph g =
+      assign_uniform_weights(gen::road_network(10, 10, /*seed=*/5), 6, 1, 100);
+  const auto ref = dijkstra(g, 0);
+  RunStats stats;
+  const auto d =
+      radius_stepping(g, 0, bellman_ford_radii(g.num_vertices()), &stats);
+  EXPECT_EQ(d, ref);
+  EXPECT_EQ(stats.steps, 1u);
+  // The single step must converge via Bellman-Ford substeps; on a connected
+  // graph with >= 2 vertices that takes at least one substep.
+  EXPECT_GE(stats.substeps, 1u);
+  EXPECT_EQ(stats.settled, static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(Radii, ConstantDeltaRadiiAreCorrectForAnyDelta) {
+  // Theorem 3.1: Radius-Stepping is exact for ANY nonnegative radii. Sweep
+  // a few deltas spanning Dijkstra-like to Bellman-Ford-like behaviour.
+  const Graph g = assign_uniform_weights(gen::grid3d(4, 5, 4), 9, 1, 80);
+  const auto ref = dijkstra(g, 2);
+  RunStats prev_stats;
+  std::size_t prev_steps = 0;
+  for (const Dist delta : {Dist{0}, Dist{1}, Dist{10}, Dist{100}, Dist{10000}}) {
+    RunStats stats;
+    const auto d =
+        radius_stepping(g, 2, constant_radii(g.num_vertices(), delta), &stats);
+    EXPECT_EQ(d, ref) << "delta " << delta;
+    // Bigger radii can only coarsen the step partition.
+    if (prev_steps != 0) {
+      EXPECT_LE(stats.steps, prev_steps) << "delta " << delta;
+    }
+    prev_steps = stats.steps;
+    prev_stats = stats;
+  }
+  EXPECT_EQ(prev_stats.steps, 1u);  // delta = 10000 >= any distance here
+}
+
+TEST(Radii, RadiiSweepAgreesAcrossWeightedSuite) {
+  for (const auto& c : test::weighted_suite(/*seed=*/17)) {
+    const auto ref = dijkstra(c.graph, 0);
+    const Vertex n = c.graph.num_vertices();
+    EXPECT_EQ(radius_stepping(c.graph, 0, dijkstra_radii(n)), ref) << c.name;
+    EXPECT_EQ(radius_stepping(c.graph, 0, constant_radii(n, 37)), ref)
+        << c.name;
+    EXPECT_EQ(radius_stepping(c.graph, 0, bellman_ford_radii(n)), ref)
+        << c.name;
+  }
+}
+
+TEST(Radii, MismatchedRadiusSizeThrows) {
+  const Graph g = gen::chain(6);
+  EXPECT_THROW(radius_stepping(g, 0, constant_radii(5, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(radius_stepping(g, 0, constant_radii(7, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rs

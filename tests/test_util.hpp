@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/stats.hpp"
 #include "graph/weights.hpp"
+#include "parallel/rng.hpp"
 
 namespace rs::test {
 
@@ -36,6 +38,87 @@ inline std::vector<GraphCase> weighted_suite(std::uint64_t seed = 1) {
                  assign_uniform_weights(gen::bipartite_chain(8, 6), seed + 8, 1, 100)});
   out.push_back({"rgg", largest_component(
                             gen::random_geometric(400, 0.09, seed + 9, 100))});
+  return out;
+}
+
+/// Graphs that violate the paper's simple-undirected assumption: directed
+/// arcs, self-loops, and parallel arcs with differing weights, all KEPT in
+/// the CSR (build_graph's clean-ups disabled). Every SSSP engine must still
+/// be exact on these — self-loops can never relax (w >= 1) and only the
+/// lightest parallel arc can matter, but the code has to get there without
+/// the builder sanitizing the input for it.
+inline std::vector<GraphCase> adversarial_suite(std::uint64_t seed = 1) {
+  BuildOptions keep_everything;
+  keep_everything.symmetrize = false;
+  keep_everything.remove_self_loops = false;
+  keep_everything.dedup = false;
+
+  std::vector<GraphCase> out;
+
+  {  // Directed cycle + chords + a self-loop on every third vertex +
+     // duplicated chords with different weights.
+    const Vertex n = 120;
+    const SplitRng rng(seed);
+    std::vector<EdgeTriple> edges;
+    for (Vertex v = 0; v < n; ++v) {
+      edges.push_back({v, static_cast<Vertex>((v + 1) % n),
+                       static_cast<Weight>(1 + rng.bounded(0, v, 60))});
+      if (v % 3 == 0) {
+        edges.push_back({v, v, static_cast<Weight>(1 + rng.bounded(1, v, 9))});
+      }
+    }
+    for (EdgeId i = 0; i < 300; ++i) {
+      const Vertex u = static_cast<Vertex>(rng.bounded(2, i, n));
+      const Vertex v = static_cast<Vertex>(rng.bounded(3, i, n));
+      const auto w = static_cast<Weight>(1 + rng.bounded(4, i, 60));
+      edges.push_back({u, v, w});
+      if (i % 4 == 0) {  // parallel arc, usually with a different weight
+        edges.push_back({u, v, static_cast<Weight>(1 + rng.bounded(5, i, 60))});
+      }
+    }
+    out.push_back({"directed_messy",
+                   build_graph(n, std::move(edges), keep_everything)});
+  }
+
+  {  // Undirected-by-hand multigraph: both arc directions listed explicitly
+     // so parallel arcs and self-loops survive symmetrization-free building.
+    const Vertex n = 40;
+    const SplitRng rng(seed + 1);
+    std::vector<EdgeTriple> edges;
+    for (Vertex v = 0; v + 1 < n; ++v) {
+      const auto w = static_cast<Weight>(1 + rng.bounded(0, v, 30));
+      edges.push_back({v, static_cast<Vertex>(v + 1), w});
+      edges.push_back({static_cast<Vertex>(v + 1), v, w});
+      // A heavier parallel edge that must never win.
+      edges.push_back({v, static_cast<Vertex>(v + 1),
+                       static_cast<Weight>(w + 100)});
+      edges.push_back({static_cast<Vertex>(v + 1), v,
+                       static_cast<Weight>(w + 100)});
+    }
+    for (Vertex v = 0; v < n; v += 5) {
+      edges.push_back({v, v, 1});
+      edges.push_back({v, v, 7});
+    }
+    out.push_back({"multigraph_path",
+                   build_graph(n, std::move(edges), keep_everything)});
+  }
+
+  {  // Star where some spokes point inward only, some outward only, plus
+     // self-loops on the center — asymmetric reachability from vertex 0.
+    const Vertex n = 30;
+    std::vector<EdgeTriple> edges;
+    edges.push_back({0, 0, 3});
+    for (Vertex v = 1; v < n; ++v) {
+      if (v % 2 == 0) {
+        edges.push_back({0, v, static_cast<Weight>(v)});  // outward
+      } else {
+        edges.push_back({v, 0, static_cast<Weight>(v)});  // inward only
+      }
+    }
+    out.push_back({"half_directed_star",
+                   build_graph(n, std::move(edges), keep_everything)});
+  }
+
   return out;
 }
 
