@@ -1,6 +1,7 @@
 #include "exp_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
@@ -23,7 +24,8 @@ Scale scale_from_env() {
     s = Scale{"default", 160, 30'000, 160, 30, 12};
   }
   s.sources = static_cast<int>(env_int64("RS_SOURCES", s.sources));
-  const int threads = static_cast<int>(env_int64("RS_THREADS", 0));
+  // 0 = "leave the worker count alone"; invalid values warn and fall back.
+  const int threads = parse_worker_count(std::getenv("RS_THREADS"), 0);
   if (threads > 0) set_num_workers(threads);
   return s;
 }
@@ -70,6 +72,89 @@ std::vector<Vertex> sample_sources(const Graph& g, int count,
 
 Graph paper_weighted(const Graph& g, std::uint64_t seed) {
   return assign_uniform_weights(g, seed, 1, kPaperMaxWeight);
+}
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes, control characters.
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench, const Scale& s)
+    : bench_(std::move(bench)), scale_name_(s.name), sources_(s.sources) {}
+
+void BenchJson::add(const std::string& name, double value,
+                    const std::string& unit, Labels labels) {
+  metrics_.push_back({name, value, unit, std::move(labels)});
+}
+
+std::string BenchJson::write() const {
+  const std::string dir = env_string("RS_BENCH_DIR", ".");
+  const std::string path = dir + "/BENCH_" + bench_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[rs] warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(bench_).c_str());
+  std::fprintf(f, "  \"scale\": \"%s\",\n", json_escape(scale_name_).c_str());
+  std::fprintf(f, "  \"threads\": %d,\n", num_workers());
+  std::fprintf(f, "  \"sources\": %d,\n", sources_);
+  std::fprintf(f, "  \"metrics\": [");
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    std::fprintf(f, "%s\n    { \"name\": \"%s\", \"value\": %.10g, "
+                 "\"unit\": \"%s\"",
+                 i == 0 ? "" : ",", json_escape(m.name).c_str(), m.value,
+                 json_escape(m.unit).c_str());
+    if (!m.labels.empty()) {
+      std::fprintf(f, ", \"labels\": { ");
+      for (std::size_t l = 0; l < m.labels.size(); ++l) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", l == 0 ? "" : ", ",
+                     json_escape(m.labels[l].first).c_str(),
+                     json_escape(m.labels[l].second).c_str());
+      }
+      std::fprintf(f, " }");
+    }
+    std::fprintf(f, " }");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return path;
 }
 
 void print_header(const char* title, const Scale& s,

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -51,5 +52,44 @@ Graph paper_weighted(const Graph& g, std::uint64_t seed = 999);
 /// Prints the standard bench header (graph inventory + scale).
 void print_header(const char* title, const Scale& s,
                   const std::vector<NamedGraph>& graphs);
+
+/// Machine-readable bench results: collects named metrics and writes
+/// BENCH_<bench>.json into RS_BENCH_DIR (default: current directory) —
+/// the perf-trajectory format CI's bench-smoke job uploads as an artifact.
+/// Schema (see README "Perf tracking"):
+///
+///   { "schema_version": 1, "bench": "...", "scale": "ci", "threads": N,
+///     "sources": N,
+///     "metrics": [ { "name": "...", "value": 1.5, "unit": "...",
+///                    "labels": { "graph": "road", ... } }, ... ] }
+class BenchJson {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  BenchJson(std::string bench, const Scale& s);
+
+  /// Adds one metric row. `labels` carry free-form context (graph name,
+  /// rho, batch size, ...).
+  void add(const std::string& name, double value, const std::string& unit,
+           Labels labels = {});
+
+  /// Writes BENCH_<bench>.json; returns the path, or "" when the file
+  /// could not be written (missing directory is a warning, not an error —
+  /// benches still succeed without the perf trail).
+  std::string write() const;
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    Labels labels;
+  };
+
+  std::string bench_;
+  std::string scale_name_;
+  int sources_;
+  std::vector<Metric> metrics_;
+};
 
 }  // namespace rs::exp

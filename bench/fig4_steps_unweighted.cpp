@@ -10,5 +10,6 @@ int main() {
   print_header("Figure 4 — steps vs rho, unweighted (CSV)", s, graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/false);
   print_steps_csv(graphs, t);
+  emit_steps_json("fig4_steps_unweighted", graphs, t, s);
   return 0;
 }

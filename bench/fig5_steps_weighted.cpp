@@ -10,5 +10,6 @@ int main() {
   print_header("Figure 5 — steps vs rho, weighted (CSV)", s, graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
   print_steps_csv(graphs, t);
+  emit_steps_json("fig5_steps_weighted", graphs, t, s);
   return 0;
 }

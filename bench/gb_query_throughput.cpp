@@ -1,0 +1,141 @@
+// High-throughput query serving: queries/sec over a fixed source batch,
+// comparing three serving strategies on the same preprocessed engine:
+//
+//   seq    — per-source engine.query() loop with fresh per-query state:
+//            exactly the pre-batching query_batch() behaviour (baseline);
+//   ctx    — the same sequential loop over one warm QueryContext
+//            (zero-allocation hot path, intra-query parallelism);
+//   batch  — engine.query_batch(): the two-level scheduler (source-parallel
+//            across the per-worker context pool when the batch is at least
+//            as wide as the worker count).
+//
+// Self-timed on purpose (no Google Benchmark dependency despite the gb_
+// prefix) so it runs in every environment, including the CI bench-smoke
+// job, and always writes BENCH_gb_query_throughput.json for the perf
+// trajectory. Exits non-zero if any strategy disagrees with the baseline
+// distances, so it doubles as an end-to-end smoke test.
+//
+// Knobs: RS_SCALE / RS_THREADS as usual, RS_BATCH (sources per batch,
+// default 64), RS_REPS (timing repetitions, default 5), RS_RHO
+// (preprocessing rho, default 32).
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/query_context.hpp"
+#include "exp_common.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/timer.hpp"
+
+namespace {
+
+using namespace rs;
+
+/// Best-of-`reps` wall time of `run`, in seconds (min filters scheduler
+/// noise; each rep redoes the whole batch).
+double best_seconds(int reps, const std::function<void()>& run) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    run();
+    const double s = t.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const int batch = static_cast<int>(env_int64("RS_BATCH", 64));
+  const int reps = static_cast<int>(env_int64("RS_REPS", 5));
+  const auto rho = static_cast<Vertex>(env_int64("RS_RHO", 32));
+
+  const auto graphs = shortcut_suite(s);
+  print_header("Query throughput — serving strategies (queries/sec)", s,
+               graphs);
+  std::printf("batch=%d  reps=%d  rho=%u\n\n", batch, reps, rho);
+  std::printf("  %-8s  %10s  %10s  %10s  %8s\n", "graph", "seq_qps", "ctx_qps",
+              "batch_qps", "speedup");
+
+  BenchJson json("gb_query_throughput", s);
+  bool ok = true;
+
+  for (const auto& [name, g0] : graphs) {
+    const Graph g = paper_weighted(g0);
+    PreprocessOptions opts;
+    opts.rho = rho;
+    opts.k = 2;
+    const SsspEngine engine(g, opts);
+    const std::vector<Vertex> sources =
+        sample_sources(g, batch, /*seed=*/777);
+
+    // Baseline: the pre-batching query_batch — one fresh query per source.
+    std::vector<QueryResult> ref;
+    const auto run_seq = [&] {
+      ref.clear();
+      ref.reserve(sources.size());
+      for (const Vertex src : sources) ref.push_back(engine.query(src));
+    };
+
+    // One warm reused context, sequential batch loop.
+    QueryContext ctx(g.num_vertices());
+    std::vector<QueryResult> ctx_results;
+    const auto run_ctx = [&] {
+      ctx_results.clear();
+      ctx_results.reserve(sources.size());
+      for (const Vertex src : sources) {
+        ctx_results.push_back(engine.query(src, QueryEngine::kFlat, ctx));
+      }
+    };
+
+    // The two-level batch scheduler.
+    std::vector<QueryResult> batch_results;
+    const auto run_batch = [&] { batch_results = engine.query_batch(sources); };
+
+    // Warm-up (also materializes every result for the equality check).
+    run_seq();
+    run_ctx();
+    run_batch();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (ctx_results[i].dist != ref[i].dist ||
+          batch_results[i].dist != ref[i].dist) {
+        std::fprintf(stderr, "MISMATCH on %s source %u\n", name.c_str(),
+                     sources[i]);
+        ok = false;
+      }
+    }
+
+    const double t_seq = best_seconds(reps, run_seq);
+    const double t_ctx = best_seconds(reps, run_ctx);
+    const double t_batch = best_seconds(reps, run_batch);
+    const double b = static_cast<double>(batch);
+    const double seq_qps = b / t_seq;
+    const double ctx_qps = b / t_ctx;
+    const double batch_qps = b / t_batch;
+    const double speedup = batch_qps / seq_qps;
+
+    std::printf("  %-8s  %10.1f  %10.1f  %10.1f  %7.2fx\n", name.c_str(),
+                seq_qps, ctx_qps, batch_qps, speedup);
+
+    const BenchJson::Labels labels{{"graph", name},
+                                   {"batch", std::to_string(batch)},
+                                   {"rho", std::to_string(rho)}};
+    json.add("seq_qps", seq_qps, "queries/sec", labels);
+    json.add("ctx_qps", ctx_qps, "queries/sec", labels);
+    json.add("batch_qps", batch_qps, "queries/sec", labels);
+    json.add("batch_speedup", speedup, "x", labels);
+  }
+
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: strategy results diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -88,6 +88,23 @@ inline void print_steps_table(const std::vector<NamedGraph>& graphs,
   std::printf("\n");
 }
 
+/// Writes the steps table as BENCH_<bench>.json (one metric row per
+/// graph x rho) so CI can track the perf trajectory; prints the path.
+inline void emit_steps_json(const char* bench,
+                            const std::vector<NamedGraph>& graphs,
+                            const StepsTable& t, const Scale& s) {
+  BenchJson json(bench, s);
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    for (std::size_t ri = 0; ri < t.rhos.size(); ++ri) {
+      json.add("mean_steps", t.steps[gi][ri], "steps",
+               {{"graph", graphs[gi].name},
+                {"rho", std::to_string(t.rhos[ri])}});
+    }
+  }
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+}
+
 inline void print_steps_csv(const std::vector<NamedGraph>& graphs,
                             const StepsTable& t) {
   std::printf("rho");

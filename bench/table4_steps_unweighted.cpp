@@ -15,5 +15,6 @@ int main() {
   print_header("Table 4 — mean steps, unweighted (BFS setting)", s, graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/false);
   print_steps_table(graphs, t, /*as_reduction=*/false);
+  emit_steps_json("table4_steps_unweighted", graphs, t, s);
   return 0;
 }

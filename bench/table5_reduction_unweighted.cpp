@@ -14,5 +14,6 @@ int main() {
                graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/false);
   print_steps_table(graphs, t, /*as_reduction=*/true);
+  emit_steps_json("table5_reduction_unweighted", graphs, t, s);
   return 0;
 }

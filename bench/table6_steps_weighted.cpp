@@ -15,5 +15,6 @@ int main() {
   print_header("Table 6 — mean steps, weighted (w in [1, 10^4])", s, graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
   print_steps_table(graphs, t, /*as_reduction=*/false);
+  emit_steps_json("table6_steps_weighted", graphs, t, s);
   return 0;
 }

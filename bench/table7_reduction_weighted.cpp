@@ -13,5 +13,6 @@ int main() {
   print_header("Table 7 — step reduction vs rho=1, weighted", s, graphs);
   const StepsTable t = compute_steps_table(graphs, s, /*weighted=*/true);
   print_steps_table(graphs, t, /*as_reduction=*/true);
+  emit_steps_json("table7_reduction_weighted", graphs, t, s);
   return 0;
 }

@@ -9,36 +9,44 @@ namespace rs {
 
 std::vector<Dist> bellman_ford(const Graph& g, Vertex source,
                                std::size_t* rounds_out) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  bellman_ford(g, source, ctx, out, rounds_out);
+  return out;
+}
+
+void bellman_ford(const Graph& g, Vertex source, QueryContext& ctx,
+                  std::vector<Dist>& out, std::size_t* rounds_out) {
   const Vertex n = g.num_vertices();
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<std::uint8_t> in_frontier(n, 0);
-  std::vector<Vertex> frontier{source};
-  dist[source] = 0;
-  in_frontier[source] = 1;
+  ctx.begin_query(n);
+  std::atomic<Dist>* dist = ctx.dist();
+  std::vector<Vertex>& frontier = ctx.frontier();
+  std::vector<Vertex>& next = ctx.next();
+  frontier.clear();
+  frontier.push_back(source);
+  dist[source].store(0, std::memory_order_relaxed);
   std::size_t rounds = 0;
-  std::vector<Vertex> next;
   while (!frontier.empty()) {
     ++rounds;
+    // One claim epoch per round dedups membership in the next frontier —
+    // the in_frontier byte array of the allocating form, reset in O(1).
+    ctx.next_claim_epoch();
     next.clear();
-    for (const Vertex u : frontier) in_frontier[u] = 0;
     for (const Vertex u : frontier) {
-      const Dist du = dist[u];
+      const Dist du = dist[u].load(std::memory_order_relaxed);
       for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
         const Vertex v = g.arc_target(e);
         const Dist nd = du + g.arc_weight(e);
-        if (nd < dist[v]) {
-          dist[v] = nd;
-          if (!in_frontier[v]) {
-            in_frontier[v] = 1;
-            next.push_back(v);
-          }
+        if (nd < dist[v].load(std::memory_order_relaxed)) {
+          dist[v].store(nd, std::memory_order_relaxed);
+          if (ctx.claim_sequential(v)) next.push_back(v);
         }
       }
     }
     frontier.swap(next);
   }
   if (rounds_out != nullptr) *rounds_out = rounds;
-  return dist;
+  ctx.finish_query(n, out);
 }
 
 std::vector<Dist> bellman_ford_parallel(const Graph& g, Vertex source,

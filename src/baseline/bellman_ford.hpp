@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "graph/graph.hpp"
 
 namespace rs {
@@ -14,6 +15,11 @@ namespace rs {
 /// receives the number of relaxation rounds executed.
 std::vector<Dist> bellman_ford(const Graph& g, Vertex source,
                                std::size_t* rounds_out = nullptr);
+
+/// Context-reusing form of the sequential engine: identical results, all
+/// scratch state (distances, frontier lists, dedup flags) lives in `ctx`.
+void bellman_ford(const Graph& g, Vertex source, QueryContext& ctx,
+                  std::vector<Dist>& out, std::size_t* rounds_out = nullptr);
 
 /// Parallel round-synchronous Bellman–Ford: each round relaxes, in
 /// parallel with atomic WriteMin, every out-arc of the vertices whose

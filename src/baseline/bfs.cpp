@@ -8,27 +8,40 @@
 namespace rs {
 
 std::vector<Dist> bfs(const Graph& g, Vertex source, std::size_t* rounds_out) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  bfs(g, source, ctx, out, rounds_out);
+  return out;
+}
+
+void bfs(const Graph& g, Vertex source, QueryContext& ctx,
+         std::vector<Dist>& out, std::size_t* rounds_out) {
   const Vertex n = g.num_vertices();
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<Vertex> frontier{source};
-  std::vector<Vertex> next;
-  dist[source] = 0;
+  ctx.begin_query(n);
+  std::atomic<Dist>* dist = ctx.dist();
+  std::vector<Vertex>& frontier = ctx.frontier();
+  std::vector<Vertex>& next = ctx.next();
+  frontier.clear();
+  frontier.push_back(source);
+  dist[source].store(0, std::memory_order_relaxed);
   std::size_t rounds = 0;
   while (!frontier.empty()) {
     ++rounds;
     next.clear();
     for (const Vertex u : frontier) {
+      const Dist du = dist[u].load(std::memory_order_relaxed);
       for (const Vertex v : g.neighbors(u)) {
-        if (dist[v] == kInfDist) {
-          dist[v] = dist[u] + 1;
+        if (dist[v].load(std::memory_order_relaxed) == kInfDist) {
+          dist[v].store(du + 1, std::memory_order_relaxed);
           next.push_back(v);
         }
       }
     }
     frontier.swap(next);
   }
-  if (rounds_out != nullptr) *rounds_out = rounds - 1;  // last round is empty expansion
-  return dist;
+  // The last round is the empty expansion.
+  if (rounds_out != nullptr) *rounds_out = rounds - 1;
+  ctx.finish_query(n, out);
 }
 
 std::vector<Dist> bfs_direction_optimizing(const Graph& g, Vertex source,
@@ -91,7 +104,8 @@ std::vector<Dist> bfs_direction_optimizing(const Graph& g, Vertex source,
 #pragma omp for schedule(dynamic, 64)
         for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
              ++i) {
-          for (const Vertex v : g.neighbors(frontier[static_cast<std::size_t>(i)])) {
+          const Vertex u = frontier[static_cast<std::size_t>(i)];
+          for (const Vertex v : g.neighbors(u)) {
             if (claimed[v].exchange(1, std::memory_order_relaxed) == 0) {
               mine.push_back(v);
             }

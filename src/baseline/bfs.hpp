@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "graph/graph.hpp"
 
 namespace rs {
@@ -14,6 +15,10 @@ namespace rs {
 /// `rounds_out` receives the number of levels (= eccentricity of source).
 std::vector<Dist> bfs(const Graph& g, Vertex source,
                       std::size_t* rounds_out = nullptr);
+
+/// Context-reusing form: identical results, scratch state in `ctx`.
+void bfs(const Graph& g, Vertex source, QueryContext& ctx,
+         std::vector<Dist>& out, std::size_t* rounds_out = nullptr);
 
 /// Level-synchronous parallel BFS: each level expands the frontier in
 /// parallel, claiming vertices with a CAS.

@@ -12,13 +12,23 @@ namespace {
 
 /// Lazy cyclic bucket array: duplicates allowed, staleness checked on pop
 /// against the authoritative distance array. Live keys stay within L of the
-/// cursor, so ceil(L/delta)+3 cyclic slots suffice.
+/// cursor, so ceil(L/delta)+3 cyclic slots suffice. Slot storage is
+/// borrowed from the QueryContext so a warm context re-serves queries
+/// without reallocating it.
 class LazyBuckets {
  public:
-  LazyBuckets(Dist delta, Dist max_edge_weight)
+  /// Cyclic slots needed for edge weights up to `max_edge_weight`: live
+  /// keys stay within L of the cursor. Single source of truth for both
+  /// the constructor and the caller sizing the borrowed storage.
+  static std::size_t slot_count(Dist delta, Dist max_edge_weight) {
+    return static_cast<std::size_t>(max_edge_weight / delta) + 3;
+  }
+
+  LazyBuckets(Dist delta, Dist max_edge_weight,
+              std::vector<std::vector<Vertex>>& slots)
       : delta_(delta),
-        num_slots_(static_cast<std::size_t>(max_edge_weight / delta) + 3),
-        slots_(num_slots_) {}
+        num_slots_(slot_count(delta, max_edge_weight)),
+        slots_(slots) {}
 
   void push(Vertex v, Dist key) {
     const std::size_t b = std::max<std::size_t>(
@@ -37,26 +47,28 @@ class LazyBuckets {
     return cursor_;
   }
 
-  std::vector<Vertex> take(std::size_t b) {
+  /// Drains slot `b` into `out` in O(1): the buffers swap roles, so both
+  /// capacities keep circulating between the slot and the caller's list.
+  void take(std::size_t b, std::vector<Vertex>& out) {
     std::vector<Vertex>& src = slots_[b % num_slots_];
-    std::vector<Vertex> out;
     out.swap(src);
+    src.clear();
     count_ -= out.size();
-    return out;
   }
 
  private:
   Dist delta_;
   std::size_t num_slots_;
-  std::vector<std::vector<Vertex>> slots_;
+  std::vector<std::vector<Vertex>>& slots_;
   std::size_t cursor_ = 0;
   std::size_t count_ = 0;
 };
 
 }  // namespace
 
-std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
-                                 DeltaSteppingStats* stats) {
+void delta_stepping(const Graph& g, Vertex source, QueryContext& ctx,
+                    std::vector<Dist>& out, Dist delta,
+                    DeltaSteppingStats* stats) {
   const Vertex n = g.num_vertices();
   const Dist max_w = g.max_weight();
   if (delta == 0) {
@@ -64,43 +76,61 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
     delta = std::max<Dist>(1, max_w / dmax);
   }
 
-  std::vector<std::atomic<Dist>> dist(n);
-  parallel_for(0, n, [&](std::size_t i) {
-    dist[i].store(kInfDist, std::memory_order_relaxed);
-  });
+  ctx.begin_query(n);
+  std::atomic<Dist>* dist = ctx.dist();
   dist[source].store(0, std::memory_order_relaxed);
 
   // Arc partition: light (w <= delta) relaxed iteratively inside a bucket,
   // heavy (w > delta) relaxed once when the bucket settles.
-  LazyBuckets buckets(delta, max_w);
+  LazyBuckets buckets(
+      delta, max_w,
+      ctx.bucket_slots(LazyBuckets::slot_count(delta, max_w)));
   buckets.push(source, 0);
 
   DeltaSteppingStats local_stats;
-  std::vector<std::uint8_t> settled_in_bucket(n, 0);
-  std::vector<Vertex> settled_list;
+  std::vector<Vertex>& settled_list = ctx.active();
+  std::vector<Vertex>& frontier = ctx.frontier();
+  std::vector<Vertex>& taken = ctx.updated();
+  std::vector<Vertex>& reenter = ctx.scratch();
 
   // Collected improvements of one phase: (vertex, new distance) pairs
   // gathered per thread, applied to the bucket structure sequentially.
-  const int nw = num_workers();
-  std::vector<std::vector<std::pair<Vertex, Dist>>> found(
-      static_cast<std::size_t>(nw));
+  const int nw = ctx.sequential() ? 1 : num_workers();
+  auto& found = ctx.pair_buckets(nw);
 
-  auto relax_frontier = [&](const std::vector<Vertex>& frontier, bool light) {
+  auto relax_frontier = [&](const std::vector<Vertex>& front, bool light) {
     for (auto& f : found) f.clear();
-#pragma omp parallel num_threads(nw)
-    {
-      auto& mine = found[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
-           ++i) {
-        const Vertex u = frontier[static_cast<std::size_t>(i)];
+    if (nw == 1) {
+      auto& mine = found[0];
+      for (const Vertex u : front) {
         const Dist du = dist[u].load(std::memory_order_relaxed);
         for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
           const Weight w = g.arc_weight(e);
           if (light ? (w > delta) : (w <= delta)) continue;
           const Vertex v = g.arc_target(e);
           const Dist nd = du + w;
-          if (write_min(dist[v], nd)) mine.push_back({v, nd});
+          if (nd < dist[v].load(std::memory_order_relaxed)) {
+            dist[v].store(nd, std::memory_order_relaxed);
+            mine.push_back({v, nd});
+          }
+        }
+      }
+    } else {
+#pragma omp parallel num_threads(nw)
+      {
+        auto& mine = found[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(front.size());
+             ++i) {
+          const Vertex u = front[static_cast<std::size_t>(i)];
+          const Dist du = dist[u].load(std::memory_order_relaxed);
+          for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+            const Weight w = g.arc_weight(e);
+            if (light ? (w > delta) : (w <= delta)) continue;
+            const Vertex v = g.arc_target(e);
+            const Dist nd = du + w;
+            if (write_min(dist[v], nd)) mine.push_back({v, nd});
+          }
         }
       }
     }
@@ -110,7 +140,7 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
   };
 
   auto flush_found = [&](std::size_t current_bucket,
-                         std::vector<Vertex>* reenter) {
+                         std::vector<Vertex>* reenter_out) {
     for (const auto& f : found) {
       for (const auto& [v, nd] : f) {
         // Only the final distance matters; stale pairs are filtered by the
@@ -119,11 +149,11 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
         const Dist dv = dist[v].load(std::memory_order_relaxed);
         if (dv != nd) continue;  // superseded within the phase
         const std::size_t b = static_cast<std::size_t>(dv / delta);
-        if (reenter != nullptr && b <= current_bucket) {
+        if (reenter_out != nullptr && b <= current_bucket) {
           // Fresh vertices get settled by the caller; already-settled ones
           // whose distance improved re-run their light edges (Meyer-Sanders
           // re-inserts them into the current bucket).
-          reenter->push_back(v);
+          reenter_out->push_back(v);
         } else {
           buckets.push(v, dv);
         }
@@ -135,13 +165,16 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
     const std::size_t b = buckets.next_bucket();
     ++local_stats.buckets_processed;
     settled_list.clear();
+    // One claim epoch per bucket: "settled in this bucket" dedup flags,
+    // reset in O(1) instead of unmarking the settled list.
+    ctx.next_claim_epoch();
 
-    std::vector<Vertex> frontier;
-    for (const Vertex v : buckets.take(b)) {
+    buckets.take(b, taken);
+    frontier.clear();
+    for (const Vertex v : taken) {
       const Dist dv = dist[v].load(std::memory_order_relaxed);
       if (static_cast<std::size_t>(dv / delta) != b) continue;  // stale
-      if (settled_in_bucket[v]) continue;                       // duplicate
-      settled_in_bucket[v] = 1;
+      if (!ctx.claim_sequential(v)) continue;                   // duplicate
       settled_list.push_back(v);
       frontier.push_back(v);
     }
@@ -150,12 +183,11 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
     while (!frontier.empty()) {
       ++local_stats.phases;
       relax_frontier(frontier, /*light=*/true);
-      std::vector<Vertex> reenter;
+      reenter.clear();
       flush_found(b, &reenter);
       frontier.clear();
       for (const Vertex v : reenter) {
-        if (!settled_in_bucket[v]) {
-          settled_in_bucket[v] = 1;
+        if (ctx.claim_sequential(v)) {
           settled_list.push_back(v);
           frontier.push_back(v);
         }
@@ -176,14 +208,17 @@ std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
       relax_frontier(settled_list, /*light=*/false);
       flush_found(b, nullptr);
     }
-    for (const Vertex v : settled_list) settled_in_bucket[v] = 0;
   }
 
   if (stats != nullptr) *stats = local_stats;
-  std::vector<Dist> out(n);
-  parallel_for(0, n, [&](std::size_t i) {
-    out[i] = dist[i].load(std::memory_order_relaxed);
-  });
+  ctx.finish_query(n, out);
+}
+
+std::vector<Dist> delta_stepping(const Graph& g, Vertex source, Dist delta,
+                                 DeltaSteppingStats* stats) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  delta_stepping(g, source, ctx, out, delta, stats);
   return out;
 }
 

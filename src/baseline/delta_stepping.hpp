@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "graph/graph.hpp"
 
 namespace rs {
@@ -23,5 +24,12 @@ struct DeltaSteppingStats {
 std::vector<Dist> delta_stepping(const Graph& g, Vertex source,
                                  Dist delta = 0,
                                  DeltaSteppingStats* stats = nullptr);
+
+/// Context-reusing form: identical results; distances, bucket slots,
+/// frontier lists, and per-phase collection buffers all live in `ctx`.
+/// Honors ctx.sequential() (single-threaded phases, no OpenMP regions).
+void delta_stepping(const Graph& g, Vertex source, QueryContext& ctx,
+                    std::vector<Dist>& out, Dist delta = 0,
+                    DeltaSteppingStats* stats = nullptr);
 
 }  // namespace rs

@@ -1,6 +1,7 @@
 #include "baseline/dijkstra.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "pq/binary_heap.hpp"
 #include "pq/pairing_heap.hpp"
@@ -8,23 +9,32 @@
 namespace rs {
 
 std::vector<Dist> dijkstra(const Graph& g, Vertex source) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  dijkstra(g, source, ctx, out);
+  return out;
+}
+
+void dijkstra(const Graph& g, Vertex source, QueryContext& ctx,
+              std::vector<Dist>& out) {
   const Vertex n = g.num_vertices();
-  std::vector<Dist> dist(n, kInfDist);
-  IndexedHeap<Dist> heap(n);
-  dist[source] = 0;
+  ctx.begin_query(n);
+  std::atomic<Dist>* dist = ctx.dist();
+  IndexedHeap<Dist>& heap = ctx.heap();
+  dist[source].store(0, std::memory_order_relaxed);
   heap.insert_or_decrease(source, 0);
   while (!heap.empty()) {
     const auto [d, u] = heap.extract_min();
     for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
       const Vertex v = g.arc_target(e);
       const Dist nd = d + g.arc_weight(e);
-      if (nd < dist[v]) {
-        dist[v] = nd;
+      if (nd < dist[v].load(std::memory_order_relaxed)) {
+        dist[v].store(nd, std::memory_order_relaxed);
         heap.insert_or_decrease(v, nd);
       }
     }
   }
-  return dist;
+  ctx.finish_query(n, out);
 }
 
 std::vector<Dist> dijkstra_pairing(const Graph& g, Vertex source) {

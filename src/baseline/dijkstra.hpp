@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "graph/graph.hpp"
 
 namespace rs {
@@ -12,6 +13,12 @@ namespace rs {
 /// Shortest-path distances from `source` (kInfDist when unreachable).
 /// Indexed 4-ary heap; O((n + m) log n).
 std::vector<Dist> dijkstra(const Graph& g, Vertex source);
+
+/// Context-reusing form: identical results; the distance array and the
+/// heap live in `ctx`, so a warm context serves queries with zero heap
+/// allocations in the engine.
+void dijkstra(const Graph& g, Vertex source, QueryContext& ctx,
+              std::vector<Dist>& out);
 
 /// Same, with a pairing heap (O(1) amortized decrease-key — the
 /// Fibonacci-heap cost profile the paper's analysis assumes).

@@ -3,10 +3,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <omp.h>
+
 #include "core/radius_stepping.hpp"
 #include "core/rs_bst.hpp"
 #include "core/rs_unweighted.hpp"
 #include "core/sp_tree.hpp"
+#include "parallel/primitives.hpp"
 
 namespace rs {
 
@@ -21,35 +24,133 @@ SsspEngine::SsspEngine(Graph original, PreprocessResult pre)
   }
 }
 
-QueryResult SsspEngine::query(Vertex source, QueryEngine engine) const {
-  QueryResult out;
+SsspEngine::SsspEngine(const SsspEngine& other)
+    : original_(other.original_), pre_(other.pre_) {}
+
+SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
+  if (this != &other) {
+    original_ = other.original_;
+    pre_ = other.pre_;
+    batch_pool_ = std::make_unique<BatchPool>();
+  }
+  return *this;
+}
+
+void SsspEngine::check_engine(QueryEngine engine) const {
+  if (engine == QueryEngine::kUnweighted &&
+      (pre_.added_edges != 0 || pre_.graph.max_weight() != 1)) {
+    throw std::invalid_argument(
+        "SsspEngine: unweighted engine needs a unit-weight graph with no "
+        "shortcut edges (use ShortcutHeuristic::kNone)");
+  }
+}
+
+void SsspEngine::run_query(Vertex source, QueryEngine engine,
+                           QueryContext* ctx, QueryResult& out) const {
   out.source = source;
   switch (engine) {
     case QueryEngine::kFlat:
-      out.dist = radius_stepping(pre_.graph, source, pre_.radius, &out.stats);
+      if (ctx != nullptr) {
+        radius_stepping(pre_.graph, source, pre_.radius, *ctx, out.dist,
+                        &out.stats);
+      } else {
+        out.dist = radius_stepping(pre_.graph, source, pre_.radius, &out.stats);
+      }
       break;
     case QueryEngine::kBst:
       out.dist =
           radius_stepping_bst(pre_.graph, source, pre_.radius, &out.stats);
       break;
     case QueryEngine::kUnweighted:
-      if (pre_.added_edges != 0 || pre_.graph.max_weight() != 1) {
-        throw std::invalid_argument(
-            "SsspEngine: unweighted engine needs a unit-weight graph with no "
-            "shortcut edges (use ShortcutHeuristic::kNone)");
+      if (ctx != nullptr) {
+        radius_stepping_unweighted(pre_.graph, source, pre_.radius, *ctx,
+                                   out.dist, &out.stats);
+      } else {
+        out.dist = radius_stepping_unweighted(pre_.graph, source, pre_.radius,
+                                              &out.stats);
       }
-      out.dist = radius_stepping_unweighted(pre_.graph, source, pre_.radius,
-                                            &out.stats);
       break;
   }
+}
+
+QueryResult SsspEngine::query(Vertex source, QueryEngine engine) const {
+  check_engine(engine);
+  QueryResult out;
+  run_query(source, engine, nullptr, out);
+  return out;
+}
+
+QueryResult SsspEngine::query(Vertex source, QueryEngine engine,
+                              QueryContext& ctx) const {
+  check_engine(engine);
+  QueryResult out;
+  run_query(source, engine,
+            engine == QueryEngine::kBst ? nullptr : &ctx, out);
   return out;
 }
 
 std::vector<QueryResult> SsspEngine::query_batch(
     const std::vector<Vertex>& sources, QueryEngine engine) const {
-  std::vector<QueryResult> out;
-  out.reserve(sources.size());
-  for (const Vertex s : sources) out.push_back(query(s, engine));
+  const std::size_t batch = sources.size();
+  std::vector<QueryResult> out(batch);
+  if (batch == 0) return out;
+
+  // Validate everything up front: nothing may throw inside the parallel
+  // region below.
+  check_engine(engine);
+  const Vertex n = pre_.graph.num_vertices();
+  for (const Vertex s : sources) {
+    if (s >= n) throw std::invalid_argument("query_batch: bad source");
+  }
+
+  if (engine == QueryEngine::kBst) {
+    // No context path for the treap substrate yet: plain sequential loop,
+    // each query free to use intra-query parallelism.
+    for (std::size_t i = 0; i < batch; ++i) {
+      run_query(sources[i], engine, nullptr, out[i]);
+    }
+    return out;
+  }
+
+  // Take the engine's warm context pool if it is free; concurrent batches
+  // (or a moved-from engine) fall back to a batch-local pool rather than
+  // sharing state.
+  std::unique_lock<std::mutex> lock;
+  if (batch_pool_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(batch_pool_->mutex, std::try_to_lock);
+  }
+  WorkerPool<QueryContext> local_pool;
+  WorkerPool<QueryContext>& pool =
+      lock.owns_lock() ? batch_pool_->pool : local_pool;
+
+  const int nw = num_workers();
+  if (nw > 1 && batch >= static_cast<std::size_t>(nw)) {
+    // Source-parallel: one strictly sequential query per worker. Dynamic
+    // schedule — per-source cost varies with eccentricity.
+    pool.ensure(static_cast<std::size_t>(nw));
+    for (int w = 0; w < nw; ++w) {
+      pool.at(static_cast<std::size_t>(w)).set_sequential(true);
+    }
+#pragma omp parallel for schedule(dynamic, 1) num_threads(nw)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch); ++i) {
+      QueryContext& ctx =
+          pool.at(static_cast<std::size_t>(omp_get_thread_num()));
+      run_query(sources[static_cast<std::size_t>(i)], engine, &ctx,
+                out[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+  // Batch narrower than the worker count (or one worker): sequential batch
+  // loop over one reused context. With several workers each query keeps
+  // intra-query parallelism; with one worker the sequential engine twin
+  // skips atomics and OpenMP entirely.
+  pool.ensure(1);
+  QueryContext& ctx = pool.at(0);
+  ctx.set_sequential(nw <= 1);
+  for (std::size_t i = 0; i < batch; ++i) {
+    run_query(sources[i], engine, &ctx, out[i]);
+  }
   return out;
 }
 

@@ -5,12 +5,23 @@
 //   SsspEngine engine(graph, {.rho = 64, .k = 3});
 //   auto q = engine.query(source);
 //   auto hop_route = engine.path(q, target);
+//
+// Serving hot path: query() with a caller-owned QueryContext answers with
+// zero engine allocations once the context is warm, and query_batch() runs
+// the multi-source regime preprocessing is amortized over (§5.4) with
+// two-level parallelism — source-parallel across a per-worker context pool
+// when the batch is at least as wide as the worker count, intra-query
+// parallelism otherwise.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
+#include "parallel/context_pool.hpp"
 #include "shortcut/shortcut.hpp"
 
 namespace rs {
@@ -39,11 +50,34 @@ class SsspEngine {
   /// Wraps an existing preprocessing result (e.g. loaded from disk).
   SsspEngine(Graph original, PreprocessResult pre);
 
-  /// Distances from `source` (plus run statistics).
-  QueryResult query(Vertex source, QueryEngine engine = QueryEngine::kFlat) const;
+  // Copies share nothing: each engine gets its own (cold) context pool.
+  // Moves transfer the warm pool with the engine.
+  SsspEngine(const SsspEngine& other);
+  SsspEngine& operator=(const SsspEngine& other);
+  SsspEngine(SsspEngine&&) = default;
+  SsspEngine& operator=(SsspEngine&&) = default;
+
+  /// Distances from `source` (plus run statistics). Allocates fresh
+  /// per-query state; use the QueryContext overload on the serving path.
+  QueryResult query(Vertex source,
+                    QueryEngine engine = QueryEngine::kFlat) const;
+
+  /// Same, over a caller-owned reusable context: after the first query the
+  /// engine hot path performs no heap allocations (the returned
+  /// QueryResult::dist is the one unavoidable output allocation).
+  /// kBst has no context path yet and falls back to fresh state.
+  QueryResult query(Vertex source, QueryEngine engine,
+                    QueryContext& ctx) const;
 
   /// One query per source (the multi-source regime preprocessing is
-  /// amortized over, §5.4). Results are returned in input order.
+  /// amortized over, §5.4). Results are returned in input order and are
+  /// identical to per-source query() calls.
+  ///
+  /// Scheduling: with W workers and B sources, B >= W runs source-parallel
+  /// (one strictly sequential query per worker, contexts from an internal
+  /// per-worker pool); B < W keeps the batch loop sequential and lets each
+  /// query use intra-query parallelism. Thread-safe: concurrent batches on
+  /// one engine fall back to a batch-local context pool.
   std::vector<QueryResult> query_batch(
       const std::vector<Vertex>& sources,
       QueryEngine engine = QueryEngine::kFlat) const;
@@ -57,8 +91,29 @@ class SsspEngine {
   const PreprocessResult& preprocessing() const { return pre_; }
 
  private:
+  /// Engine dispatch into `out` (source/dist/stats filled). `ctx` may be
+  /// null (fresh state). Validation must have happened already — this is
+  /// the noexcept-in-practice body run inside parallel regions.
+  void run_query(Vertex source, QueryEngine engine, QueryContext* ctx,
+                 QueryResult& out) const;
+
+  /// Throws if `engine` cannot run on this preprocessing (kUnweighted on a
+  /// weighted/shortcutted graph).
+  void check_engine(QueryEngine engine) const;
+
   Graph original_;
   PreprocessResult pre_;
+
+  // Reusable per-worker contexts for query_batch, boxed so the engine
+  // stays movable despite the mutex. The first batch to arrive takes the
+  // warm pool; concurrent batches use a batch-local one (correctness over
+  // warmth). Never null except in a moved-from engine, which query_batch
+  // tolerates by falling back to the local pool.
+  struct BatchPool {
+    std::mutex mutex;
+    WorkerPool<QueryContext> pool;
+  };
+  std::unique_ptr<BatchPool> batch_pool_ = std::make_unique<BatchPool>();
 };
 
 }  // namespace rs

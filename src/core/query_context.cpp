@@ -1,0 +1,69 @@
+#include "core/query_context.hpp"
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+void QueryContext::reserve(Vertex n) {
+  if (n <= n_) return;
+  // Atomics are neither copyable nor movable, so growth reconstructs the
+  // atomic arrays; this is the warm-up path, never the per-query path.
+  dist_ = std::vector<std::atomic<Dist>>(n);
+  for (Vertex v = 0; v < n; ++v) {
+    dist_[v].store(kInfDist, std::memory_order_relaxed);
+  }
+  claim_ = std::vector<std::atomic<std::uint64_t>>(n);
+  for (Vertex v = 0; v < n; ++v) {
+    claim_[v].store(0, std::memory_order_relaxed);
+  }
+  settled_gen_.resize(n, 0);
+  mark_gen_.resize(n, 0);
+  heap_.reserve(n);
+  n_ = n;
+}
+
+void QueryContext::finish_query(Vertex n, std::vector<Dist>& out) {
+  out.resize(n);
+  Dist* out_data = out.data();
+  std::atomic<Dist>* dist = dist_.data();
+  if (sequential_) {
+    for (Vertex v = 0; v < n; ++v) {
+      out_data[v] = dist[v].load(std::memory_order_relaxed);
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    }
+  } else {
+    parallel_for(0, n, [&](std::size_t v) {
+      out_data[v] = dist[v].load(std::memory_order_relaxed);
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    });
+  }
+}
+
+std::vector<std::vector<Vertex>>& QueryContext::buckets(int workers) {
+  const auto w = static_cast<std::size_t>(workers < 1 ? 1 : workers);
+  if (buckets_.size() < w) buckets_.resize(w);
+  for (std::size_t i = 0; i < w; ++i) buckets_[i].clear();
+  return buckets_;
+}
+
+std::vector<std::vector<std::pair<Vertex, Dist>>>& QueryContext::pair_buckets(
+    int workers) {
+  const auto w = static_cast<std::size_t>(workers < 1 ? 1 : workers);
+  if (pair_buckets_.size() < w) pair_buckets_.resize(w);
+  for (std::size_t i = 0; i < w; ++i) pair_buckets_[i].clear();
+  return pair_buckets_;
+}
+
+std::vector<std::vector<Vertex>>& QueryContext::bucket_slots(
+    std::size_t count) {
+  if (bucket_slots_.size() < count) bucket_slots_.resize(count);
+  for (auto& slot : bucket_slots_) slot.clear();
+  return bucket_slots_;
+}
+
+IndexedHeap<Dist>& QueryContext::heap() {
+  heap_.clear();
+  return heap_;
+}
+
+}  // namespace rs

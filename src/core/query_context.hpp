@@ -1,0 +1,156 @@
+// QueryContext: reusable per-query scratch state for the serving hot path.
+//
+// Every SSSP engine needs the same O(n) working set — a tentative-distance
+// array, visited/claim flags, frontier lists, per-worker collection
+// buckets, a priority queue. Allocating and zeroing that per query is what
+// caps throughput in the multi-source regime the preprocessing cost is
+// amortized over (§5.4). A QueryContext owns all of it once:
+//
+//  * buffers are sized on first use (warm-up) and never shrink, so a warm
+//    context answers queries with zero heap allocations in the engine;
+//  * the visited and claim arrays are generation-stamped — starting a new
+//    query is a counter bump, not an O(n) memset;
+//  * the distance array keeps the invariant "all entries kInfDist between
+//    queries"; its reset is fused into the mandatory output copy, so no
+//    separate O(n) initialization pass runs per query.
+//
+// A context is single-owner state: one query at a time, but the query
+// running on it may use intra-query parallelism (the default) or run
+// strictly sequentially (set_sequential(true)) — the mode the batch
+// scheduler uses when it runs one query per worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "pq/binary_heap.hpp"
+
+namespace rs {
+
+class QueryContext {
+ public:
+  QueryContext() = default;
+  explicit QueryContext(Vertex n) { reserve(n); }
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+  QueryContext(QueryContext&&) = default;
+  QueryContext& operator=(QueryContext&&) = default;
+
+  /// Grows every per-vertex buffer to cover `n` vertices. All allocation
+  /// happens here; engines only ever read/write in [0, n).
+  void reserve(Vertex n);
+
+  /// Largest vertex count this context is warmed up for.
+  Vertex capacity() const { return n_; }
+
+  /// True when the engines must not open parallel regions on this context
+  /// (it is owned by one worker of an outer source-parallel batch).
+  bool sequential() const { return sequential_; }
+  void set_sequential(bool sequential) { sequential_ = sequential; }
+
+  /// Starts a query over `n` vertices: grows buffers if needed and bumps
+  /// the visited generation (O(1)). The distance array is already all
+  /// kInfDist — finish_query() restored the invariant.
+  void begin_query(Vertex n) {
+    reserve(n);
+    ++query_gen_;
+  }
+
+  /// Copies distances of [0, n) into `out` and restores the all-infinite
+  /// invariant in the same pass. Every begin_query() must be paired with
+  /// exactly one finish_query().
+  void finish_query(Vertex n, std::vector<Dist>& out);
+
+  // --- tentative distances -------------------------------------------------
+  // Shared by parallel engines (CAS WriteMin) and sequential ones (relaxed
+  // load/store, no CAS); a relaxed atomic costs the same as a plain word on
+  // the sequential path.
+  std::atomic<Dist>* dist() { return dist_.data(); }
+
+  // --- visited flags (single-writer, sequential sections only) -------------
+  bool is_settled(Vertex v) const { return settled_gen_[v] == query_gen_; }
+  void mark_settled(Vertex v) { settled_gen_[v] = query_gen_; }
+
+  // --- claim flags (first claimer per epoch wins) --------------------------
+  // An epoch is one dedup scope: a Bellman-Ford substep, a BFS level, a
+  // Delta-stepping bucket. Bumping the epoch invalidates every claim in
+  // O(1); the counter is monotone across queries so stale stamps can never
+  // collide.
+  void next_claim_epoch() { ++claim_epoch_; }
+  /// Atomic claim for parallel relaxations: exactly one caller per epoch
+  /// gets `true` for a given vertex.
+  bool claim(Vertex v) {
+    return claim_[v].exchange(claim_epoch_, std::memory_order_relaxed) !=
+           claim_epoch_;
+  }
+  /// Same contract without the atomic RMW; only valid in sequential mode.
+  bool claim_sequential(Vertex v) {
+    if (claim_[v].load(std::memory_order_relaxed) == claim_epoch_) return false;
+    claim_[v].store(claim_epoch_, std::memory_order_relaxed);
+    return true;
+  }
+
+  // --- mark flags (single-writer list dedup) -------------------------------
+  // A second, non-atomic epoch-stamp family for deduplicating list
+  // membership in sequential sections (frontier rebuilds), independent of
+  // the claim epochs the relaxation substeps burn through.
+  void next_mark_epoch() { ++mark_epoch_; }
+  /// True the first time `v` is marked in the current mark epoch.
+  bool mark(Vertex v) {
+    if (mark_gen_[v] == mark_epoch_) return false;
+    mark_gen_[v] = mark_epoch_;
+    return true;
+  }
+
+  // --- reusable vertex lists ----------------------------------------------
+  // Distinct roles so engines can hold several live lists at once; all keep
+  // their capacity across queries.
+  std::vector<Vertex>& frontier() { return frontier_; }
+  std::vector<Vertex>& next() { return next_; }
+  std::vector<Vertex>& active() { return active_; }
+  std::vector<Vertex>& updated() { return updated_; }
+  std::vector<Vertex>& scratch() { return scratch_; }
+
+  /// Per-worker collection buckets; returns at least `workers` empty
+  /// buckets (buckets [0, workers) are cleared, capacities kept).
+  std::vector<std::vector<Vertex>>& buckets(int workers);
+
+  /// Per-worker (vertex, distance) pair buckets (Delta-stepping phases).
+  std::vector<std::vector<std::pair<Vertex, Dist>>>& pair_buckets(int workers);
+
+  /// Cyclic bucket slot storage (Delta-stepping); at least `count` slots,
+  /// all empty, capacities kept.
+  std::vector<std::vector<Vertex>>& bucket_slots(std::size_t count);
+
+  /// Indexed heap sized to capacity() (Dijkstra). Cleared on hand-out.
+  IndexedHeap<Dist>& heap();
+
+ private:
+  Vertex n_ = 0;
+  bool sequential_ = false;
+
+  std::uint64_t query_gen_ = 0;
+  std::uint64_t claim_epoch_ = 0;
+  std::uint64_t mark_epoch_ = 0;
+
+  std::vector<std::atomic<Dist>> dist_;       // invariant: all kInfDist
+  std::vector<std::uint64_t> settled_gen_;    // == query_gen_ => settled
+  std::vector<std::uint64_t> mark_gen_;       // == mark_epoch_ => marked
+  std::vector<std::atomic<std::uint64_t>> claim_;  // == claim_epoch_ => claimed
+
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_;
+  std::vector<Vertex> active_;
+  std::vector<Vertex> updated_;
+  std::vector<Vertex> scratch_;
+  std::vector<std::vector<Vertex>> buckets_;
+  std::vector<std::vector<std::pair<Vertex, Dist>>> pair_buckets_;
+  std::vector<std::vector<Vertex>> bucket_slots_;
+  IndexedHeap<Dist> heap_{0};
+};
+
+}  // namespace rs

@@ -13,85 +13,70 @@ namespace rs {
 
 namespace {
 
-/// Thread-bucketed collection of vertices updated in one substep. A vertex
-/// is recorded once no matter how many relaxations hit it (claim flag).
-class UpdateCollector {
- public:
-  explicit UpdateCollector(Vertex n)
-      : claimed_(n), buckets_(static_cast<std::size_t>(num_workers())) {
-    parallel_for(0, n, [&](std::size_t i) {
-      claimed_[i].store(0, std::memory_order_relaxed);
-    });
-  }
+/// Algorithm 1 over a QueryContext. `Par` selects the substrate: parallel
+/// edge-maps with atomic WriteMin, or the strictly sequential twin the
+/// batch scheduler runs one-per-worker (plain loads/stores, no CAS, no
+/// OpenMP regions — it must be nestable inside an outer parallel region).
+/// Both produce identical distances and an identical step sequence: by the
+/// end of a step every vertex settled in it has relaxed its out-arcs with
+/// its final value, so step-boundary distances — and with them the
+/// frontier, d_i, steps, and settled counts — are schedule-independent.
+/// Substep counts are NOT: relaxations read neighbor distances live
+/// (chaotic relaxation), so how fast a step converges internally depends
+/// on processing order. Only Theorem 3.2's k+2 upper bound is invariant.
+template <bool Par>
+void radius_stepping_run(const Graph& g, Vertex source,
+                         const std::vector<Dist>& radius, QueryContext& ctx,
+                         RunStats& local) {
+  std::atomic<Dist>* dist = ctx.dist();
+  const auto load = [&](Vertex v) {
+    return dist[v].load(std::memory_order_relaxed);
+  };
+  // Sequential relaxation: same contract as write_min without the RMW.
+  const auto relax_seq = [&](Vertex v, Dist nd) {
+    if (nd >= dist[v].load(std::memory_order_relaxed)) return false;
+    dist[v].store(nd, std::memory_order_relaxed);
+    return true;
+  };
 
-  /// Call from inside a parallel region.
-  void record(Vertex v) {
-    if (claimed_[v].exchange(1, std::memory_order_relaxed) == 0) {
-      buckets_[static_cast<std::size_t>(omp_get_thread_num())].push_back(v);
-    }
-  }
-
-  /// Drains all buckets into one list and resets the claim flags.
-  std::vector<Vertex> take() {
-    std::size_t total = 0;
-    for (const auto& b : buckets_) total += b.size();
-    std::vector<Vertex> out;
-    out.reserve(total);
-    for (auto& b : buckets_) {
-      out.insert(out.end(), b.begin(), b.end());
-      b.clear();
-    }
-    for (const Vertex v : out) {
-      claimed_[v].store(0, std::memory_order_relaxed);
-    }
-    return out;
-  }
-
- private:
-  std::vector<std::atomic<std::uint8_t>> claimed_;
-  std::vector<std::vector<Vertex>> buckets_;
-};
-
-}  // namespace
-
-std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
-                                  const std::vector<Dist>& radius,
-                                  RunStats* stats) {
-  const Vertex n = g.num_vertices();
-  if (radius.size() != n) {
-    throw std::invalid_argument("radius_stepping: radius size mismatch");
-  }
-  if (source >= n) {
-    throw std::invalid_argument("radius_stepping: bad source");
-  }
-
-  std::vector<std::atomic<Dist>> dist(n);
-  parallel_for(0, n, [&](std::size_t i) {
-    dist[i].store(kInfDist, std::memory_order_relaxed);
-  });
-  std::vector<std::uint8_t> settled(n, 0);
-
-  RunStats local;
   dist[source].store(0, std::memory_order_relaxed);
-  settled[source] = 1;
+  ctx.mark_settled(source);
   local.settled = 1;
 
   // Frontier: unsettled vertices with finite tentative distance. Seeded by
-  // relaxing the source (Line 2 of Algorithm 1).
-  std::vector<Vertex> frontier;
+  // relaxing the source (Line 2 of Algorithm 1). Membership is deduplicated
+  // with mark stamps under one epoch for the whole query: a vertex only
+  // ever leaves the frontier by settling, which is final (Theorem 3.1), so
+  // "has ever been a frontier candidate" is exactly "must not re-enter".
+  // The frontier is a set; no order matters to the step sequence, so it is
+  // never sorted.
+  std::vector<Vertex>& frontier = ctx.frontier();
+  frontier.clear();
+  ctx.next_mark_epoch();
   for (EdgeId e = g.first_arc(source); e < g.last_arc(source); ++e) {
     const Vertex v = g.arc_target(e);
     if (v == source) continue;
-    if (write_min(dist[v], static_cast<Dist>(g.arc_weight(e)))) {
-      ++local.relaxations;
-    }
-    if (!settled[v]) frontier.push_back(v);
+    const auto w = static_cast<Dist>(g.arc_weight(e));
+    const bool lowered = Par ? write_min(dist[v], w) : relax_seq(v, w);
+    if (lowered) ++local.relaxations;
+    if (!ctx.is_settled(v) && ctx.mark(v)) frontier.push_back(v);
   }
-  std::sort(frontier.begin(), frontier.end());
-  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+  // Min over the CURRENT frontier of delta(v) + r(v), maintained across
+  // steps: distances cannot change between a rebuild and the next step's
+  // Line 4, so the sequential path folds the min into the rebuild pass.
+  Dist pending_di = kInfDist;
+  if constexpr (!Par) {
+    for (const Vertex v : frontier) {
+      pending_di = std::min(pending_di, load(v) + radius[v]);
+    }
+  }
 
-  UpdateCollector collector(n);
-  const int nw = num_workers();
+  const int nw = Par ? num_workers() : 1;
+  std::vector<std::vector<Vertex>>& buckets = ctx.buckets(nw);
+  std::vector<Vertex>& active = ctx.active();
+  std::vector<Vertex>& updated = ctx.updated();
+  std::vector<Vertex>& newly_frontier = ctx.scratch();
+  std::vector<Vertex>& next = ctx.next();
 
   // Round distance of the previous step (d_{i-1}). Vertices with
   // delta <= prev_di are exactly S_{i-1} (Theorem 3.1): final, safe to skip
@@ -102,65 +87,109 @@ std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
     ++local.steps;
 
     // Line 4: d_i = min over the frontier of delta(v) + r(v).
-    const Dist di = parallel_min(
-        std::size_t{0}, frontier.size(), kInfDist, [&](std::size_t i) {
-          const Vertex v = frontier[i];
-          return dist[v].load(std::memory_order_relaxed) + radius[v];
-        });
+    Dist di;
+    if constexpr (Par) {
+      di = parallel_min(std::size_t{0}, frontier.size(), kInfDist,
+                        [&](std::size_t i) {
+                          const Vertex v = frontier[i];
+                          return load(v) + radius[v];
+                        });
+    } else {
+      di = pending_di;
+    }
 
     // First substep's active set: every unsettled vertex with delta <= d_i.
-    std::vector<Vertex> active;
-    for (const Vertex v : frontier) {
-      if (dist[v].load(std::memory_order_relaxed) <= di) active.push_back(v);
-    }
     // Vertices inside d_i are settled the moment they appear; mark now so
     // relaxations skip them as targets-for-activation bookkeeping.
-    for (const Vertex v : active) settled[v] = 1;
+    active.clear();
+    for (const Vertex v : frontier) {
+      if (load(v) <= di) {
+        active.push_back(v);
+        ctx.mark_settled(v);
+      }
+    }
     local.settled += active.size();
     local.max_active = std::max(local.max_active, active.size());
 
     // Lines 5-9: Bellman-Ford substeps until no delta(v) <= d_i changes.
     std::size_t substeps_this_step = 0;
     std::size_t relaxed_this_step = 0;
-    std::vector<Vertex> newly_frontier;
+    newly_frontier.clear();
     while (!active.empty()) {
       ++substeps_this_step;
-      std::atomic<std::size_t> relax_count{0};
+      // One claim epoch per substep: each updated vertex is collected once
+      // no matter how many relaxations hit it.
+      ctx.next_claim_epoch();
+      if constexpr (Par) {
+        std::atomic<std::size_t> relax_count{0};
 #pragma omp parallel num_threads(nw)
-      {
-        std::size_t my_relax = 0;
+        {
+          std::size_t my_relax = 0;
+          auto& mine =
+              buckets[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 64)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
-             ++i) {
-          const Vertex u = active[static_cast<std::size_t>(i)];
-          const Dist du = dist[u].load(std::memory_order_relaxed);
+          for (std::int64_t i = 0;
+               i < static_cast<std::int64_t>(active.size()); ++i) {
+            const Vertex u = active[static_cast<std::size_t>(i)];
+            const Dist du = load(u);
+            for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+              const Vertex v = g.arc_target(e);
+              // Line 7 relaxes targets outside S_{i-1} only; vertices
+              // settled in *this* step may still improve while the annulus
+              // converges, so they stay relaxable.
+              if (load(v) <= prev_di) continue;
+              if (write_min(dist[v], du + g.arc_weight(e))) {
+                ++my_relax;
+                if (ctx.claim(v)) mine.push_back(v);
+              }
+            }
+          }
+          relax_count.fetch_add(my_relax, std::memory_order_relaxed);
+        }
+        relaxed_this_step += relax_count.load(std::memory_order_relaxed);
+      } else {
+        auto& mine = buckets[0];
+        for (const Vertex u : active) {
+          const Dist du = load(u);
           for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
             const Vertex v = g.arc_target(e);
-            // Line 7 relaxes targets outside S_{i-1} only; vertices settled
-            // in *this* step may still improve while the annulus converges,
-            // so they stay relaxable.
-            if (dist[v].load(std::memory_order_relaxed) <= prev_di) continue;
-            if (write_min(dist[v], du + g.arc_weight(e))) {
-              ++my_relax;
-              collector.record(v);
+            // Single load serves both the S_{i-1} skip and the relax test.
+            const Dist dv = load(v);
+            if (dv <= prev_di) continue;
+            const Dist nd = du + g.arc_weight(e);
+            if (nd < dv) {
+              dist[v].store(nd, std::memory_order_relaxed);
+              ++relaxed_this_step;
+              if (ctx.claim_sequential(v)) mine.push_back(v);
             }
           }
         }
-        relax_count.fetch_add(my_relax, std::memory_order_relaxed);
       }
-      relaxed_this_step += relax_count.load(std::memory_order_relaxed);
 
-      // Partition this substep's updated vertices: inside d_i -> active for
-      // the next substep (and settled); beyond d_i -> frontier candidates.
+      // Drain this substep's updated vertices, then partition: inside d_i
+      // -> active for the next substep (and settled); beyond d_i ->
+      // frontier candidates. Sequential mode partitions straight out of the
+      // single bucket; parallel mode concatenates the worker buckets first.
+      if constexpr (Par) {
+        updated.clear();
+        for (int t = 0; t < nw; ++t) {
+          auto& b = buckets[static_cast<std::size_t>(t)];
+          updated.insert(updated.end(), b.begin(), b.end());
+          b.clear();
+        }
+      } else {
+        updated.swap(buckets[0]);
+        buckets[0].clear();
+      }
       active.clear();
-      for (const Vertex v : collector.take()) {
-        if (dist[v].load(std::memory_order_relaxed) <= di) {
+      for (const Vertex v : updated) {
+        if (load(v) <= di) {
           active.push_back(v);
-          if (!settled[v]) {
-            settled[v] = 1;
+          if (!ctx.is_settled(v)) {
+            ctx.mark_settled(v);
             ++local.settled;
           }
-        } else if (!settled[v]) {
+        } else if (!ctx.is_settled(v) && ctx.mark(v)) {
           newly_frontier.push_back(v);
         }
       }
@@ -176,29 +205,67 @@ std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
     local.relaxations += relaxed_this_step;
 
     // Rebuild the frontier: drop settled vertices, add the new arrivals.
-    std::sort(newly_frontier.begin(), newly_frontier.end());
-    newly_frontier.erase(
-        std::unique(newly_frontier.begin(), newly_frontier.end()),
-        newly_frontier.end());
-    std::vector<Vertex> next;
-    next.reserve(frontier.size() + newly_frontier.size());
-    for (const Vertex v : frontier) {
-      if (!settled[v]) next.push_back(v);
+    // Every member was marked on first insertion, so the two lists are
+    // disjoint and individually duplicate-free. The sequential path
+    // computes the next step's d_i in the same pass.
+    next.clear();
+    if constexpr (Par) {
+      for (const Vertex v : frontier) {
+        if (!ctx.is_settled(v)) next.push_back(v);
+      }
+      for (const Vertex v : newly_frontier) {
+        if (!ctx.is_settled(v)) next.push_back(v);
+      }
+    } else {
+      pending_di = kInfDist;
+      for (const Vertex v : frontier) {
+        if (!ctx.is_settled(v)) {
+          next.push_back(v);
+          pending_di = std::min(pending_di, load(v) + radius[v]);
+        }
+      }
+      for (const Vertex v : newly_frontier) {
+        if (!ctx.is_settled(v)) {
+          next.push_back(v);
+          pending_di = std::min(pending_di, load(v) + radius[v]);
+        }
+      }
     }
-    for (const Vertex v : newly_frontier) {
-      if (!settled[v]) next.push_back(v);
-    }
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
     frontier.swap(next);
     prev_di = di;
   }
+}
 
+}  // namespace
+
+void radius_stepping(const Graph& g, Vertex source,
+                     const std::vector<Dist>& radius, QueryContext& ctx,
+                     std::vector<Dist>& out, RunStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping: radius size mismatch");
+  }
+  if (source >= n) {
+    throw std::invalid_argument("radius_stepping: bad source");
+  }
+
+  ctx.begin_query(n);
+  RunStats local;
+  if (ctx.sequential()) {
+    radius_stepping_run<false>(g, source, radius, ctx, local);
+  } else {
+    radius_stepping_run<true>(g, source, radius, ctx, local);
+  }
   if (stats != nullptr) *stats = local;
-  std::vector<Dist> out(n);
-  parallel_for(0, n, [&](std::size_t i) {
-    out[i] = dist[i].load(std::memory_order_relaxed);
-  });
+  ctx.finish_query(n, out);
+}
+
+std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
+                                  const std::vector<Dist>& radius,
+                                  RunStats* stats) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  radius_stepping(g, source, radius, ctx, out, stats);
   return out;
 }
 

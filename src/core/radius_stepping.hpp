@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
 
@@ -24,5 +25,14 @@ namespace rs {
 std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
                                   const std::vector<Dist>& radius,
                                   RunStats* stats = nullptr);
+
+/// Context-reusing form: identical results, but all scratch state lives in
+/// `ctx` (zero engine allocations once the context is warm) and distances
+/// are written into `out`. Honors ctx.sequential(): in sequential mode the
+/// whole query runs on the calling thread with no atomics or OpenMP
+/// regions, so it can execute inside an outer source-parallel batch.
+void radius_stepping(const Graph& g, Vertex source,
+                     const std::vector<Dist>& radius, QueryContext& ctx,
+                     std::vector<Dist>& out, RunStats* stats = nullptr);
 
 }  // namespace rs

@@ -10,69 +10,92 @@
 
 namespace rs {
 
-std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
-                                             const std::vector<Dist>& radius,
-                                             RunStats* stats) {
-  const Vertex n = g.num_vertices();
-  if (radius.size() != n) {
-    throw std::invalid_argument("radius_stepping_unweighted: radius size");
-  }
-  if (source >= n) {
-    throw std::invalid_argument("radius_stepping_unweighted: bad source");
-  }
+namespace {
 
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<std::atomic<Vertex>> owner(n);
-  parallel_for(0, n, [&](std::size_t i) {
-    owner[i].store(kNoVertex, std::memory_order_relaxed);
-  });
-
-  RunStats local;
-  dist[source] = 0;
-  owner[source].store(source, std::memory_order_relaxed);
+/// BFS-regime Radius-Stepping over a QueryContext. `Par` selects parallel
+/// level expansion (CAS claims) or the strictly sequential twin used by
+/// the batch scheduler (no atomics, no OpenMP regions). One claim epoch
+/// spans the whole query: a vertex is claimed when first reached, which is
+/// final for unit weights.
+template <bool Par>
+void rs_unweighted_run(const Graph& g, Vertex source,
+                       const std::vector<Dist>& radius, QueryContext& ctx,
+                       RunStats& local) {
+  std::atomic<Dist>* dist = ctx.dist();
+  ctx.next_claim_epoch();
+  if constexpr (Par) {
+    ctx.claim(source);
+  } else {
+    ctx.claim_sequential(source);
+  }
+  dist[source].store(0, std::memory_order_relaxed);
   local.settled = 1;
 
-  const int nw = num_workers();
-  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(nw));
+  const int nw = Par ? num_workers() : 1;
+  std::vector<std::vector<Vertex>>& buckets = ctx.buckets(nw);
+  std::vector<Vertex>& frontier = ctx.frontier();
+  std::vector<Vertex>& next = ctx.next();
+  frontier.clear();
+  next.clear();
 
-  // Expands `frontier` (all at hop `level`) by one BFS level.
-  auto expand = [&](const std::vector<Vertex>& frontier, Dist level) {
-    for (auto& b : buckets) b.clear();
+  // Expands `from` (all at hop `level - 1`) by one BFS level into `into`.
+  const auto expand = [&](const std::vector<Vertex>& from,
+                          std::vector<Vertex>& into, Dist level) {
+    if constexpr (Par) {
+      for (int t = 0; t < nw; ++t) buckets[static_cast<std::size_t>(t)].clear();
 #pragma omp parallel num_threads(nw)
-    {
-      auto& mine = buckets[static_cast<std::size_t>(omp_get_thread_num())];
+      {
+        auto& mine = buckets[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
-           ++i) {
-        const Vertex u = frontier[static_cast<std::size_t>(i)];
-        for (const Vertex v : g.neighbors(u)) {
-          Vertex expect = kNoVertex;
-          if (owner[v].compare_exchange_strong(expect, u,
-                                               std::memory_order_relaxed)) {
-            mine.push_back(v);
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(from.size());
+             ++i) {
+          const Vertex u = from[static_cast<std::size_t>(i)];
+          for (const Vertex v : g.neighbors(u)) {
+            if (ctx.claim(v)) mine.push_back(v);
           }
         }
       }
+      std::size_t total = 0;
+      for (int t = 0; t < nw; ++t) {
+        total += buckets[static_cast<std::size_t>(t)].size();
+      }
+      into.clear();
+      into.reserve(total);
+      for (int t = 0; t < nw; ++t) {
+        auto& b = buckets[static_cast<std::size_t>(t)];
+        into.insert(into.end(), b.begin(), b.end());
+      }
+    } else {
+      into.clear();
+      for (const Vertex u : from) {
+        for (const Vertex v : g.neighbors(u)) {
+          if (ctx.claim_sequential(v)) into.push_back(v);
+        }
+      }
     }
-    std::size_t total = 0;
-    for (const auto& b : buckets) total += b.size();
-    std::vector<Vertex> next;
-    next.reserve(total);
-    for (const auto& b : buckets) next.insert(next.end(), b.begin(), b.end());
-    for (const Vertex v : next) dist[v] = level;
-    local.relaxations += total;
-    return next;
+    for (const Vertex v : into) dist[v].store(level, std::memory_order_relaxed);
+    local.relaxations += into.size();
   };
 
-  std::vector<Vertex> frontier = expand({source}, 1);
+  // Seed: one expansion from the source (reuses the active list as a
+  // single-element frontier).
+  std::vector<Vertex>& seed = ctx.active();
+  seed.clear();
+  seed.push_back(source);
+  expand(seed, frontier, 1);
   Dist level = 1;  // hop distance of the current frontier
 
   while (!frontier.empty()) {
     ++local.steps;
     // d_i = min over the frontier of delta(v) + r(v); all deltas == level.
-    const Dist min_r = parallel_min(
-        std::size_t{0}, frontier.size(), kInfDist,
-        [&](std::size_t i) { return radius[frontier[i]]; });
+    Dist min_r;
+    if constexpr (Par) {
+      min_r = parallel_min(std::size_t{0}, frontier.size(), kInfDist,
+                           [&](std::size_t i) { return radius[frontier[i]]; });
+    } else {
+      min_r = kInfDist;
+      for (const Vertex v : frontier) min_r = std::min(min_r, radius[v]);
+    }
     const Dist di = level + min_r;
 
     // Settle levels level .. d_i, one parallel substep per level.
@@ -81,7 +104,7 @@ std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
       ++substeps_this_step;
       local.max_active = std::max(local.max_active, frontier.size());
       local.settled += frontier.size();
-      std::vector<Vertex> next = expand(frontier, level + 1);
+      expand(frontier, next, level + 1);
       frontier.swap(next);
       ++level;
     }
@@ -89,9 +112,40 @@ std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
     local.max_substeps_in_step =
         std::max(local.max_substeps_in_step, substeps_this_step);
   }
+}
 
+}  // namespace
+
+void radius_stepping_unweighted(const Graph& g, Vertex source,
+                                const std::vector<Dist>& radius,
+                                QueryContext& ctx, std::vector<Dist>& out,
+                                RunStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping_unweighted: radius size");
+  }
+  if (source >= n) {
+    throw std::invalid_argument("radius_stepping_unweighted: bad source");
+  }
+
+  ctx.begin_query(n);
+  RunStats local;
+  if (ctx.sequential()) {
+    rs_unweighted_run<false>(g, source, radius, ctx, local);
+  } else {
+    rs_unweighted_run<true>(g, source, radius, ctx, local);
+  }
   if (stats != nullptr) *stats = local;
-  return dist;
+  ctx.finish_query(n, out);
+}
+
+std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
+                                             const std::vector<Dist>& radius,
+                                             RunStats* stats) {
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  radius_stepping_unweighted(g, source, radius, ctx, out, stats);
+  return out;
 }
 
 }  // namespace rs

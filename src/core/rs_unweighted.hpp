@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
 
@@ -21,5 +22,12 @@ namespace rs {
 std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
                                              const std::vector<Dist>& radius,
                                              RunStats* stats = nullptr);
+
+/// Context-reusing form: identical results, scratch state in `ctx`, output
+/// in `out`. Honors ctx.sequential() (see core/radius_stepping.hpp).
+void radius_stepping_unweighted(const Graph& g, Vertex source,
+                                const std::vector<Dist>& radius,
+                                QueryContext& ctx, std::vector<Dist>& out,
+                                RunStats* stats = nullptr);
 
 }  // namespace rs

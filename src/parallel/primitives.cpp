@@ -1,20 +1,42 @@
 #include "parallel/primitives.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace rs {
 
+int parse_worker_count(const char* value, int fallback) {
+  // Unset / empty behaves exactly like an absent variable (CI's
+  // default-thread matrix leg sets RS_THREADS=""), silently.
+  if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  const bool overflowed = errno == ERANGE;
+  if (end == value || *end != '\0' || overflowed || v < 1 ||
+      v > kMaxWorkers) {
+    // Garbage, trailing junk, non-positive, or overflow: warn once per
+    // occurrence and keep the default instead of silently misconfiguring
+    // the worker count. (Don't print `fallback` — some callers pass a
+    // sentinel meaning "leave the current setting alone".)
+    std::fprintf(stderr,
+                 "[rs] warning: RS_THREADS=\"%s\" is not a worker count in "
+                 "[1, %d]; falling back to the default\n",
+                 value, kMaxWorkers);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
 namespace {
 std::atomic<int>& worker_count() {
   static std::atomic<int> count{[] {
-    // RS_THREADS (if set) wins over the OpenMP default.
-    if (const char* env = std::getenv("RS_THREADS")) {
-      const int v = std::atoi(env);
-      if (v >= 1) return v;
-    }
-    return omp_get_max_threads();
+    // RS_THREADS (if set and valid) wins over the OpenMP default.
+    return parse_worker_count(std::getenv("RS_THREADS"),
+                              omp_get_max_threads());
   }()};
   return count;
 }

@@ -26,6 +26,16 @@ int num_workers();
 /// subsequent parallel primitives. Thread-safe with respect to itself.
 void set_num_workers(int n);
 
+/// Upper bound accepted for RS_THREADS — far above any sane machine, but
+/// finite so overflowed or absurd values are rejected, not clamped.
+inline constexpr int kMaxWorkers = 8192;
+
+/// Parses an RS_THREADS-style worker-count value. Unset/empty returns
+/// `fallback` silently; garbage, trailing junk, non-positive values, and
+/// anything outside [1, kMaxWorkers] (including integer overflow) returns
+/// `fallback` with a warning on stderr. Exposed for tests.
+int parse_worker_count(const char* value, int fallback);
+
 /// Reads an integer environment variable, returning `fallback` when unset
 /// or unparsable. Used by benches for RS_SOURCES / RS_THREADS overrides.
 std::int64_t env_int64(const char* name, std::int64_t fallback);
@@ -58,7 +68,8 @@ void parallel_for(std::size_t begin, std::size_t end, F&& f,
 /// and identity `id`. `combine` must be associative and commutative.
 template <typename T, typename F, typename Combine>
 T parallel_reduce(std::size_t begin, std::size_t end, T id, F&& f,
-                  Combine&& combine, std::size_t grain = detail::kDefaultGrain) {
+                  Combine&& combine,
+                  std::size_t grain = detail::kDefaultGrain) {
   if (begin >= end) return id;
   const std::size_t n = end - begin;
   if (n <= grain || num_workers() == 1) {

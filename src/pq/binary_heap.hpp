@@ -23,6 +23,13 @@ class IndexedHeap {
   explicit IndexedHeap(std::size_t capacity)
       : pos_(capacity, kAbsent) {}
 
+  /// Grows the id space to at least `capacity`. Existing entries keep
+  /// their positions; new ids start absent. Lets a pooled heap be reused
+  /// across graphs of different sizes without reallocation churn.
+  void reserve(std::size_t capacity) {
+    if (capacity > pos_.size()) pos_.resize(capacity, kAbsent);
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
   bool contains(Vertex id) const { return pos_[id] != kAbsent; }

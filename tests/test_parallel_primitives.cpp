@@ -36,7 +36,8 @@ TEST(ParallelReduce, SumMatchesSequential) {
   const std::size_t n = 250'000;
   std::vector<std::uint64_t> v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = i * 7 + 1;
-  const std::uint64_t expect = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  const std::uint64_t expect =
+      std::accumulate(v.begin(), v.end(), std::uint64_t{0});
   const std::uint64_t got =
       parallel_sum<std::uint64_t>(0, n, [&](std::size_t i) { return v[i]; });
   EXPECT_EQ(got, expect);
@@ -200,7 +201,8 @@ TEST(SplitRng, BoundedStaysInRangeAndIsRoughlyUniform) {
   std::vector<int> counts(bound, 0);
   const int trials = 100'000;
   for (int i = 0; i < trials; ++i) {
-    const std::uint64_t v = rng.bounded(0, static_cast<std::uint64_t>(i), bound);
+    const std::uint64_t v =
+        rng.bounded(0, static_cast<std::uint64_t>(i), bound);
     ASSERT_LT(v, bound);
     ++counts[v];
   }
@@ -254,6 +256,34 @@ TEST(Env, StringFallback) {
   ::setenv("RS_TEST_VAR_STR", "hello", 1);
   EXPECT_EQ(env_string("RS_TEST_VAR_STR", "dflt"), "hello");
   ::unsetenv("RS_TEST_VAR_STR");
+}
+
+TEST(Env, WorkerCountParsing) {
+  // Unset / empty fall back silently (the CI default-thread leg).
+  EXPECT_EQ(parse_worker_count(nullptr, 7), 7);
+  EXPECT_EQ(parse_worker_count("", 7), 7);
+
+  // Valid counts, including leading whitespace/sign strtoll accepts and
+  // the inclusive upper bound.
+  EXPECT_EQ(parse_worker_count("1", 7), 1);
+  EXPECT_EQ(parse_worker_count("4", 7), 4);
+  EXPECT_EQ(parse_worker_count(" 12", 7), 12);
+  EXPECT_EQ(parse_worker_count("+8", 7), 8);
+  EXPECT_EQ(parse_worker_count("8192", 7), kMaxWorkers);
+
+  // Garbage and trailing junk are rejected, not half-parsed: "12abc" used
+  // to silently run with 12 workers.
+  EXPECT_EQ(parse_worker_count("garbage", 7), 7);
+  EXPECT_EQ(parse_worker_count("12abc", 7), 7);
+  EXPECT_EQ(parse_worker_count("4 4", 7), 7);
+  EXPECT_EQ(parse_worker_count("3.5", 7), 7);
+
+  // Non-positive, out-of-range, and overflowing values all fall back.
+  EXPECT_EQ(parse_worker_count("0", 7), 7);
+  EXPECT_EQ(parse_worker_count("-3", 7), 7);
+  EXPECT_EQ(parse_worker_count("8193", 7), 7);
+  EXPECT_EQ(parse_worker_count("99999999999999999999999", 7), 7);
+  EXPECT_EQ(parse_worker_count("-99999999999999999999999", 7), 7);
 }
 
 }  // namespace
