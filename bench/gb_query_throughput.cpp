@@ -9,6 +9,13 @@
 //            across the per-worker context pool when the batch is at least
 //            as wide as the worker count).
 //
+// The three strategies run for the flat engine (metric names seq_qps /
+// ctx_qps / batch_qps) and for Algorithm 2 on both ordered-set substrates
+// (bst_* for the arena treap, bstflat_* for the flat sorted array), so the
+// BENCH json captures the substrate crossover and the arena's warm-context
+// effect per commit. Every strategy's distances are checked against the
+// flat baseline.
+//
 // Self-timed on purpose (no Google Benchmark dependency despite the gb_
 // prefix) so it runs in every environment, including the CI bench-smoke
 // job, and always writes BENCH_gb_query_throughput.json for the perf
@@ -16,8 +23,10 @@
 // distances, so it doubles as an end-to-end smoke test.
 //
 // Knobs: RS_SCALE / RS_THREADS as usual, RS_BATCH (sources per batch,
-// default 64), RS_REPS (timing repetitions, default 5), RS_RHO
-// (preprocessing rho, default 32).
+// default 64), RS_REPS (timing repetitions, default 5; the slower bst
+// strategies run max(2, RS_REPS - 2) reps), RS_RHO (preprocessing rho,
+// default 32).
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -59,11 +68,22 @@ int main() {
   print_header("Query throughput — serving strategies (queries/sec)", s,
                graphs);
   std::printf("batch=%d  reps=%d  rho=%u\n\n", batch, reps, rho);
-  std::printf("  %-8s  %10s  %10s  %10s  %8s\n", "graph", "seq_qps", "ctx_qps",
-              "batch_qps", "speedup");
+  std::printf("  %-8s  %-8s  %10s  %10s  %10s  %8s\n", "graph", "engine",
+              "seq_qps", "ctx_qps", "batch_qps", "speedup");
 
   BenchJson json("gb_query_throughput", s);
   bool ok = true;
+
+  struct EngineRow {
+    QueryEngine engine;
+    const char* label;   // table column / json label
+    const char* prefix;  // metric-name prefix ("" = flat, the PR 2 names)
+  };
+  const EngineRow rows[] = {
+      {QueryEngine::kFlat, "flat", ""},
+      {QueryEngine::kBst, "bst", "bst_"},
+      {QueryEngine::kBstFlat, "bstflat", "bstflat_"},
+  };
 
   for (const auto& [name, g0] : graphs) {
     const Graph g = paper_weighted(g0);
@@ -74,61 +94,83 @@ int main() {
     const std::vector<Vertex> sources =
         sample_sources(g, batch, /*seed=*/777);
 
-    // Baseline: the pre-batching query_batch — one fresh query per source.
-    std::vector<QueryResult> ref;
-    const auto run_seq = [&] {
-      ref.clear();
-      ref.reserve(sources.size());
-      for (const Vertex src : sources) ref.push_back(engine.query(src));
-    };
+    // Reference distances: fresh flat queries, computed once per graph.
+    std::vector<QueryResult> flat_ref;
+    flat_ref.reserve(sources.size());
+    for (const Vertex src : sources) flat_ref.push_back(engine.query(src));
 
-    // One warm reused context, sequential batch loop.
-    QueryContext ctx(g.num_vertices());
-    std::vector<QueryResult> ctx_results;
-    const auto run_ctx = [&] {
-      ctx_results.clear();
-      ctx_results.reserve(sources.size());
-      for (const Vertex src : sources) {
-        ctx_results.push_back(engine.query(src, QueryEngine::kFlat, ctx));
+    for (const auto& row : rows) {
+      // The ordered-set engines are slower; trim their repetitions.
+      const int row_reps =
+          row.engine == QueryEngine::kFlat ? reps : std::max(2, reps - 2);
+
+      // Baseline: the pre-batching query_batch — one fresh query/source.
+      std::vector<QueryResult> seq_results;
+      const auto run_seq = [&] {
+        seq_results.clear();
+        seq_results.reserve(sources.size());
+        for (const Vertex src : sources) {
+          seq_results.push_back(engine.query(src, row.engine));
+        }
+      };
+
+      // One warm reused context, sequential batch loop.
+      QueryContext ctx(g.num_vertices());
+      std::vector<QueryResult> ctx_results;
+      const auto run_ctx = [&] {
+        ctx_results.clear();
+        ctx_results.reserve(sources.size());
+        for (const Vertex src : sources) {
+          ctx_results.push_back(engine.query(src, row.engine, ctx));
+        }
+      };
+
+      // The two-level batch scheduler.
+      std::vector<QueryResult> batch_results;
+      const auto run_batch = [&] {
+        batch_results = engine.query_batch(sources, row.engine);
+      };
+
+      // Warm-up (also materializes every result for the equality check).
+      run_seq();
+      run_ctx();
+      run_batch();
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (seq_results[i].dist != flat_ref[i].dist ||
+            ctx_results[i].dist != flat_ref[i].dist ||
+            batch_results[i].dist != flat_ref[i].dist) {
+          std::fprintf(stderr, "MISMATCH on %s engine %s source %u\n",
+                       name.c_str(), row.label, sources[i]);
+          ok = false;
+        }
       }
-    };
 
-    // The two-level batch scheduler.
-    std::vector<QueryResult> batch_results;
-    const auto run_batch = [&] { batch_results = engine.query_batch(sources); };
+      const double t_seq = best_seconds(row_reps, run_seq);
+      const double t_ctx = best_seconds(row_reps, run_ctx);
+      const double t_batch = best_seconds(row_reps, run_batch);
+      const double b = static_cast<double>(batch);
+      const double seq_qps = b / t_seq;
+      const double ctx_qps = b / t_ctx;
+      const double batch_qps = b / t_batch;
+      const double speedup = batch_qps / seq_qps;
 
-    // Warm-up (also materializes every result for the equality check).
-    run_seq();
-    run_ctx();
-    run_batch();
-    for (std::size_t i = 0; i < sources.size(); ++i) {
-      if (ctx_results[i].dist != ref[i].dist ||
-          batch_results[i].dist != ref[i].dist) {
-        std::fprintf(stderr, "MISMATCH on %s source %u\n", name.c_str(),
-                     sources[i]);
-        ok = false;
-      }
+      std::printf("  %-8s  %-8s  %10.1f  %10.1f  %10.1f  %7.2fx\n",
+                  name.c_str(), row.label, seq_qps, ctx_qps, batch_qps,
+                  speedup);
+
+      // The engine lives in the metric-name prefix, NOT in a label: the
+      // flat metrics keep their PR 2 identity (name + labels), so the CI
+      // comparator matches them against pre-existing baselines instead of
+      // opening a blind window on the commit that adds the bst rows.
+      const BenchJson::Labels labels{{"graph", name},
+                                     {"batch", std::to_string(batch)},
+                                     {"rho", std::to_string(rho)}};
+      const std::string p(row.prefix);
+      json.add(p + "seq_qps", seq_qps, "queries/sec", labels);
+      json.add(p + "ctx_qps", ctx_qps, "queries/sec", labels);
+      json.add(p + "batch_qps", batch_qps, "queries/sec", labels);
+      json.add(p + "batch_speedup", speedup, "x", labels);
     }
-
-    const double t_seq = best_seconds(reps, run_seq);
-    const double t_ctx = best_seconds(reps, run_ctx);
-    const double t_batch = best_seconds(reps, run_batch);
-    const double b = static_cast<double>(batch);
-    const double seq_qps = b / t_seq;
-    const double ctx_qps = b / t_ctx;
-    const double batch_qps = b / t_batch;
-    const double speedup = batch_qps / seq_qps;
-
-    std::printf("  %-8s  %10.1f  %10.1f  %10.1f  %7.2fx\n", name.c_str(),
-                seq_qps, ctx_qps, batch_qps, speedup);
-
-    const BenchJson::Labels labels{{"graph", name},
-                                   {"batch", std::to_string(batch)},
-                                   {"rho", std::to_string(rho)}};
-    json.add("seq_qps", seq_qps, "queries/sec", labels);
-    json.add("ctx_qps", ctx_qps, "queries/sec", labels);
-    json.add("batch_qps", batch_qps, "queries/sec", labels);
-    json.add("batch_speedup", speedup, "x", labels);
   }
 
   const std::string path = json.write();

@@ -164,14 +164,16 @@ int cmd_preprocess(const Args& args) {
 int cmd_query(const Args& args) {
   if (args.positional().size() < 2) {
     std::fprintf(stderr, "usage: sssp_cli query <graph> <pre> --source S "
-                         "[--target T] [--engine flat|bst]\n");
+                         "[--target T] [--engine flat|bst|bstflat]\n");
     return 1;
   }
   const Graph g = load_graph(args.positional()[0]);
   const SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
   const Vertex src = static_cast<Vertex>(args.get_int("--source", 0));
   const std::string which = args.get("--engine", "flat");
-  const QueryEngine qe = which == "bst" ? QueryEngine::kBst : QueryEngine::kFlat;
+  const QueryEngine qe = which == "bst"       ? QueryEngine::kBst
+                         : which == "bstflat" ? QueryEngine::kBstFlat
+                                              : QueryEngine::kFlat;
 
   Timer t;
   const QueryResult q = engine.query(src, qe);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf results against a baseline run.
+
+Usage:
+    compare_bench.py <baseline-dir> <current-dir> [--threshold 0.20]
+                     [--fail-on-regression]
+
+Both directories hold BENCH_<bench>.json files in the schema documented in
+README "Perf tracking". Metrics are matched by (bench, metric name, sorted
+labels) and compared only when the unit is a rate (queries/sec), where
+lower = slower = regression. A metric that dropped by more than
+--threshold (default 20%) is reported as a REGRESSION; new or vanished
+metrics are listed informationally.
+
+Exit status is 0 unless --fail-on-regression is given and at least one
+regression was found — the CI bench-smoke job runs it non-blocking first
+(shared runners are noisy; the trajectory artifact is the ground truth).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+RATE_UNITS = {"queries/sec"}
+
+
+def load_metrics(directory):
+    """Maps (bench, metric, labels-tuple) -> (value, unit) for a run dir."""
+    metrics = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}")
+            continue
+        bench = doc.get("bench", path.stem)
+        for metric in doc.get("metrics", []):
+            try:
+                name = metric["name"]
+                value = float(metric["value"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            labels = tuple(sorted((metric.get("labels") or {}).items()))
+            metrics[(bench, name, labels)] = (value, metric.get("unit", ""))
+    return metrics
+
+
+def label_str(labels):
+    return ",".join(f"{k}={v}" for k, v in labels) or "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative drop that counts as a regression")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+    if not base:
+        print(f"no baseline metrics under {args.baseline}; nothing to compare")
+        return 0
+    if not cur:
+        print(f"no current metrics under {args.current}; nothing to compare")
+        return 0
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    print(f"{'bench':24} {'metric':20} {'labels':40} "
+          f"{'baseline':>12} {'current':>12} {'delta':>8}")
+    for key in sorted(base):
+        if key not in cur:
+            continue
+        (old, unit) = base[key]
+        (new, _) = cur[key]
+        if unit not in RATE_UNITS or old <= 0:
+            continue
+        compared += 1
+        delta = (new - old) / old
+        flag = ""
+        if delta < -args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, old, new, delta))
+        elif delta > args.threshold:
+            improvements += 1
+            flag = "  (improved)"
+        bench, name, labels = key
+        print(f"{bench:24} {name:20} {label_str(labels):40} "
+              f"{old:12.1f} {new:12.1f} {delta:+7.1%}{flag}")
+
+    missing = sorted(k for k in base if k not in cur)
+    added = sorted(k for k in cur if k not in base)
+    if missing:
+        print(f"\n{len(missing)} baseline metric(s) absent from the current "
+              "run (renamed or removed):")
+        for bench, name, labels in missing[:10]:
+            print(f"  - {bench} {name} [{label_str(labels)}]")
+    if added:
+        print(f"\n{len(added)} new metric(s) with no baseline yet.")
+
+    print(f"\ncompared {compared} rate metric(s): "
+          f"{len(regressions)} regression(s) beyond "
+          f"{args.threshold:.0%}, {improvements} improvement(s)")
+    if regressions:
+        print("\nPERF REGRESSION WARNING — slower than the previous run:")
+        for (bench, name, labels), old, new, delta in regressions:
+            print(f"  {bench} {name} [{label_str(labels)}]: "
+                  f"{old:.1f} -> {new:.1f} ({delta:+.1%})")
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
     original_ = other.original_;
     pre_ = other.pre_;
     batch_pool_ = std::make_unique<BatchPool>();
+    transpose_ = std::make_unique<TransposeCache>();
   }
   return *this;
 }
@@ -58,8 +59,22 @@ void SsspEngine::run_query(Vertex source, QueryEngine engine,
       }
       break;
     case QueryEngine::kBst:
-      out.dist =
-          radius_stepping_bst(pre_.graph, source, pre_.radius, &out.stats);
+      if (ctx != nullptr) {
+        radius_stepping_bst(pre_.graph, source, pre_.radius, *ctx, out.dist,
+                            &out.stats);
+      } else {
+        out.dist =
+            radius_stepping_bst(pre_.graph, source, pre_.radius, &out.stats);
+      }
+      break;
+    case QueryEngine::kBstFlat:
+      if (ctx != nullptr) {
+        radius_stepping_flatset(pre_.graph, source, pre_.radius, *ctx,
+                                out.dist, &out.stats);
+      } else {
+        out.dist = radius_stepping_flatset(pre_.graph, source, pre_.radius,
+                                           &out.stats);
+      }
       break;
     case QueryEngine::kUnweighted:
       if (ctx != nullptr) {
@@ -84,8 +99,7 @@ QueryResult SsspEngine::query(Vertex source, QueryEngine engine,
                               QueryContext& ctx) const {
   check_engine(engine);
   QueryResult out;
-  run_query(source, engine,
-            engine == QueryEngine::kBst ? nullptr : &ctx, out);
+  run_query(source, engine, &ctx, out);
   return out;
 }
 
@@ -101,15 +115,6 @@ std::vector<QueryResult> SsspEngine::query_batch(
   const Vertex n = pre_.graph.num_vertices();
   for (const Vertex s : sources) {
     if (s >= n) throw std::invalid_argument("query_batch: bad source");
-  }
-
-  if (engine == QueryEngine::kBst) {
-    // No context path for the treap substrate yet: plain sequential loop,
-    // each query free to use intra-query parallelism.
-    for (std::size_t i = 0; i < batch; ++i) {
-      run_query(sources[i], engine, nullptr, out[i]);
-    }
-    return out;
   }
 
   // Take the engine's warm context pool if it is free; concurrent batches
@@ -156,13 +161,32 @@ std::vector<QueryResult> SsspEngine::query_batch(
 
 std::vector<Vertex> SsspEngine::path(const QueryResult& q,
                                      Vertex target) const {
+  if (q.dist.size() != original_.num_vertices()) {
+    // A default-constructed or foreign-engine QueryResult would index
+    // q.dist out of bounds below; reject it up front.
+    throw std::invalid_argument(
+        "SsspEngine::path: QueryResult does not belong to this engine");
+  }
   if (target >= original_.num_vertices()) {
     throw std::invalid_argument("SsspEngine::path: bad target");
   }
   if (q.dist[target] == kInfDist) return {};
   // Distances are identical on the original graph (shortcuts preserve
-  // them), so parents derived there avoid shortcut edges entirely.
-  const std::vector<Vertex> parent = parents_from_distances(original_, q.dist);
+  // them), so parents derived there avoid shortcut edges entirely. Parents
+  // come from each vertex's incoming arcs (directed-correct); the transpose
+  // that exposes them is built once and shared across path() calls.
+  Graph local;
+  const Graph* tg;
+  if (transpose_ != nullptr) {
+    std::call_once(transpose_->once,
+                   [&] { transpose_->graph = original_.transposed(); });
+    tg = &transpose_->graph;
+  } else {  // moved-from engine: stay correct, skip the cache
+    local = original_.transposed();
+    tg = &local;
+  }
+  const std::vector<Vertex> parent =
+      parents_from_distances(original_, *tg, q.dist);
   return extract_path(parent, target);
 }
 

@@ -29,7 +29,8 @@ namespace rs {
 /// Which Radius-Stepping implementation answers queries.
 enum class QueryEngine : std::uint8_t {
   kFlat,        // atomic-array engine (default; fastest)
-  kBst,         // Algorithm 2 on the treap substrate
+  kBst,         // Algorithm 2 on the arena-treap substrate (O(p log q) sets)
+  kBstFlat,     // Algorithm 2 on the flat sorted-array substrate
   kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
                 // and preprocessing added no shortcut edges
 };
@@ -64,8 +65,9 @@ class SsspEngine {
 
   /// Same, over a caller-owned reusable context: after the first query the
   /// engine hot path performs no heap allocations (the returned
-  /// QueryResult::dist is the one unavoidable output allocation).
-  /// kBst has no context path yet and falls back to fresh state.
+  /// QueryResult::dist is the one unavoidable output allocation). This
+  /// covers every engine, including kBst — its treap nodes come from the
+  /// context's arena and are recycled across queries.
   QueryResult query(Vertex source, QueryEngine engine,
                     QueryContext& ctx) const;
 
@@ -84,6 +86,8 @@ class SsspEngine {
 
   /// Shortest path from a query's source to `target`, as vertices of the
   /// ORIGINAL graph (shortcut edges expanded away). Empty if unreachable.
+  /// Throws std::invalid_argument if `q` does not belong to this engine
+  /// (wrong-sized or default-constructed distance vector).
   std::vector<Vertex> path(const QueryResult& q, Vertex target) const;
 
   const Graph& original_graph() const { return original_; }
@@ -114,6 +118,16 @@ class SsspEngine {
     WorkerPool<QueryContext> pool;
   };
   std::unique_ptr<BatchPool> batch_pool_ = std::make_unique<BatchPool>();
+
+  // Lazily-built transpose of the original graph: path reconstruction walks
+  // INCOMING arcs (directed-correct parents), and repeated path() calls
+  // share one transpose. Boxed for movability; built at most once.
+  struct TransposeCache {
+    std::once_flag once;
+    Graph graph;
+  };
+  std::unique_ptr<TransposeCache> transpose_ =
+      std::make_unique<TransposeCache>();
 };
 
 }  // namespace rs

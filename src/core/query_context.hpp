@@ -27,6 +27,7 @@
 
 #include "graph/types.hpp"
 #include "pq/binary_heap.hpp"
+#include "pset/treap.hpp"
 
 namespace rs {
 
@@ -129,6 +130,39 @@ class QueryContext {
   /// Indexed heap sized to capacity() (Dijkstra). Cleared on hand-out.
   IndexedHeap<Dist>& heap();
 
+  // --- ordered-set engine state (Algorithm 2 / kBst) -----------------------
+  /// Ordered-set keys are (distance, vertex) pairs — Q holds (delta(v), v),
+  /// R holds (delta(v) + r(v), v).
+  using SetKey = std::pair<Dist, Vertex>;
+
+  /// Reusable sorted-key staging buffers for the batched Q/R updates: the
+  /// step's split-off active keys, their R counterparts, and the four
+  /// per-substep batch-update lists. All keep capacity across queries; the
+  /// engine clears what it uses.
+  struct KeyBuffers {
+    std::vector<SetKey> moved;     // A_i keys split off Q (sorted)
+    std::vector<SetKey> r_moved;   // same vertices keyed for R
+    std::vector<SetKey> q_remove;  // per-substep batch updates
+    std::vector<SetKey> r_remove;
+    std::vector<SetKey> q_insert;
+    std::vector<SetKey> r_insert;
+  };
+  KeyBuffers& key_buffers() { return key_buffers_; }
+
+  /// Freelist-backed node pool for the treap substrate: Q/R nodes are
+  /// recycled across substeps AND across queries, so a warm context runs
+  /// kBst without per-key-move heap traffic. Single-owner, like the rest
+  /// of the context.
+  TreapArena<SetKey>& tree_arena() { return tree_arena_; }
+
+  /// Pre-substep distance snapshot array for touched vertices, grown to
+  /// cover `n` vertices (values unspecified; the engine writes before it
+  /// reads). Lazily sized so non-kBst contexts never pay for it.
+  std::vector<Dist>& old_dist(Vertex n) {
+    if (old_dist_.size() < n) old_dist_.resize(n);
+    return old_dist_;
+  }
+
  private:
   Vertex n_ = 0;
   bool sequential_ = false;
@@ -151,6 +185,9 @@ class QueryContext {
   std::vector<std::vector<std::pair<Vertex, Dist>>> pair_buckets_;
   std::vector<std::vector<Vertex>> bucket_slots_;
   IndexedHeap<Dist> heap_{0};
+  KeyBuffers key_buffers_;
+  TreapArena<SetKey> tree_arena_;
+  std::vector<Dist> old_dist_;
 };
 
 }  // namespace rs

@@ -6,18 +6,37 @@
 
 namespace rs {
 
+void radius_stepping_bst(const Graph& g, Vertex source,
+                         const std::vector<Dist>& radius, QueryContext& ctx,
+                         std::vector<Dist>& out, RunStats* stats) {
+  detail::radius_stepping_ordered<Treap<std::pair<Dist, Vertex>>>(
+      g, source, radius, ctx, out, stats);
+}
+
 std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
                                       const std::vector<Dist>& radius,
                                       RunStats* stats) {
-  return detail::radius_stepping_ordered<Treap<std::pair<Dist, Vertex>>>(
-      g, source, radius, stats);
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  radius_stepping_bst(g, source, radius, ctx, out, stats);
+  return out;
+}
+
+void radius_stepping_flatset(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, std::vector<Dist>& out,
+                             RunStats* stats) {
+  detail::radius_stepping_ordered<FlatSet<std::pair<Dist, Vertex>>>(
+      g, source, radius, ctx, out, stats);
 }
 
 std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
                                           const std::vector<Dist>& radius,
                                           RunStats* stats) {
-  return detail::radius_stepping_ordered<FlatSet<std::pair<Dist, Vertex>>>(
-      g, source, radius, stats);
+  QueryContext ctx(g.num_vertices());
+  std::vector<Dist> out;
+  radius_stepping_flatset(g, source, radius, ctx, out, stats);
+  return out;
 }
 
 }  // namespace rs

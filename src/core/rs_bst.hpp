@@ -14,11 +14,22 @@
 
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
 
 namespace rs {
 
+/// Serving form: runs out of a reusable QueryContext (distance array,
+/// stamps, key buffers, and the treap node arena all come from `ctx`).
+/// After warm-up, a sequential-mode context answers with zero heap
+/// allocations — treap nodes are recycled through the context's freelist
+/// arena. Distances land in `out` (resized to n).
+void radius_stepping_bst(const Graph& g, Vertex source,
+                         const std::vector<Dist>& radius, QueryContext& ctx,
+                         std::vector<Dist>& out, RunStats* stats = nullptr);
+
+/// Convenience form: fresh context per call.
 std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
                                       const std::vector<Dist>& radius,
                                       RunStats* stats = nullptr);
@@ -27,6 +38,11 @@ std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
 /// (pset/flat_set.hpp): O(n)-copy bulk operations instead of the treap's
 /// O(p log q). Identical results; exists to show the analysis only needs
 /// the ordered-set interface and to benchmark the substrate crossover.
+void radius_stepping_flatset(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, std::vector<Dist>& out,
+                             RunStats* stats = nullptr);
+
 std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
                                           const std::vector<Dist>& radius,
                                           RunStats* stats = nullptr);

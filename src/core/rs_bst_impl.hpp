@@ -1,71 +1,119 @@
-// Algorithm 2 templated over the ordered-set substrate.
+// Algorithm 2 templated over the ordered-set substrate, running entirely
+// out of a QueryContext.
 //
-// Anything providing empty/size/min/insert/erase/split_leq/union_with/
-// subtract/from_sorted over std::pair<Dist, Vertex> keys works: the treap
+// Anything providing empty/min/insert/erase/split_leq/union_with/subtract/
+// from_sorted/to_vector over std::pair<Dist, Vertex> keys works: the treap
 // (pset/treap.hpp, the paper's O(p log q) substrate) and the flat sorted
 // array (pset/flat_set.hpp) are both instantiated in rs_bst.cpp. See
 // core/rs_bst.hpp for the algorithmic commentary.
+//
+// Like the flat engine (radius_stepping.cpp), the implementation is a
+// Par/Seq template twin: `Par` selects parallel Jacobi-style proposal
+// gathering (OpenMP, per-worker buckets) or the strictly sequential twin
+// the batch scheduler runs one-per-worker. All per-query state — the
+// distance array, settled/touched stamps, vertex lists, proposal buckets,
+// the four sorted batch-update key buffers, and (for the treap substrate)
+// the node arena — comes from the context, so the sequential twin answers
+// warm-context queries with zero heap allocations: treap nodes are
+// recycled through the arena freelist, and every vector keeps its
+// capacity across queries.
 #pragma once
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include <omp.h>
 
+#include "core/query_context.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
 #include "parallel/primitives.hpp"
+#include "pset/treap.hpp"
 
 namespace rs::detail {
 
-template <typename OrderedSet>
-std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
-                                          const std::vector<Dist>& radius,
-                                          RunStats* stats) {
+template <typename OrderedSet, bool Par>
+void radius_stepping_ordered_run(const Graph& g, Vertex source,
+                                 const std::vector<Dist>& radius,
+                                 QueryContext& ctx, RunStats& local) {
   using Key = std::pair<Dist, Vertex>;
+  // Trade-off: arena-backed treaps run their bulk set ops sequentially in
+  // BOTH twins (the freelist is single-owner). The Par twin keeps its
+  // parallelism where this engine actually spends time — the edge-map
+  // proposal gathering below — and gains node recycling; the paper's
+  // parallel set-op depth bound is forfeited until the arena grows
+  // per-worker pools (ROADMAP). The batch application was always the
+  // sequential spine of this engine either way.
+  constexpr bool kArena = std::is_same_v<OrderedSet, Treap<Key>>;
   const Vertex n = g.num_vertices();
-  if (radius.size() != n) {
-    throw std::invalid_argument("radius_stepping_bst: radius size mismatch");
-  }
-  if (source >= n) throw std::invalid_argument("radius_stepping_bst: source");
 
-  std::vector<Dist> dist(n, kInfDist);
-  RunStats local;
-  dist[source] = 0;
+  std::atomic<Dist>* dist = ctx.dist();
+  const auto load = [&](Vertex v) {
+    return dist[v].load(std::memory_order_relaxed);
+  };
+  const auto store = [&](Vertex v, Dist d) {
+    dist[v].store(d, std::memory_order_relaxed);
+  };
+  // Substrate construction: the treap draws nodes from the context arena
+  // (recycled across queries); the flat set owns plain vectors.
+  const auto make_set = [&ctx]() {
+    if constexpr (kArena) {
+      return OrderedSet(&ctx.tree_arena());
+    } else {
+      (void)ctx;
+      return OrderedSet();
+    }
+  };
+  const auto from_sorted = [&ctx](const std::vector<Key>& keys) {
+    if constexpr (kArena) {
+      return OrderedSet::from_sorted(keys, &ctx.tree_arena());
+    } else {
+      (void)ctx;
+      return OrderedSet::from_sorted(keys);
+    }
+  };
+
+  store(source, 0);
+  ctx.mark_settled(source);  // settled == the paper's "in some A_i" flag
   local.settled = 1;
 
   // Lines 3-4: seed Q and R with the source's relaxed neighbours.
-  OrderedSet q;  // {(delta(v), v)} for the inactive frontier
-  OrderedSet r;  // {(delta(v) + radius(v), v)}, same membership as Q
+  OrderedSet q = make_set();  // {(delta(v), v)} for the inactive frontier
+  OrderedSet r = make_set();  // {(delta(v) + r(v), v)}, same membership as Q
   for (EdgeId e = g.first_arc(source); e < g.last_arc(source); ++e) {
     const Vertex v = g.arc_target(e);
     if (v == source) continue;
     const Dist nd = g.arc_weight(e);
-    if (nd < dist[v]) {
-      if (dist[v] != kInfDist) {
-        q.erase({dist[v], v});
-        r.erase({dist[v] + radius[v], v});
+    const Dist dv = load(v);
+    if (nd < dv) {
+      if (dv != kInfDist) {
+        q.erase({dv, v});
+        r.erase({dv + radius[v], v});
       }
-      dist[v] = nd;
+      store(v, nd);
       q.insert({nd, v});
       r.insert({nd + radius[v], v});
       ++local.relaxations;
     }
   }
 
-  // `touched_stamp[v] == substep_id` marks v as updated this substep;
-  // `old_dist[v]` remembers its distance before the substep's batch.
-  std::vector<std::uint64_t> touched_stamp(n, 0);
-  std::vector<Dist> old_dist(n, 0);
-  std::vector<std::uint8_t> in_this_step(n, 0);  // member of A_i (settled)
-  std::uint64_t substep_id = 0;
+  // Context-owned per-vertex state: `ctx.mark(v)` under one mark epoch per
+  // substep plays the touched-stamp ("updated this substep") role;
+  // `old_dist[v]` remembers a touched vertex's pre-substep distance;
+  // settled stamps mark membership in the current or any previous A_i.
+  std::vector<Dist>& old_dist = ctx.old_dist(n);
+  std::vector<Vertex>& active = ctx.active();
+  std::vector<Vertex>& next_active = ctx.next();
+  std::vector<Vertex>& touched = ctx.updated();
+  QueryContext::KeyBuffers& kb = ctx.key_buffers();
   Dist prev_di = 0;
 
-  const int nw = num_workers();
-  std::vector<std::vector<std::pair<Vertex, Dist>>> proposals(
-      static_cast<std::size_t>(nw));
+  const int nw = Par ? num_workers() : 1;
+  std::vector<std::vector<std::pair<Vertex, Dist>>>& proposals =
+      ctx.pair_buckets(nw);
 
   while (!q.empty()) {
     ++local.steps;
@@ -75,20 +123,16 @@ std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
 
     // Line 7: A_i = Q.split(d_i); Line 8: drop A_i's keys from R.
     OrderedSet moved = q.split_leq({di, kNoVertex});
-    std::vector<Key> moved_keys = moved.to_vector();
-    std::vector<Vertex> active;
-    active.reserve(moved_keys.size());
-    {
-      std::vector<Key> r_keys;
-      r_keys.reserve(moved_keys.size());
-      for (const auto& [d, v] : moved_keys) {
-        active.push_back(v);
-        in_this_step[v] = 1;
-        r_keys.push_back({d + radius[v], v});
-      }
-      std::sort(r_keys.begin(), r_keys.end());
-      r.subtract(OrderedSet::from_sorted(std::move(r_keys)));
+    moved.to_vector(kb.moved);
+    active.clear();
+    kb.r_moved.clear();
+    for (const auto& [d, v] : kb.moved) {
+      active.push_back(v);
+      ctx.mark_settled(v);
+      kb.r_moved.push_back({d + radius[v], v});
     }
+    std::sort(kb.r_moved.begin(), kb.r_moved.end());
+    r.subtract(from_sorted(kb.r_moved));
     // R's minimum is delta(v) + r(v) >= delta(v) for some frontier v, so the
     // split must free at least that vertex; an empty active set means Q and
     // R lost sync (a structural bug, not an input condition).
@@ -98,27 +142,46 @@ std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
     local.settled += active.size();
     local.max_active = std::max(local.max_active, active.size());
 
-    // Lines 9-19: substeps. Each substep gathers relaxation proposals in
-    // parallel (Jacobi-style, from the pre-substep distances), applies
-    // them, and pushes the Q/R updates as batched set operations.
+    // Lines 9-19: substeps. Each substep gathers relaxation proposals
+    // (Jacobi-style, from the pre-substep distances), applies them, and
+    // pushes the Q/R updates as batched set operations.
     std::size_t substeps_this_step = 0;
     while (!active.empty()) {
       ++substeps_this_step;
-      ++substep_id;
-      for (auto& p : proposals) p.clear();
+      ctx.next_mark_epoch();  // one touched-stamp scope per substep
+      if constexpr (Par) {
+        for (int t = 0; t < nw; ++t) {
+          proposals[static_cast<std::size_t>(t)].clear();
+        }
 #pragma omp parallel num_threads(nw)
-      {
-        auto& mine = proposals[static_cast<std::size_t>(omp_get_thread_num())];
+        {
+          auto& mine =
+              proposals[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 64)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
-             ++i) {
-          const Vertex u = active[static_cast<std::size_t>(i)];
-          const Dist du = dist[u];
+          for (std::int64_t i = 0;
+               i < static_cast<std::int64_t>(active.size()); ++i) {
+            const Vertex u = active[static_cast<std::size_t>(i)];
+            const Dist du = load(u);
+            for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+              const Vertex v = g.arc_target(e);
+              const Dist dv = load(v);
+              if (dv <= prev_di) continue;  // v in S_{i-1}: final
+              const Dist nd = du + g.arc_weight(e);
+              if (nd < dv) mine.push_back({v, nd});
+            }
+          }
+        }
+      } else {
+        auto& mine = proposals[0];
+        mine.clear();
+        for (const Vertex u : active) {
+          const Dist du = load(u);
           for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
             const Vertex v = g.arc_target(e);
-            if (dist[v] <= prev_di) continue;  // v in S_{i-1}: final
+            const Dist dv = load(v);
+            if (dv <= prev_di) continue;  // v in S_{i-1}: final
             const Dist nd = du + g.arc_weight(e);
-            if (nd < dist[v]) mine.push_back({v, nd});
+            if (nd < dv) mine.push_back({v, nd});
           }
         }
       }
@@ -126,56 +189,56 @@ std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
       // Apply the batch sequentially (set-structure updates are the
       // sequential spine of this engine; the paper batches them with
       // pack/sort — the bulk union/difference below are those ops).
-      std::vector<Vertex> touched;
-      for (const auto& ps : proposals) {
-        for (const auto& [v, nd] : ps) {
-          if (nd >= dist[v]) continue;  // superseded within the batch
-          if (touched_stamp[v] != substep_id) {
-            touched_stamp[v] = substep_id;
-            old_dist[v] = dist[v];
+      touched.clear();
+      for (int t = 0; t < nw; ++t) {
+        for (const auto& [v, nd] : proposals[static_cast<std::size_t>(t)]) {
+          const Dist dv = load(v);
+          if (nd >= dv) continue;  // superseded within the batch
+          if (ctx.mark(v)) {
+            old_dist[v] = dv;
             touched.push_back(v);
           }
-          dist[v] = nd;
+          store(v, nd);
           ++local.relaxations;
         }
       }
 
       // Classify touched vertices and build the Q/R batch updates.
-      std::vector<Key> q_remove;
-      std::vector<Key> r_remove;
-      std::vector<Key> q_insert;
-      std::vector<Key> r_insert;
-      std::vector<Vertex> next_active;
+      kb.q_remove.clear();
+      kb.r_remove.clear();
+      kb.q_insert.clear();
+      kb.r_insert.clear();
+      next_active.clear();
       for (const Vertex v : touched) {
-        const Dist nd = dist[v];
+        const Dist nd = load(v);
         const Dist od = old_dist[v];
-        if (in_this_step[v]) {
+        if (ctx.is_settled(v)) {
           // Already in A_i: improved again within the annulus; re-relax.
           next_active.push_back(v);
           continue;
         }
         if (od != kInfDist) {
-          q_remove.push_back({od, v});
-          r_remove.push_back({od + radius[v], v});
+          kb.q_remove.push_back({od, v});
+          kb.r_remove.push_back({od + radius[v], v});
         }
         if (nd <= di) {
           // Line 11-14: migrate from Q/R into A_i.
-          in_this_step[v] = 1;
+          ctx.mark_settled(v);
           next_active.push_back(v);
           ++local.settled;
         } else {
-          q_insert.push_back({nd, v});
-          r_insert.push_back({nd + radius[v], v});
+          kb.q_insert.push_back({nd, v});
+          kb.r_insert.push_back({nd + radius[v], v});
         }
       }
-      std::sort(q_remove.begin(), q_remove.end());
-      std::sort(r_remove.begin(), r_remove.end());
-      std::sort(q_insert.begin(), q_insert.end());
-      std::sort(r_insert.begin(), r_insert.end());
-      q.subtract(OrderedSet::from_sorted(std::move(q_remove)));
-      r.subtract(OrderedSet::from_sorted(std::move(r_remove)));
-      q.union_with(OrderedSet::from_sorted(std::move(q_insert)));
-      r.union_with(OrderedSet::from_sorted(std::move(r_insert)));
+      std::sort(kb.q_remove.begin(), kb.q_remove.end());
+      std::sort(kb.r_remove.begin(), kb.r_remove.end());
+      std::sort(kb.q_insert.begin(), kb.q_insert.end());
+      std::sort(kb.r_insert.begin(), kb.r_insert.end());
+      q.subtract(from_sorted(kb.q_remove));
+      r.subtract(from_sorted(kb.r_remove));
+      q.union_with(from_sorted(kb.q_insert));
+      r.union_with(from_sorted(kb.r_insert));
 
       active.swap(next_active);
       local.max_active = std::max(local.max_active, active.size());
@@ -185,9 +248,30 @@ std::vector<Dist> radius_stepping_ordered(const Graph& g, Vertex source,
         std::max(local.max_substeps_in_step, substeps_this_step);
     prev_di = di;
   }
+}
 
+template <typename OrderedSet>
+void radius_stepping_ordered(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, std::vector<Dist>& out,
+                             RunStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (radius.size() != n) {
+    throw std::invalid_argument("radius_stepping_bst: radius size mismatch");
+  }
+  if (source >= n) throw std::invalid_argument("radius_stepping_bst: source");
+
+  ctx.begin_query(n);
+  RunStats local;
+  if (ctx.sequential()) {
+    radius_stepping_ordered_run<OrderedSet, false>(g, source, radius, ctx,
+                                                   local);
+  } else {
+    radius_stepping_ordered_run<OrderedSet, true>(g, source, radius, ctx,
+                                                  local);
+  }
   if (stats != nullptr) *stats = local;
-  return dist;
+  ctx.finish_query(n, out);
 }
 
 }  // namespace rs::detail

@@ -9,19 +9,30 @@ namespace rs {
 
 std::vector<Vertex> parents_from_distances(const Graph& g,
                                            const std::vector<Dist>& dist) {
+  return parents_from_distances(g, g.transposed(), dist);
+}
+
+std::vector<Vertex> parents_from_distances(const Graph& g, const Graph& tg,
+                                           const std::vector<Dist>& dist) {
   const Vertex n = g.num_vertices();
   if (dist.size() != n) {
     throw std::invalid_argument("parents_from_distances: size mismatch");
+  }
+  if (tg.num_vertices() != n || tg.num_edges() != g.num_edges()) {
+    throw std::invalid_argument("parents_from_distances: transpose mismatch");
   }
   std::vector<Vertex> parent(n, kNoVertex);
   parallel_for(0, n, [&](std::size_t vi) {
     const Vertex v = static_cast<Vertex>(vi);
     const Dist dv = dist[v];
     if (dv == kInfDist || dv == 0) return;  // unreachable or source
+    // v's predecessor u needs an arc u->v: scan v's INCOMING arcs (the
+    // transpose's out-arcs). Walking v's out-arcs instead would only be
+    // right on symmetric graphs and returns wrong parents on directed ones.
     Vertex best = kNoVertex;
-    for (EdgeId e = g.first_arc(v); e < g.last_arc(v); ++e) {
-      const Vertex u = g.arc_target(e);
-      if (dist[u] != kInfDist && dist[u] + g.arc_weight(e) == dv) {
+    for (EdgeId e = tg.first_arc(v); e < tg.last_arc(v); ++e) {
+      const Vertex u = tg.arc_target(e);
+      if (dist[u] != kInfDist && dist[u] + tg.arc_weight(e) == dv) {
         best = std::min(best, u);
       }
     }

@@ -17,7 +17,15 @@ namespace rs {
 /// Parents realizing `dist` (which must be a valid SSSP distance vector for
 /// `g`, e.g. from radius_stepping). parent[source] = kNoVertex; unreachable
 /// vertices get kNoVertex. Deterministic: ties pick the smallest vertex id.
+/// v's predecessor u must have an arc u->v, so the scan walks v's INCOMING
+/// arcs; this overload builds the transpose internally (O(m)).
 std::vector<Vertex> parents_from_distances(const Graph& g,
+                                           const std::vector<Dist>& dist);
+
+/// Same, over a caller-provided transpose (`tg` must be `g.transposed()`) —
+/// the form SsspEngine::path uses so repeated path queries share one
+/// transpose instead of rebuilding it per call.
+std::vector<Vertex> parents_from_distances(const Graph& g, const Graph& tg,
                                            const std::vector<Dist>& dist);
 
 /// Vertices of the shortest s->t path implied by `parent` (s first, t

@@ -86,6 +86,28 @@ Graph Graph::with_target_sorted_adjacency() const {
   });
 }
 
+Graph Graph::transposed() const {
+  const EdgeId m = num_edges();
+  // Counting sort by arc target: offsets first, then a stable placement
+  // pass, so the transposed adjacency lists come out sorted by source id.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    ++offsets[static_cast<std::size_t>(targets_[e]) + 1];
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<Vertex> targets(targets_.size());
+  std::vector<Weight> weights(weights_.size());
+  for (Vertex u = 0; u < n_; ++u) {
+    for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      const EdgeId pos = cursor[targets_[e]]++;
+      targets[pos] = u;
+      weights[pos] = weights_[e];
+    }
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
 std::vector<EdgeTriple> Graph::to_triples() const {
   std::vector<EdgeTriple> out(targets_.size());
   parallel_for(0, n_, [&](std::size_t v) {

@@ -64,6 +64,11 @@ class Graph {
   /// All arcs as triples (u, v, w); order follows the CSR layout.
   std::vector<EdgeTriple> to_triples() const;
 
+  /// Copy with every arc reversed (u->v becomes v->u, weight kept). For a
+  /// symmetric (undirected) graph this holds the same arc multiset; for a
+  /// directed graph it is the in-adjacency view path reconstruction needs.
+  Graph transposed() const;
+
   friend bool operator==(const Graph& a, const Graph& b) {
     return a.n_ == b.n_ && a.offsets_ == b.offsets_ &&
            a.targets_ == b.targets_ && a.weights_ == b.weights_;

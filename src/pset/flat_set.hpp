@@ -102,6 +102,12 @@ class FlatSet {
 
   std::vector<Key> to_vector() const { return keys_; }
 
+  /// Capacity-keeping variant (interface parity with Treap): clears `out`
+  /// and appends the sorted keys.
+  void to_vector(std::vector<Key>& out) const {
+    out.assign(keys_.begin(), keys_.end());
+  }
+
  private:
   std::vector<Key> keys_;
 };

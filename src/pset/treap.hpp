@@ -12,10 +12,22 @@
 // Union and difference are destructive (they consume both operands), which
 // matches how Algorithm 2 uses them: batches are built, merged into Q/R,
 // and never reused.
+//
+// Allocation: a Treap either owns its nodes individually (new/delete, the
+// default) or draws them from a TreapArena — a freelist-backed pool that
+// recycles nodes across treaps and across queries. The serving hot path
+// (core/rs_bst_impl.hpp) keeps one arena per QueryContext, so a warm
+// context answers kBst queries without touching the heap: every erase,
+// split-discard, and subtract-consumed skeleton splices straight back onto
+// the freelist instead of running delete. Arena-backed treaps run their
+// bulk operations sequentially (the pool is single-owner, not thread-safe);
+// arena-less treaps keep the parallel task recursion.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -41,20 +53,133 @@ std::uint64_t priority_of(const Key& key) {
 
 constexpr std::size_t kParallelCutoff = 4096;
 
+template <typename Key>
+struct Node {
+  Node() = default;
+  explicit Node(const Key& k) : key(k), prio(priority_of(k)) {}
+  Key key{};
+  std::uint64_t prio = 0;
+  Node* left = nullptr;
+  Node* right = nullptr;
+  std::size_t size = 1;
+};
+
 }  // namespace treap_detail
+
+/// Freelist-backed node pool shared by any number of (non-concurrent)
+/// treaps over the same key type. Nodes are carved from geometrically
+/// growing chunks and never returned to the OS until the arena dies;
+/// release() pushes a node onto the freelist in O(1), so steady-state
+/// treap churn performs zero heap allocations once the pool has reached
+/// its high-water mark. Single-owner: not thread-safe.
+template <typename Key>
+class TreapArena {
+ public:
+  using Node = treap_detail::Node<Key>;
+
+  TreapArena() = default;
+  TreapArena(const TreapArena&) = delete;
+  TreapArena& operator=(const TreapArena&) = delete;
+  TreapArena(TreapArena&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        chunk_used_(std::exchange(other.chunk_used_, 0)),
+        chunk_capacity_(std::exchange(other.chunk_capacity_, 0)),
+        free_(std::exchange(other.free_, nullptr)),
+        total_(std::exchange(other.total_, 0)),
+        free_count_(std::exchange(other.free_count_, 0)) {}
+  TreapArena& operator=(TreapArena&& other) noexcept {
+    if (this != &other) {
+      chunks_ = std::move(other.chunks_);
+      chunk_used_ = std::exchange(other.chunk_used_, 0);
+      chunk_capacity_ = std::exchange(other.chunk_capacity_, 0);
+      free_ = std::exchange(other.free_, nullptr);
+      total_ = std::exchange(other.total_, 0);
+      free_count_ = std::exchange(other.free_count_, 0);
+    }
+    return *this;
+  }
+
+  /// Hands out an initialized leaf node for `key`: freelist pop when a
+  /// recycled node exists, bump allocation from the current chunk
+  /// otherwise. Allocates only when the pool is exhausted (warm-up).
+  Node* acquire(const Key& key) {
+    Node* node;
+    if (free_ != nullptr) {
+      node = free_;
+      free_ = node->right;  // right doubles as the freelist link
+      --free_count_;
+    } else {
+      node = fresh_node();
+    }
+    node->key = key;
+    node->prio = treap_detail::priority_of(key);
+    node->left = nullptr;
+    node->right = nullptr;
+    node->size = 1;
+    return node;
+  }
+
+  /// Returns one node to the freelist. O(1), never frees memory.
+  void release(Node* node) {
+    node->right = free_;
+    free_ = node;
+    ++free_count_;
+  }
+
+  /// Splices a whole subtree onto the freelist (the "reclaim the skeleton"
+  /// path of subtract and treap destruction).
+  void release_tree(Node* t) {
+    if (t == nullptr) return;
+    release_tree(t->left);
+    release_tree(t->right);
+    release(t);
+  }
+
+  /// Nodes ever carved from the chunks (the pool's high-water mark).
+  std::size_t total_nodes() const { return total_; }
+  /// Nodes currently parked on the freelist.
+  std::size_t free_nodes() const { return free_count_; }
+
+ private:
+  Node* fresh_node() {
+    if (chunk_used_ == chunk_capacity_) {
+      // Geometric growth keeps warm-up to O(log n) allocations.
+      chunk_capacity_ = total_ == 0 ? kFirstChunk : total_;
+      chunks_.push_back(std::make_unique<Node[]>(chunk_capacity_));
+      chunk_used_ = 0;
+    }
+    ++total_;
+    return &chunks_.back()[chunk_used_++];
+  }
+
+  static constexpr std::size_t kFirstChunk = 64;
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::size_t chunk_used_ = 0;
+  std::size_t chunk_capacity_ = 0;
+  Node* free_ = nullptr;
+  std::size_t total_ = 0;
+  std::size_t free_count_ = 0;
+};
 
 /// Ordered set of unique keys with join-based split/union/difference.
 template <typename Key>
 class Treap {
  public:
   Treap() = default;
+  /// Arena-backed treap: nodes come from (and return to) `arena`. All
+  /// treaps an operation touches must share one arena (or be arena-less):
+  /// union/subtract splice nodes between operands. nullptr = own nodes.
+  explicit Treap(TreapArena<Key>* arena) : arena_(arena) {}
   ~Treap() { destroy(root_); }
 
-  Treap(Treap&& other) noexcept : root_(std::exchange(other.root_, nullptr)) {}
+  Treap(Treap&& other) noexcept
+      : root_(std::exchange(other.root_, nullptr)), arena_(other.arena_) {}
   Treap& operator=(Treap&& other) noexcept {
     if (this != &other) {
       destroy(root_);
       root_ = std::exchange(other.root_, nullptr);
+      arena_ = other.arena_;
     }
     return *this;
   }
@@ -82,7 +207,7 @@ class Treap {
   bool insert(const Key& key) {
     if (contains(key)) return false;
     auto [lo, hi] = split_raw(root_, key);
-    Node* mid = new Node(key);
+    Node* mid = make_node(key);
     root_ = join(join(lo, mid), hi);
     return true;
   }
@@ -110,20 +235,23 @@ class Treap {
   }
 
   /// Splits off and returns all keys <= pivot; this treap keeps keys > pivot.
-  /// O(log n).
+  /// O(log n). The result shares this treap's arena.
   Treap split_leq(const Key& pivot) {
     auto [lo, hi] = split_raw(root_, pivot, /*leq=*/true);
     root_ = hi;
-    Treap out;
+    Treap out(arena_);
     out.root_ = lo;
     return out;
   }
 
   /// Destructive union: this := this U other, other becomes empty.
-  /// O(p log(q/p + 1)) work, polylog depth (parallel tasks on large inputs).
+  /// O(p log(q/p + 1)) work, polylog depth (parallel tasks on large
+  /// arena-less inputs; arena-backed treaps merge sequentially).
   void union_with(Treap&& other) {
+    assert(arena_ == other.arena_);
     Node* b = std::exchange(other.root_, nullptr);
-    if (size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
+    if (arena_ == nullptr &&
+        size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
 #pragma omp parallel
 #pragma omp single
       root_ = union_rec(root_, b);
@@ -134,26 +262,30 @@ class Treap {
 
   /// Destructive difference: this := this \ other, other becomes empty.
   void subtract(Treap&& other) {
+    assert(arena_ == other.arena_);
     Node* b = std::exchange(other.root_, nullptr);
-    if (size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
+    if (arena_ == nullptr &&
+        size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
 #pragma omp parallel
 #pragma omp single
       root_ = diff_rec(root_, b);
     } else {
       root_ = diff_rec(root_, b);
     }
-    destroy(b);  // diff_rec leaves `b`'s skeleton; reclaim it
+    destroy(b);  // diff_rec leaves `b`'s skeleton; reclaim or freelist it
   }
 
-  /// Builds from strictly-increasing sorted keys in O(n) work, O(log n) depth.
-  static Treap from_sorted(const std::vector<Key>& sorted) {
-    Treap t;
-    if (sorted.size() >= treap_detail::kParallelCutoff) {
+  /// Builds from strictly-increasing sorted keys in O(n) work, O(log n)
+  /// depth (arena-less; arena builds are sequential).
+  static Treap from_sorted(const std::vector<Key>& sorted,
+                           TreapArena<Key>* arena = nullptr) {
+    Treap t(arena);
+    if (arena == nullptr && sorted.size() >= treap_detail::kParallelCutoff) {
 #pragma omp parallel
 #pragma omp single
-      t.root_ = build_rec(sorted, 0, sorted.size());
+      t.root_ = t.build_rec(sorted, 0, sorted.size());
     } else {
-      t.root_ = build_rec(sorted, 0, sorted.size());
+      t.root_ = t.build_rec(sorted, 0, sorted.size());
     }
     return t;
   }
@@ -166,19 +298,18 @@ class Treap {
     return out;
   }
 
+  /// Allocation-free variant: clears `out` and appends in order, keeping
+  /// the vector's capacity (the hot-path form).
+  void to_vector(std::vector<Key>& out) const {
+    out.clear();
+    append_inorder(root_, out);
+  }
+
   /// Maximum node depth; exposed so tests can check balance (O(log n) w.h.p).
   std::size_t height() const { return height_rec(root_); }
 
  private:
-  struct Node {
-    explicit Node(const Key& k)
-        : key(k), prio(treap_detail::priority_of(k)) {}
-    Key key;
-    std::uint64_t prio;
-    Node* left = nullptr;
-    Node* right = nullptr;
-    std::size_t size = 1;
-  };
+  using Node = treap_detail::Node<Key>;
 
   static std::size_t size_of(const Node* t) { return t ? t->size : 0; }
 
@@ -186,8 +317,25 @@ class Treap {
     t->size = 1 + size_of(t->left) + size_of(t->right);
   }
 
-  static void destroy(Node* t) {
+  Node* make_node(const Key& key) {
+    if (arena_ != nullptr) return arena_->acquire(key);
+    return new Node(key);
+  }
+
+  void release_node(Node* t) {
+    if (arena_ != nullptr) {
+      arena_->release(t);
+    } else {
+      delete t;
+    }
+  }
+
+  void destroy(Node* t) {
     if (t == nullptr) return;
+    if (arena_ != nullptr) {
+      arena_->release_tree(t);
+      return;
+    }
     destroy(t->left);
     destroy(t->right);
     delete t;
@@ -224,7 +372,7 @@ class Treap {
     return {t, hi};
   }
 
-  static Node* erase_rec(Node* t, const Key& key, bool& removed) {
+  Node* erase_rec(Node* t, const Key& key, bool& removed) {
     if (t == nullptr) return nullptr;
     if (key < t->key) {
       t->left = erase_rec(t->left, key, removed);
@@ -232,7 +380,7 @@ class Treap {
       t->right = erase_rec(t->right, key, removed);
     } else {
       Node* merged = join(t->left, t->right);
-      delete t;
+      release_node(t);
       removed = true;
       return merged;
     }
@@ -240,7 +388,7 @@ class Treap {
     return t;
   }
 
-  static Node* union_rec(Node* a, Node* b) {
+  Node* union_rec(Node* a, Node* b) {
     if (a == nullptr) return b;
     if (b == nullptr) return a;
     if (a->prio < b->prio) std::swap(a, b);
@@ -254,6 +402,7 @@ class Treap {
     Node* left = nullptr;
     Node* right = nullptr;
     const bool parallel =
+        arena_ == nullptr &&
         size_of(a) + size_of(lo) + size_of(hi) >= treap_detail::kParallelCutoff;
     if (parallel) {
 #pragma omp task shared(left)
@@ -271,7 +420,7 @@ class Treap {
   }
 
   /// a \ b, built from a's nodes. `b` is only read; the caller reclaims it.
-  static Node* diff_rec(Node* a, const Node* b) {
+  Node* diff_rec(Node* a, const Node* b) {
     if (a == nullptr || b == nullptr) return a;
     // Partition a around b's root key; the match (if present) is the
     // minimum of the >=-side. Remove it.
@@ -283,6 +432,7 @@ class Treap {
     Node* left = nullptr;
     Node* right = nullptr;
     const bool parallel =
+        arena_ == nullptr &&
         size_of(lo) + size_of(hi) + size_of(b) >= treap_detail::kParallelCutoff;
     if (parallel) {
 #pragma omp task shared(left)
@@ -296,18 +446,18 @@ class Treap {
     return join(left, right);
   }
 
-  static Node* build_rec(const std::vector<Key>& sorted, std::size_t lo,
-                         std::size_t hi) {
+  Node* build_rec(const std::vector<Key>& sorted, std::size_t lo,
+                  std::size_t hi) {
     if (lo >= hi) return nullptr;
     // Root = max priority in range; recursing on the midpoint instead would
     // break the heap property, so find the max-priority element. For O(n)
     // total work we use the standard trick: build by divide-and-conquer on
     // position, then fix the heap property with joins.
     const std::size_t mid = lo + (hi - lo) / 2;
-    Node* root = new Node(sorted[mid]);
+    Node* root = make_node(sorted[mid]);
     Node* left = nullptr;
     Node* right = nullptr;
-    if (hi - lo >= treap_detail::kParallelCutoff) {
+    if (arena_ == nullptr && hi - lo >= treap_detail::kParallelCutoff) {
 #pragma omp task shared(left, sorted)
       left = build_rec(sorted, lo, mid);
       right = build_rec(sorted, mid + 1, hi);
@@ -342,6 +492,7 @@ class Treap {
   }
 
   Node* root_ = nullptr;
+  TreapArena<Key>* arena_ = nullptr;
 };
 
 }  // namespace rs

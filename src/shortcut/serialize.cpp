@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -39,6 +41,20 @@ std::vector<T> get_vec(std::istream& in, std::size_t count) {
           static_cast<std::streamsize>(count * sizeof(T)));
   if (!in) throw std::runtime_error("load_preprocessing: truncated input");
   return v;
+}
+
+/// Bytes left in `in` from the current position, or nullopt when the
+/// stream is not seekable. Restores the read position.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (!in || end == std::istream::pos_type(-1) || end < cur) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - cur);
 }
 
 }  // namespace
@@ -91,7 +107,34 @@ PreprocessResult load_preprocessing(std::istream& in) {
   pre.added_factor = get<double>(in);
   const Vertex n = get<Vertex>(in);
   const EdgeId m = get<EdgeId>(in);
-  auto offsets = get_vec<EdgeId>(in, n + 1);
+  // The header counts are untrusted: bound them BEFORE allocating. The CSR
+  // re-validation below never runs if a corrupt `n`/`m` wraps `n + 1` or
+  // requests absurd buffers first (a memory bomb / bad_alloc, not a clean
+  // parse error).
+  if (n >= kNoVertex) {
+    throw std::runtime_error("load_preprocessing: corrupt vertex count");
+  }
+  constexpr std::uint64_t kArcBytes = sizeof(Vertex) + sizeof(Weight);
+  if (m > std::numeric_limits<std::uint64_t>::max() / kArcBytes) {
+    throw std::runtime_error("load_preprocessing: corrupt edge count");
+  }
+  if (const auto remaining = remaining_bytes(in)) {
+    // Every count must fit in the bytes the stream actually has left;
+    // checked term by term so the running sum cannot overflow.
+    std::uint64_t budget = *remaining;
+    const auto take = [&budget](std::uint64_t bytes) {
+      if (bytes > budget) {
+        throw std::runtime_error(
+            "load_preprocessing: header counts exceed input size");
+      }
+      budget -= bytes;
+    };
+    take((static_cast<std::uint64_t>(n) + 1) * sizeof(EdgeId));
+    take(m * sizeof(Vertex));
+    take(m * sizeof(Weight));
+    take(static_cast<std::uint64_t>(n) * sizeof(Dist));
+  }
+  auto offsets = get_vec<EdgeId>(in, static_cast<std::size_t>(n) + 1);
   auto targets = get_vec<Vertex>(in, m);
   auto weights = get_vec<Weight>(in, m);
   pre.radius = get_vec<Dist>(in, n);

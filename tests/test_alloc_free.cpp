@@ -1,0 +1,151 @@
+// Pins the zero-allocation contract of the warm serving hot path by
+// REPLACING the global allocator with a counting one: after a warm-up
+// query, a sequential-mode query through a reused QueryContext must
+// perform ZERO heap allocations in the engine — for the flat engine
+// (PR 2's contract) and now for the kBst treap engine, whose nodes are
+// recycled through the context's freelist arena.
+//
+// The counter only ticks between arm()/disarm(), so gtest's own setup
+// allocations don't pollute the measurement. Measured queries reuse the
+// same source as the warm-up: state fully resets between queries, so an
+// identical query touches exactly the warmed high-water marks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "core/query_context.hpp"
+#include "core/radii.hpp"
+#include "core/radius_stepping.hpp"
+#include "core/rs_bst.hpp"
+#include "core/rs_unweighted.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "shortcut/ball_search.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_malloc(std::size_t size) {
+  note_allocation();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+// Replaceable global allocation functions ([new.delete]): every form the
+// toolchain may emit forwards to the counting malloc above.
+void* operator new(std::size_t size) { return checked_malloc(size); }
+void* operator new[](std::size_t size) { return checked_malloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rs {
+namespace {
+
+struct AllocationWindow {
+  AllocationWindow() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationWindow() { g_counting.store(false, std::memory_order_relaxed); }
+  std::uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+Graph test_graph() {
+  return assign_uniform_weights(gen::grid2d(20, 18), 5, 1, 100);
+}
+
+TEST(AllocFree, WarmSequentialFlatQueryAllocatesNothing) {
+  const Graph g = test_graph();
+  const auto radius = all_radii(g, 10);
+  QueryContext ctx;
+  ctx.set_sequential(true);
+  std::vector<Dist> out;
+  radius_stepping(g, 3, radius, ctx, out);  // warm-up
+  ASSERT_EQ(out, dijkstra(g, 3));
+
+  std::uint64_t measured;
+  {
+    AllocationWindow window;
+    radius_stepping(g, 3, radius, ctx, out);
+    measured = window.count();
+  }
+  EXPECT_EQ(measured, 0u);
+}
+
+TEST(AllocFree, WarmSequentialBstTreapQueryAllocatesNothing) {
+  // The acceptance pin for the arena treap: a warm sequential kBst query
+  // runs entirely out of the context — recycled treap nodes, reused key
+  // buffers, reused proposal buckets, reused vertex lists.
+  const Graph g = test_graph();
+  const auto radius = all_radii(g, 10);
+  QueryContext ctx;
+  ctx.set_sequential(true);
+  std::vector<Dist> out;
+  radius_stepping_bst(g, 3, radius, ctx, out);  // warm-up
+  ASSERT_EQ(out, dijkstra(g, 3));
+  const std::size_t high_water = ctx.tree_arena().total_nodes();
+
+  std::uint64_t measured;
+  {
+    AllocationWindow window;
+    radius_stepping_bst(g, 3, radius, ctx, out);
+    measured = window.count();
+  }
+  EXPECT_EQ(measured, 0u);
+  // And the arena stayed at its high-water mark (pure freelist recycling).
+  EXPECT_EQ(ctx.tree_arena().total_nodes(), high_water);
+  ASSERT_EQ(out, dijkstra(g, 3));
+}
+
+TEST(AllocFree, WarmSequentialUnweightedQueryAllocatesNothing) {
+  const Graph g = gen::grid2d(20, 18);
+  const auto radius = all_radii(g, 6);
+  QueryContext ctx;
+  ctx.set_sequential(true);
+  std::vector<Dist> out;
+  radius_stepping_unweighted(g, 3, radius, ctx, out);  // warm-up
+
+  std::uint64_t measured;
+  {
+    AllocationWindow window;
+    radius_stepping_unweighted(g, 3, radius, ctx, out);
+    measured = window.count();
+  }
+  EXPECT_EQ(measured, 0u);
+}
+
+TEST(AllocFree, CountingAllocatorIsLive) {
+  // Sanity check that the instrumentation actually observes allocations —
+  // otherwise the zero-assertions above would pass vacuously.
+  std::uint64_t measured;
+  {
+    AllocationWindow window;
+    std::vector<int>* v = new std::vector<int>(100);
+    delete v;
+    measured = window.count();
+  }
+  EXPECT_GT(measured, 0u);
+}
+
+}  // namespace
+}  // namespace rs

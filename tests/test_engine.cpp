@@ -1,10 +1,13 @@
 #include "core/engine.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "baseline/dijkstra.hpp"
+#include "core/radii.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
@@ -67,6 +70,48 @@ TEST(SsspEngine, QueryBatchMatchesIndividualQueries) {
     EXPECT_EQ(batch[i].source, sources[i]);
     EXPECT_EQ(batch[i].dist, engine.query(sources[i]).dist);
   }
+}
+
+TEST(SsspEngine, PathOnDirectedGraphFollowsArcDirections) {
+  // One-way ring plus a heavy direct arc 0 -> 9: the shortest route to 9
+  // walks the ring, and every hop must respect arc direction. Pre-fix,
+  // parents were derived from OUTGOING arcs and the reconstruction
+  // returned no usable route on one-way graphs.
+  BuildOptions directed;
+  directed.symmetrize = false;
+  const Vertex n = 10;
+  std::vector<EdgeTriple> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<Vertex>((v + 1) % n), 1});
+  }
+  edges.push_back({0, 9, 50});  // never the shortest route
+  PreprocessResult pre;
+  pre.graph = build_graph(n, std::move(edges), directed);
+  pre.radius = constant_radii(n, 25);
+  pre.options.heuristic = ShortcutHeuristic::kNone;
+  const SsspEngine engine(pre.graph, pre);
+
+  const QueryResult q = engine.query(0);
+  ASSERT_EQ(q.dist[9], 9u);
+  const auto path = engine.path(q, 9);
+  ASSERT_EQ(path.size(), 10u);
+  for (Vertex v = 0; v < n; ++v) EXPECT_EQ(path[v], v);
+}
+
+TEST(SsspEngine, PathRejectsForeignQueryResult) {
+  const Graph g = assign_uniform_weights(gen::grid2d(6, 6), 1, 1, 9);
+  PreprocessOptions opts;
+  opts.rho = 6;
+  const SsspEngine engine(g, opts);
+  // Default-constructed result: empty dist vector, must throw rather than
+  // index out of bounds.
+  EXPECT_THROW(engine.path(QueryResult{}, 0), std::invalid_argument);
+  // Result from an engine over a different-sized graph: same guard.
+  const Graph small = assign_uniform_weights(gen::grid2d(3, 3), 2, 1, 9);
+  PreprocessOptions small_opts;
+  small_opts.rho = 4;
+  const SsspEngine small_engine(small, small_opts);
+  EXPECT_THROW(engine.path(small_engine.query(0), 0), std::invalid_argument);
 }
 
 TEST(SsspEngine, PathToUnreachableIsEmpty) {
@@ -145,6 +190,65 @@ TEST(Serialize, RejectsTruncation) {
   const std::string full = buf.str();
   std::stringstream cut(full.substr(0, full.size() / 2));
   EXPECT_THROW(load_preprocessing(cut), std::runtime_error);
+}
+
+// Byte offsets of the untrusted header counts in the RSPP format: magic(4)
+// + version(4) + rho(4) + k(4) + heuristic(1) + settle_ties(1) +
+// added_edges(8) + added_factor(8).
+constexpr std::size_t kVertexCountOffset = 34;
+constexpr std::size_t kEdgeCountOffset = 38;
+
+std::string valid_preprocessing_bytes() {
+  const Graph g = assign_uniform_weights(gen::grid2d(5, 5), 7);
+  PreprocessOptions opts;
+  opts.rho = 6;
+  std::stringstream buf;
+  save_preprocessing(preprocess(g, opts), buf);
+  return buf.str();
+}
+
+TEST(Serialize, RejectsCorruptEdgeCountBeforeAllocating) {
+  std::string bytes = valid_preprocessing_bytes();
+  ASSERT_GT(bytes.size(), kEdgeCountOffset + 8);
+  // A ~10^12-arc claim must fail as a clean parse error (header bound
+  // against the stream size), not as a multi-terabyte allocation attempt.
+  const std::uint64_t huge_m = 1ull << 40;
+  std::memcpy(&bytes[kEdgeCountOffset], &huge_m, sizeof(huge_m));
+  std::stringstream in(bytes);
+  EXPECT_THROW(load_preprocessing(in), std::runtime_error);
+  // All-ones m would overflow the byte-count math itself.
+  const std::uint64_t wrap_m = ~0ull;
+  std::memcpy(&bytes[kEdgeCountOffset], &wrap_m, sizeof(wrap_m));
+  std::stringstream in2(bytes);
+  EXPECT_THROW(load_preprocessing(in2), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptVertexCount) {
+  std::string bytes = valid_preprocessing_bytes();
+  // n = 0xFFFFFFFF makes the legacy `n + 1` offsets count wrap; it must be
+  // rejected outright.
+  const std::uint32_t bad_n = 0xFFFFFFFFu;
+  std::memcpy(&bytes[kVertexCountOffset], &bad_n, sizeof(bad_n));
+  std::stringstream in(bytes);
+  EXPECT_THROW(load_preprocessing(in), std::runtime_error);
+  // A large-but-not-wrapping n must still be bounded by the stream size.
+  std::string bytes2 = valid_preprocessing_bytes();
+  const std::uint32_t big_n = 0x7FFFFFFFu;
+  std::memcpy(&bytes2[kVertexCountOffset], &big_n, sizeof(big_n));
+  std::stringstream in2(bytes2);
+  EXPECT_THROW(load_preprocessing(in2), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncationAtEveryBoundary) {
+  const std::string full = valid_preprocessing_bytes();
+  // Cut inside the header, right after the counts, and mid-payload: every
+  // prefix must fail cleanly with an exception, never crash or hang.
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{20}, kVertexCountOffset + 2,
+        kEdgeCountOffset + 8, full.size() / 2, full.size() - 1}) {
+    std::stringstream in(full.substr(0, cut));
+    EXPECT_THROW(load_preprocessing(in), std::runtime_error) << "cut=" << cut;
+  }
 }
 
 TEST(Serialize, FileRoundTrip) {

@@ -1,6 +1,8 @@
 #include "graph/graph.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -216,6 +218,33 @@ TEST(EdgeTriple, EqualityComparesAllFields) {
   EXPECT_TRUE(t != (EdgeTriple{9, 2, 3}));
   EXPECT_TRUE(t != (EdgeTriple{1, 9, 3}));
   EXPECT_TRUE(t != (EdgeTriple{1, 2, 9}));
+}
+
+TEST(Graph, TransposeReversesArcsAndIsInvolutive) {
+  BuildOptions directed;
+  directed.symmetrize = false;
+  const Graph g = build_graph(
+      4, {{0, 1, 5}, {0, 2, 9}, {2, 1, 3}, {3, 0, 7}, {1, 1, 2}}, directed);
+  const Graph t = g.transposed();
+  ASSERT_EQ(t.num_vertices(), g.num_vertices());
+  ASSERT_EQ(t.num_edges(), g.num_edges());
+  // Arc multisets must be exact mirrors (weights kept).
+  auto fwd = g.to_triples();
+  auto rev = t.to_triples();
+  for (auto& e : rev) std::swap(e.u, e.v);
+  const auto key = [](const EdgeTriple& a, const EdgeTriple& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  };
+  std::sort(fwd.begin(), fwd.end(), key);
+  std::sort(rev.begin(), rev.end(), key);
+  EXPECT_EQ(fwd, rev);
+  // Double transpose is the identity up to adjacency order.
+  EXPECT_EQ(t.transposed().with_target_sorted_adjacency(),
+            g.with_target_sorted_adjacency());
+  // A symmetric graph transposes to itself (same arc multiset).
+  const Graph und = build_graph(3, {{0, 1, 4}, {1, 2, 6}});
+  EXPECT_EQ(und.transposed().with_target_sorted_adjacency(),
+            und.with_target_sorted_adjacency());
 }
 
 TEST(Stats, EccentricityAndDiameter) {

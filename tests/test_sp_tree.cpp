@@ -34,6 +34,65 @@ TEST_P(SpTreeTest, ParentsValidForEverySuiteGraph) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpTreeTest, ::testing::Range(1, 4));
 
+TEST(ParentsFromDistances, DirectedChainUsesIncomingArcs) {
+  // 0 -> 1 -> 2 -> 3 with NO reverse arcs: v's predecessor is only visible
+  // through v's incoming arcs. The pre-fix implementation walked v's
+  // outgoing arcs (valid only on symmetric graphs) and returned no parents
+  // at all here.
+  BuildOptions directed;
+  directed.symmetrize = false;
+  const Graph g =
+      build_graph(4, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}, directed);
+  const auto dist = dijkstra(g, 0);
+  const auto parent = parents_from_distances(g, dist);
+  EXPECT_EQ(parent[0], kNoVertex);
+  EXPECT_EQ(parent[1], 0u);
+  EXPECT_EQ(parent[2], 1u);
+  EXPECT_EQ(parent[3], 2u);
+  EXPECT_TRUE(validate_shortest_path_tree(g, dist, parent));
+  EXPECT_EQ(extract_path(parent, 3), (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(ParentsFromDistances, DirectedCycleAndAdversarialSuite) {
+  // Directed cycle: the only route from 0 to v is 0 -> 1 -> ... -> v, and
+  // every arc is one-way.
+  BuildOptions directed;
+  directed.symmetrize = false;
+  const Vertex n = 30;
+  std::vector<EdgeTriple> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<Vertex>((v + 1) % n),
+                     static_cast<Weight>(1 + (v % 5))});
+  }
+  const Graph cycle = build_graph(n, std::move(edges), directed);
+  const auto dist = dijkstra(cycle, 0);
+  const auto parent = parents_from_distances(cycle, dist);
+  EXPECT_TRUE(validate_shortest_path_tree(cycle, dist, parent));
+  for (Vertex v = 1; v < n; ++v) EXPECT_EQ(parent[v], v - 1) << v;
+
+  // And every graph in the adversarial palette (directed arcs, self-loops,
+  // parallel arcs) must yield a validating tree.
+  for (const auto& [name, g] : test::adversarial_suite(3)) {
+    const auto d = dijkstra(g, 0);
+    const auto p = parents_from_distances(g, d);
+    EXPECT_TRUE(validate_shortest_path_tree(g, d, p)) << name;
+  }
+}
+
+TEST(ParentsFromDistances, PrebuiltTransposeMatchesAndValidates) {
+  for (const auto& [name, g] : test::weighted_suite(9)) {
+    const auto dist = dijkstra(g, 0);
+    const Graph tg = g.transposed();
+    EXPECT_EQ(parents_from_distances(g, tg, dist),
+              parents_from_distances(g, dist))
+        << name;
+  }
+  const Graph g = build_graph(3, {{0, 1, 1}, {1, 2, 1}});
+  EXPECT_THROW(
+      parents_from_distances(g, build_graph(2, {{0, 1, 1}}), dijkstra(g, 0)),
+      std::invalid_argument);
+}
+
 TEST(ParentsFromDistances, UnreachableGetNoParent) {
   const Graph g = build_graph(4, {{0, 1, 3}});
   const auto dist = dijkstra(g, 0);
