@@ -28,7 +28,8 @@ int main() {
   std::printf("  %3s %12s %10s %12s %14s %12s\n", "k", "added-factor",
               "steps", "substeps", "max-substeps", "bound(k+2)");
   const auto sources = sample_sources(g, std::min(s.sources, 6));
-  for (const Vertex k : {Vertex{1}, Vertex{2}, Vertex{3}, Vertex{4}, Vertex{6}}) {
+  for (const Vertex k :
+       {Vertex{1}, Vertex{2}, Vertex{3}, Vertex{4}, Vertex{6}}) {
     PreprocessOptions opts;
     opts.rho = 32;
     opts.k = k;

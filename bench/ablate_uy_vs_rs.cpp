@@ -18,7 +18,8 @@ int main() {
   using namespace rs::exp;
   Scale s = scale_from_env();
   s.road_side = std::min<Vertex>(s.road_side, 72);
-  const Graph g = paper_weighted(gen::road_network(s.road_side, s.road_side, 101));
+  const Graph g =
+      paper_weighted(gen::road_network(s.road_side, s.road_side, 101));
   const Vertex n = g.num_vertices();
   std::printf("=== Ablation — UY hub shortcutting vs Radius-Stepping ===\n");
   std::printf("road network |V|=%u |E|=%llu\n\n", n,
@@ -28,7 +29,8 @@ int main() {
   const auto ref = dijkstra(g, ref_src);
 
   std::printf("UY (hop limit = whp default):\n");
-  std::printf("  %8s %14s %12s %8s\n", "hubs", "added-edges", "rounds", "exact");
+  std::printf("  %8s %14s %12s %8s\n", "hubs", "added-edges", "rounds",
+              "exact");
   for (const Vertex hubs : {Vertex(n / 64), Vertex(n / 16), Vertex(n / 4)}) {
     const UYShortcutResult pre = uy_preprocess(g, std::max<Vertex>(1, hubs), 7);
     std::size_t rounds = 0;

@@ -39,7 +39,8 @@ void BM_Pack(benchmark::State& state) {
   std::vector<std::uint32_t> in(n);
   for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::uint32_t>(i);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pack(in, [&](std::size_t i) { return (in[i] & 7) == 0; }));
+    benchmark::DoNotOptimize(
+        pack(in, [&](std::size_t i) { return (in[i] & 7) == 0; }));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

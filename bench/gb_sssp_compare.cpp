@@ -48,7 +48,9 @@ const Fixture& web_fixture() {
   return f;
 }
 
-const Fixture& fixture(int idx) { return idx == 0 ? road_fixture() : web_fixture(); }
+const Fixture& fixture(int idx) {
+  return idx == 0 ? road_fixture() : web_fixture();
+}
 
 void args(benchmark::internal::Benchmark* b) {
   b->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

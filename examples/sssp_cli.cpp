@@ -39,7 +39,8 @@ class Args {
     for (int i = first; i < argc; ++i) {
       std::string a = argv[i];
       const bool is_flag =
-          a.size() >= 2 && a[0] == '-' && !std::isdigit(static_cast<unsigned char>(a[1]));
+          a.size() >= 2 && a[0] == '-' &&
+          !std::isdigit(static_cast<unsigned char>(a[1]));
       if (is_flag && i + 1 < argc) {
         kv_[a] = argv[++i];
       } else {
@@ -73,7 +74,8 @@ int cmd_gen(const Args& args) {
   const std::string type = args.get("--type", "grid2d");
   const Vertex side = static_cast<Vertex>(args.get_int("--side", 100));
   const Vertex n = static_cast<Vertex>(args.get_int("--n", 10000));
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("--seed", 1));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("--seed", 1));
   const Weight wmax = static_cast<Weight>(args.get_int("--weights", 0));
   const std::string out = args.get("-o", args.get("--out", "graph.gr"));
 
@@ -85,14 +87,16 @@ int cmd_gen(const Args& args) {
   } else if (type == "road") {
     g = gen::road_network(side, side, seed);
   } else if (type == "ba" || type == "web") {
-    g = gen::barabasi_albert(n, static_cast<Vertex>(args.get_int("--deg", 5)), seed);
+    g = gen::barabasi_albert(n, static_cast<Vertex>(args.get_int("--deg", 5)),
+                             seed);
   } else if (type == "rmat") {
     g = largest_component(
         gen::rmat(static_cast<std::uint32_t>(args.get_int("--scale", 14)),
                   static_cast<EdgeId>(args.get_int("--factor", 8)), seed));
   } else if (type == "er") {
     g = largest_component(
-        gen::erdos_renyi(n, static_cast<EdgeId>(args.get_int("--m", 4 * n)), seed));
+        gen::erdos_renyi(n, static_cast<EdgeId>(args.get_int("--m", 4 * n)),
+                         seed));
   } else if (type == "rgg") {
     const double radius = args.get_int("--rgg-radius-milli", 50) / 1000.0;
     g = largest_component(gen::random_geometric(n, radius, seed));
@@ -121,7 +125,8 @@ int cmd_stats(const Args& args) {
   std::printf("degree      min %llu  max %llu  mean %.2f\n",
               static_cast<unsigned long long>(d.min),
               static_cast<unsigned long long>(d.max), d.mean);
-  std::printf("weights     min %u  max %u (L)\n", g.min_weight(), g.max_weight());
+  std::printf("weights     min %u  max %u (L)\n", g.min_weight(),
+              g.max_weight());
   std::printf("connected   %s\n", is_connected(g) ? "yes" : "no");
   std::printf("diameter    >= %u hops (double sweep)\n", approx_diameter(g));
   return 0;

@@ -18,7 +18,9 @@ inline std::vector<Dist> constant_radii(Vertex n, Dist r) {
   return std::vector<Dist>(n, r);
 }
 
-inline std::vector<Dist> dijkstra_radii(Vertex n) { return constant_radii(n, 0); }
+inline std::vector<Dist> dijkstra_radii(Vertex n) {
+  return constant_radii(n, 0);
+}
 
 /// Large enough that delta + r exceeds every real distance, small enough
 /// never to overflow when added to a tentative distance.

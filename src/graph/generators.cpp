@@ -57,7 +57,9 @@ Graph grid2d(Vertex rows, Vertex cols) {
 }
 
 Graph grid3d(Vertex nx, Vertex ny, Vertex nz) {
-  if (nx == 0 || ny == 0 || nz == 0) throw std::invalid_argument("grid3d: empty");
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw std::invalid_argument("grid3d: empty");
+  }
   const Vertex n = nx * ny * nz;
   auto id = [&](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
   std::vector<EdgeTriple> edges;
@@ -77,7 +79,9 @@ Graph grid3d(Vertex nx, Vertex ny, Vertex nz) {
 
 Graph road_network(Vertex rows, Vertex cols, std::uint64_t seed,
                    double keep_prob, double diag_prob) {
-  if (rows < 2 || cols < 2) throw std::invalid_argument("road_network: too small");
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("road_network: too small");
+  }
   const Vertex n = rows * cols;
   const SplitRng rng(seed);
 
@@ -144,7 +148,8 @@ Graph barabasi_albert(Vertex n, Vertex edges_per_vertex, std::uint64_t seed) {
     picked.clear();
     while (picked.size() < m0) {
       const Vertex t = endpoints[rng.bounded(0, draw++, endpoints.size())];
-      if (t != u && std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      if (t != u &&
+          std::find(picked.begin(), picked.end(), t) == picked.end()) {
         picked.push_back(t);
       }
     }
@@ -250,7 +255,8 @@ Graph random_geometric(Vertex n, double radius, std::uint64_t seed,
   const std::uint32_t cells =
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius));
   const double cell = 1.0 / cells;
-  std::vector<std::vector<Vertex>> grid(static_cast<std::size_t>(cells) * cells);
+  std::vector<std::vector<Vertex>> grid(static_cast<std::size_t>(cells) *
+                                        cells);
   auto cell_of = [&](double c) {
     return std::min<std::uint32_t>(cells - 1,
                                    static_cast<std::uint32_t>(c / cell));

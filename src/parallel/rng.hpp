@@ -20,7 +20,8 @@ inline std::uint64_t hash64(std::uint64_t x) {
 /// Deterministic PRNG addressed by (seed, stream, index).
 class SplitRng {
  public:
-  explicit SplitRng(std::uint64_t seed) : seed_(hash64(seed ^ 0xdb91f34c8a5e02d7ull)) {}
+  explicit SplitRng(std::uint64_t seed)
+      : seed_(hash64(seed ^ 0xdb91f34c8a5e02d7ull)) {}
 
   /// The i-th value of stream `stream`; pure function of (seed, stream, i).
   std::uint64_t get(std::uint64_t stream, std::uint64_t i) const {

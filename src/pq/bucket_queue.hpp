@@ -80,7 +80,8 @@ class BucketQueue {
   }
 
  private:
-  static constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kAbsent =
+      std::numeric_limits<std::size_t>::max();
 
   void remove_from_bucket(Vertex id, std::size_t b) {
     std::vector<Vertex>& vec = buckets_[b % num_buckets_];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <stdexcept>
 
 #include <omp.h>
@@ -10,14 +11,21 @@
 
 namespace rs {
 
-BallSearchWorkspace::BallSearchWorkspace(Vertex n)
-    : dist_(n, 0), hops_(n, 0), parent_(n, kNoVertex), stamp_(n, 0), heap_(n) {}
+void BallSearchWorkspace::reserve(Vertex n) {
+  if (n <= capacity()) return;
+  dist_.resize(n, 0);
+  hops_.resize(n, 0);
+  parent_.resize(n, kNoVertex);
+  stamp_.resize(n, 0);  // 0 != epoch_ once any search ran: entries are fresh
+  heap_.reserve(n);
+}
 
-Ball BallSearchWorkspace::run(const Graph& g, Vertex source,
-                              const BallOptions& opts) {
+void BallSearchWorkspace::run(const Graph& g, Vertex source,
+                              const BallOptions& opts, Ball& out) {
   const Vertex rho = opts.rho;
   if (rho == 0) throw std::invalid_argument("ball_search: rho must be >= 1");
   const Vertex edge_limit = opts.edge_limit == 0 ? rho : opts.edge_limit;
+  reserve(g.num_vertices());
   ++epoch_;
   if (epoch_ == 0) {  // stamp wrap: force-reset once every 2^32 searches
     std::fill(stamp_.begin(), stamp_.end(), 0);
@@ -25,8 +33,11 @@ Ball BallSearchWorkspace::run(const Graph& g, Vertex source,
   }
   heap_.clear();
 
-  Ball ball;
+  Ball& ball = out;
   ball.source = source;
+  ball.vertices.clear();  // keeps capacity: warm reruns don't reallocate
+  ball.radius = 0;
+  ball.arcs_scanned = 0;
   ball.vertices.reserve(rho + 4);
 
   auto touch = [&](Vertex v, Dist d, Vertex h, Vertex p) {
@@ -75,31 +86,11 @@ Ball BallSearchWorkspace::run(const Graph& g, Vertex source,
                                     ? 0
                                     : ball.vertices.back().dist);
   heap_.clear();
-  return ball;
 }
 
 Ball ball_search(const Graph& g, Vertex source, Vertex rho, Vertex edge_limit) {
   BallSearchWorkspace ws(g.num_vertices());
   return ws.run(g, source, rho, edge_limit);
-}
-
-std::vector<Dist> all_radii(const Graph& g, Vertex rho) {
-  const Graph gw = g.with_weight_sorted_adjacency();
-  const Vertex n = g.num_vertices();
-  std::vector<Dist> radius(n, 0);
-  // Radii only: the tie class never affects r_rho, so stop at the rho-th
-  // pop (far cheaper on unweighted hub graphs than the full §5.1 protocol).
-  const BallOptions opts{rho, 0, /*settle_ties=*/false};
-#pragma omp parallel num_threads(num_workers())
-  {
-    BallSearchWorkspace ws(n);
-#pragma omp for schedule(dynamic, 16)
-    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      radius[static_cast<std::size_t>(v)] =
-          ws.run(gw, static_cast<Vertex>(v), opts).radius;
-    }
-  }
-  return radius;
 }
 
 bool radii_enclose_rho(const Graph& g, const std::vector<Dist>& radius,
@@ -111,14 +102,18 @@ bool radii_enclose_rho(const Graph& g, const std::vector<Dist>& radius,
 #pragma omp parallel num_threads(num_workers())
   {
     BallSearchWorkspace ws(n);
+    Ball ball;
 #pragma omp for schedule(dynamic, 16)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       if (!ok.load(std::memory_order_relaxed)) continue;
-      // Unrestricted edge limit: the check must count the true ball, and
-      // settle_ties makes the count include the whole boundary class.
-      const Ball ball = ws.run(
-          gw, static_cast<Vertex>(v),
-          BallOptions{rho, static_cast<Vertex>(n), /*settle_ties=*/true});
+      // Unrestricted edge limit (max Vertex, not n — multigraph vertices
+      // can carry more than n parallel arcs): the check must count the
+      // true ball, and settle_ties makes the count include the whole
+      // boundary class.
+      ws.run(gw, static_cast<Vertex>(v),
+             BallOptions{rho, std::numeric_limits<Vertex>::max(),
+                         /*settle_ties=*/true},
+             ball);
       // Members within radius[v]:
       std::size_t inside = 0;
       for (const BallVertex& bv : ball.vertices) {

@@ -52,14 +52,32 @@ struct BallOptions {
 };
 
 /// Reusable per-thread state so that n parallel ball searches don't pay an
-/// O(n) reset each. All arrays are lazily stamped.
+/// O(n) reset each. All arrays are lazily stamped; capacity only grows, so
+/// one workspace serves graphs of different sizes back to back (stale
+/// stamps from a larger graph can never alias — the epoch is monotone).
 class BallSearchWorkspace {
  public:
-  explicit BallSearchWorkspace(Vertex n);
+  BallSearchWorkspace() = default;
+  explicit BallSearchWorkspace(Vertex n) { reserve(n); }
 
-  /// Computes the rho-ball of `source`. `g` must have weight-sorted
-  /// adjacency.
-  Ball run(const Graph& g, Vertex source, const BallOptions& opts);
+  /// Grows every per-vertex array to cover `n` vertices; never shrinks.
+  void reserve(Vertex n);
+
+  /// Largest vertex count the workspace is warmed up for.
+  Vertex capacity() const { return static_cast<Vertex>(stamp_.size()); }
+
+  /// Computes the rho-ball of `source` into `out`, reusing its capacity —
+  /// a warm workspace + ball pair performs zero heap allocations. `g` must
+  /// have weight-sorted adjacency (any adjacency order is fine when
+  /// opts.edge_limit covers every arc).
+  void run(const Graph& g, Vertex source, const BallOptions& opts, Ball& out);
+
+  /// Value-returning form (allocates the ball's vertex list).
+  Ball run(const Graph& g, Vertex source, const BallOptions& opts) {
+    Ball ball;
+    run(g, source, opts, ball);
+    return ball;
+  }
 
   /// Convenience overload with default options.
   Ball run(const Graph& g, Vertex source, Vertex rho, Vertex edge_limit = 0) {
@@ -82,7 +100,7 @@ class BallSearchWorkspace {
   std::vector<Vertex> parent_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
-  IndexedHeap<Key> heap_;
+  IndexedHeap<Key> heap_{0};
 };
 
 /// One-shot convenience wrapper (allocates a workspace internally).

@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "graph/builder.hpp"
-#include "shortcut/ball_search.hpp"
+#include "shortcut/preprocess_context.hpp"
 
 namespace rs {
 
@@ -50,16 +50,20 @@ PreprocessResult preprocess_global(const Graph& g,
   result.radius.assign(n, 0);
 
   ExtraEdges extra(n);
-  BallSearchWorkspace ws(n);
+  PreprocessContext ctx(n);
   const BallOptions ball_opts{options.rho, 0, options.settle_ties};
 
-  // Scratch: global vertex -> position in the current ball (stamped).
+  // Scratch: global vertex -> position in the current ball (stamped), plus
+  // the per-ball hop/pred arrays — all hoisted so the source loop performs
+  // no per-ball allocations beyond the committed-edge growth.
   std::vector<std::uint32_t> pos(n, 0);
   std::vector<std::uint32_t> pos_stamp(n, 0);
   std::uint32_t stamp = 0;
+  std::vector<Vertex> hop;
+  std::vector<std::uint32_t> pred;
 
   for (Vertex s = 0; s < n; ++s) {
-    const Ball ball = ws.run(gw, s, ball_opts);
+    const Ball& ball = ctx.ball(gw, s, ball_opts);
     result.radius[s] = ball.radius;
     const std::size_t b = ball.vertices.size();
     ++stamp;
@@ -74,8 +78,8 @@ PreprocessResult preprocess_global(const Graph& g,
     // predecessor (strictly smaller distance; weights >= 1) is already
     // labelled. hop[i] also tracks the argmin predecessor for the cover
     // rule's climb.
-    std::vector<Vertex> hop(b, 0);
-    std::vector<std::uint32_t> pred(b, 0);
+    hop.assign(b, 0);
+    pred.assign(b, 0);
     for (std::size_t i = 1; i < b; ++i) {
       const BallVertex& bv = ball.vertices[i];
       Vertex best_hop = std::numeric_limits<Vertex>::max();

@@ -1,31 +1,60 @@
 #include "shortcut/kradius.hpp"
 
+#include <limits>
+
 #include <omp.h>
 
-#include "baseline/dijkstra.hpp"
 #include "parallel/primitives.hpp"
 
 namespace rs {
 
-Dist k_radius_exact(const Graph& g, Vertex source, Vertex k) {
-  const ShortestPathTreeResult tree = dijkstra_min_hop_tree(g, source);
+Dist k_radius_exact(const Graph& g, Vertex source, Vertex k,
+                    PreprocessContext& ctx) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return kInfDist;
+  // An unrestricted, whole-graph ball search settles every reachable
+  // vertex in (dist, hops) order — exactly the min-hop shortest-path tree
+  // dijkstra_min_hop_tree builds, but on the context's reusable scratch.
+  // The edge limit must cover every arc of every vertex (so adjacency
+  // order doesn't matter): use the max Vertex, not n — a multigraph vertex
+  // can carry more than n parallel arcs.
+  const BallOptions opts{n, std::numeric_limits<Vertex>::max(), true};
+  const Ball& ball = ctx.ball(g, source, opts);
   Dist best = kInfDist;
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (tree.dist[v] == kInfDist || v == source) continue;
-    if (tree.hops[v] > k && tree.dist[v] < best) best = tree.dist[v];
+  for (const BallVertex& bv : ball.vertices) {
+    if (bv.hops > k && bv.dist < best) best = bv.dist;
   }
   return best;
 }
 
-std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k) {
+Dist k_radius_exact(const Graph& g, Vertex source, Vertex k) {
+  PreprocessContext ctx(g.num_vertices());
+  return k_radius_exact(g, source, k, ctx);
+}
+
+std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k,
+                                    PreprocessPool& pool) {
   const Vertex n = g.num_vertices();
   std::vector<Dist> out(n, kInfDist);
-#pragma omp parallel for schedule(dynamic, 4) num_threads(num_workers())
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    out[static_cast<std::size_t>(v)] =
-        k_radius_exact(g, static_cast<Vertex>(v), k);
+  const int nw = num_workers();
+  pool.ensure(static_cast<std::size_t>(nw));
+#pragma omp parallel num_threads(nw)
+  {
+    PreprocessContext& ctx =
+        pool.at(static_cast<std::size_t>(omp_get_thread_num()));
+    ctx.reserve(n);
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      out[static_cast<std::size_t>(v)] =
+          k_radius_exact(g, static_cast<Vertex>(v), k, ctx);
+    }
   }
   return out;
+}
+
+std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k) {
+  PreprocessPool pool;
+  return all_k_radii_exact(g, k, pool);
 }
 
 bool is_k_rho_graph(const Graph& g, const std::vector<Dist>& radius, Vertex k) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "shortcut/preprocess_context.hpp"
 
 namespace rs {
 
@@ -14,8 +15,18 @@ namespace rs {
 /// no such vertex exists.
 Dist k_radius_exact(const Graph& g, Vertex source, Vertex k);
 
+/// Context-reusing form: the full min-hop search runs on `ctx`'s ball
+/// scratch (an unrestricted ball search IS the min-hop Dijkstra tree), so
+/// n-source sweeps perform no per-source allocations once warm.
+Dist k_radius_exact(const Graph& g, Vertex source, Vertex k,
+                    PreprocessContext& ctx);
+
 /// r̄_k for all vertices (n single-source runs, parallelized).
 std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k);
+
+/// Pooled form: per-worker search state drawn from `pool`.
+std::vector<Dist> all_k_radii_exact(const Graph& g, Vertex k,
+                                    PreprocessPool& pool);
 
 /// Verifies the (k, rho)-graph property (Definition 4): r_rho(v) <= r̄_k(v)
 /// for every v. `radius` must hold r_rho values measured on `g`.

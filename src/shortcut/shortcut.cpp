@@ -3,140 +3,136 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
-
-#include <omp.h>
 
 #include "graph/builder.hpp"
-#include "parallel/primitives.hpp"
+#include "shortcut/preprocess_context.hpp"
 
 namespace rs {
 
 namespace {
 
-/// Child adjacency of a ball's shortest-path tree, in local ball indices
-/// (index into ball.vertices; 0 is the source/root). Settle order is a
-/// valid topological order: parents always precede children.
-struct BallTree {
-  std::vector<std::uint32_t> parent;         // local parent index (root: 0 -> itself)
-  std::vector<std::uint32_t> child_offsets;  // CSR over children
-  std::vector<std::uint32_t> children;
-};
-
-BallTree build_tree(const Ball& ball) {
+/// Builds the child adjacency of `ball`'s shortest-path tree into `s`
+/// (s.parent / s.child_offsets / s.children), in local ball indices (index
+/// into ball.vertices; 0 is the source/root). Settle order is a valid
+/// topological order: parents always precede children. All storage is
+/// drawn from the scratch — the global->local map replaces the per-ball
+/// hash map, so a warm scratch builds trees allocation-free.
+void build_tree(const Ball& ball, ShortcutSelectScratch& s) {
   const std::size_t b = ball.vertices.size();
-  BallTree tree;
-  tree.parent.assign(b, 0);
-  std::unordered_map<Vertex, std::uint32_t> local;
-  local.reserve(2 * b);
-  for (std::size_t i = 0; i < b; ++i) local[ball.vertices[i].v] = static_cast<std::uint32_t>(i);
-  std::vector<std::uint32_t> child_count(b, 0);
-  for (std::size_t i = 1; i < b; ++i) {
-    const auto it = local.find(ball.vertices[i].parent);
-    // Parents of settled vertices are themselves settled ball members.
-    tree.parent[i] = it->second;
-    ++child_count[it->second];
-  }
-  tree.child_offsets.assign(b + 1, 0);
+  Vertex max_v = 0;
+  for (const BallVertex& bv : ball.vertices) max_v = std::max(max_v, bv.v);
+  if (b != 0) s.reserve(max_v + 1);
+
   for (std::size_t i = 0; i < b; ++i) {
-    tree.child_offsets[i + 1] = tree.child_offsets[i] + child_count[i];
+    s.local[ball.vertices[i].v] = static_cast<std::uint32_t>(i);
   }
-  tree.children.assign(ball.vertices.empty() ? 0 : tree.child_offsets[b], 0);
-  std::vector<std::uint32_t> cursor(tree.child_offsets.begin(),
-                                    tree.child_offsets.end() - 1);
+
+  s.parent.assign(b, 0);
+  s.child_count.assign(b, 0);
   for (std::size_t i = 1; i < b; ++i) {
-    tree.children[cursor[tree.parent[i]]++] = static_cast<std::uint32_t>(i);
+    // Parents of settled vertices are themselves settled ball members.
+    const std::uint32_t p = s.local[ball.vertices[i].parent];
+    s.parent[i] = p;
+    ++s.child_count[p];
   }
-  return tree;
+  s.child_offsets.assign(b + 1, 0);
+  for (std::size_t i = 0; i < b; ++i) {
+    s.child_offsets[i + 1] = s.child_offsets[i] + s.child_count[i];
+  }
+  s.children.assign(b == 0 ? 0 : s.child_offsets[b], 0);
+  // Reuse child_count as the fill cursor.
+  for (std::size_t i = 0; i < b; ++i) s.child_count[i] = s.child_offsets[i];
+  for (std::size_t i = 1; i < b; ++i) {
+    s.children[s.child_count[s.parent[i]]++] = static_cast<std::uint32_t>(i);
+  }
 }
 
-std::vector<std::uint32_t> select_full(const Ball& ball) {
-  std::vector<std::uint32_t> out;
+void select_full(const Ball& ball, std::vector<std::uint32_t>& out) {
   for (std::size_t i = 1; i < ball.vertices.size(); ++i) {
     if (ball.vertices[i].hops > 1) out.push_back(static_cast<std::uint32_t>(i));
   }
-  return out;
 }
 
-std::vector<std::uint32_t> select_greedy(const Ball& ball, Vertex k) {
+void select_greedy(const Ball& ball, Vertex k,
+                   std::vector<std::uint32_t>& out) {
   // Shortcut tree depths k+1, 2k+1, 3k+1, ... — every node then lies within
   // k hops: a node at depth ki+1+j (0 <= j < k) reaches the shortcut at
   // depth ki+1 in j extra hops after the 1-hop shortcut.
-  std::vector<std::uint32_t> out;
   for (std::size_t i = 1; i < ball.vertices.size(); ++i) {
     const Vertex h = ball.vertices[i].hops;
     if (h > k && (h - 1) % k == 0) out.push_back(static_cast<std::uint32_t>(i));
   }
-  return out;
 }
 
-std::vector<std::uint32_t> select_dp(const Ball& ball, Vertex k) {
+void select_dp(const Ball& ball, Vertex k, ShortcutSelectScratch& s) {
   const std::size_t b = ball.vertices.size();
-  if (b <= 1) return {};
-  const BallTree tree = build_tree(ball);
+  if (b <= 1) return;
+  build_tree(ball, s);
 
   // F[i * (k+1) + t] = min edges into the subtree of local node i so that
   // every node there sits within k hops of the root, given parent(i) is t
   // hops from the root (paper §4.2.2). S[i] = cost when i is shortcut:
   // 1 + sum_child F(child, 1).
   const std::size_t kk = static_cast<std::size_t>(k) + 1;
-  std::vector<std::uint32_t> F(b * kk, 0);
-  std::vector<std::uint32_t> S(b, 0);
+  s.dp_f.assign(b * kk, 0);
+  s.dp_s.assign(b, 0);
 
   // Bottom-up: reverse settle order visits children before parents.
   for (std::size_t i = b; i-- > 1;) {
     std::uint32_t shortcut_cost = 1;
-    for (std::uint32_t c = tree.child_offsets[i]; c < tree.child_offsets[i + 1];
+    for (std::uint32_t c = s.child_offsets[i]; c < s.child_offsets[i + 1];
          ++c) {
-      shortcut_cost += F[tree.children[c] * kk + 1];
+      shortcut_cost += s.dp_f[s.children[c] * kk + 1];
     }
-    S[i] = shortcut_cost;
+    s.dp_s[i] = shortcut_cost;
     for (std::size_t t = 0; t < kk; ++t) {
       if (t == k) {
-        F[i * kk + t] = shortcut_cost;
+        s.dp_f[i * kk + t] = shortcut_cost;
         continue;
       }
       std::uint32_t no_shortcut = 0;
-      for (std::uint32_t c = tree.child_offsets[i];
-           c < tree.child_offsets[i + 1]; ++c) {
-        no_shortcut += F[tree.children[c] * kk + (t + 1)];
+      for (std::uint32_t c = s.child_offsets[i]; c < s.child_offsets[i + 1];
+           ++c) {
+        no_shortcut += s.dp_f[s.children[c] * kk + (t + 1)];
       }
-      F[i * kk + t] = std::min(shortcut_cost, no_shortcut);
+      s.dp_f[i * kk + t] = std::min(shortcut_cost, no_shortcut);
     }
   }
 
   // Trace back top-down. Pairs (node, t); root children start at t = 0.
-  std::vector<std::uint32_t> out;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
-  for (std::uint32_t c = tree.child_offsets[0]; c < tree.child_offsets[1]; ++c) {
-    stack.push_back({tree.children[c], 0});
+  s.stack.clear();
+  for (std::uint32_t c = s.child_offsets[0]; c < s.child_offsets[1]; ++c) {
+    s.stack.push_back({s.children[c], 0});
   }
-  while (!stack.empty()) {
-    const auto [i, t] = stack.back();
-    stack.pop_back();
+  while (!s.stack.empty()) {
+    const auto [i, t] = s.stack.back();
+    s.stack.pop_back();
     bool shortcut = false;
     if (t == k) {
       shortcut = true;
     } else {
       std::uint32_t no_shortcut = 0;
-      for (std::uint32_t c = tree.child_offsets[i];
-           c < tree.child_offsets[i + 1]; ++c) {
-        no_shortcut += F[tree.children[c] * kk + (t + 1)];
+      for (std::uint32_t c = s.child_offsets[i]; c < s.child_offsets[i + 1];
+           ++c) {
+        no_shortcut += s.dp_f[s.children[c] * kk + (t + 1)];
       }
-      shortcut = S[i] < no_shortcut;
+      shortcut = s.dp_s[i] < no_shortcut;
     }
-    if (shortcut) out.push_back(i);
+    if (shortcut) s.selected.push_back(i);
     const std::uint32_t child_t = shortcut ? 1 : t + 1;
-    for (std::uint32_t c = tree.child_offsets[i]; c < tree.child_offsets[i + 1];
+    for (std::uint32_t c = s.child_offsets[i]; c < s.child_offsets[i + 1];
          ++c) {
-      stack.push_back({tree.children[c], child_t});
+      s.stack.push_back({s.children[c], child_t});
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(s.selected.begin(), s.selected.end());
 }
 
 }  // namespace
+
+void ShortcutSelectScratch::reserve(Vertex n) {
+  if (local.size() < n) local.resize(n, 0);
+}
 
 const char* to_string(ShortcutHeuristic h) {
   switch (h) {
@@ -152,32 +148,45 @@ const char* to_string(ShortcutHeuristic h) {
   return "?";
 }
 
-std::vector<std::uint32_t> select_shortcuts(const Ball& ball, Vertex k,
-                                            ShortcutHeuristic heuristic) {
+const std::vector<std::uint32_t>& select_shortcuts(
+    const Ball& ball, Vertex k, ShortcutHeuristic heuristic,
+    ShortcutSelectScratch& scratch) {
+  scratch.selected.clear();  // keeps capacity
   switch (heuristic) {
     case ShortcutHeuristic::kNone:
-      return {};
+      break;
     case ShortcutHeuristic::kFull1Rho:
-      return select_full(ball);
+      select_full(ball, scratch.selected);
+      break;
     case ShortcutHeuristic::kGreedy:
-      return select_greedy(ball, k);
+      select_greedy(ball, k, scratch.selected);
+      break;
     case ShortcutHeuristic::kDP:
-      return select_dp(ball, k);
+      select_dp(ball, k, scratch);
+      break;
   }
-  return {};
+  return scratch.selected;
+}
+
+std::vector<std::uint32_t> select_shortcuts(const Ball& ball, Vertex k,
+                                            ShortcutHeuristic heuristic) {
+  ShortcutSelectScratch scratch;
+  return select_shortcuts(ball, k, heuristic, scratch);
 }
 
 std::size_t min_shortcuts_bruteforce(const Ball& ball, Vertex k) {
   const std::size_t b = ball.vertices.size();
   if (b <= 1) return 0;
   if (b > 20) throw std::invalid_argument("bruteforce: ball too large");
-  const BallTree tree = build_tree(ball);
+  ShortcutSelectScratch tree;
+  build_tree(ball, tree);
 
   std::size_t best = b;  // full shortcutting always works
   const std::size_t subsets = std::size_t{1} << (b - 1);  // nodes 1..b-1
   std::vector<Vertex> depth(b, 0);
   for (std::size_t mask = 0; mask < subsets; ++mask) {
-    const std::size_t count = static_cast<std::size_t>(__builtin_popcountll(mask));
+    const std::size_t count =
+        static_cast<std::size_t>(__builtin_popcountll(mask));
     if (count >= best) continue;
     bool ok = true;
     for (std::size_t i = 1; i < b && ok; ++i) {
@@ -193,57 +202,8 @@ std::size_t min_shortcuts_bruteforce(const Ball& ball, Vertex k) {
 }
 
 PreprocessResult preprocess(const Graph& g, const PreprocessOptions& options) {
-  if (options.rho == 0) throw std::invalid_argument("preprocess: rho >= 1");
-  if (options.k == 0) throw std::invalid_argument("preprocess: k >= 1");
-  const Vertex n = g.num_vertices();
-  const Graph gw = g.with_weight_sorted_adjacency();
-
-  PreprocessResult result;
-  result.options = options;
-  result.radius.assign(n, 0);
-
-  const int nw = num_workers();
-  std::vector<std::vector<EdgeTriple>> shortcuts(static_cast<std::size_t>(nw));
-  const BallOptions ball_opts{options.rho, 0, options.settle_ties};
-#pragma omp parallel num_threads(nw)
-  {
-    BallSearchWorkspace ws(n);
-    auto& mine = shortcuts[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(dynamic, 16)
-    for (std::int64_t sv = 0; sv < static_cast<std::int64_t>(n); ++sv) {
-      const Vertex s = static_cast<Vertex>(sv);
-      const Ball ball = ws.run(gw, s, ball_opts);
-      result.radius[s] = ball.radius;
-      for (const std::uint32_t idx :
-           select_shortcuts(ball, options.k, options.heuristic)) {
-        const BallVertex& bv = ball.vertices[idx];
-        if (bv.dist > std::numeric_limits<Weight>::max()) {
-          throw std::overflow_error("preprocess: shortcut weight overflow");
-        }
-        mine.push_back(EdgeTriple{s, bv.v, static_cast<Weight>(bv.dist)});
-      }
-    }
-  }
-
-  std::vector<EdgeTriple> all;
-  std::size_t total = 0;
-  for (const auto& v : shortcuts) total += v.size();
-  all.reserve(total);
-  for (auto& v : shortcuts) {
-    all.insert(all.end(), v.begin(), v.end());
-    v.clear();
-  }
-
-  const EdgeId before = g.num_undirected_edges();
-  result.graph = (options.heuristic == ShortcutHeuristic::kNone)
-                     ? g
-                     : merge_edges(g, std::move(all));
-  result.added_edges = result.graph.num_undirected_edges() - before;
-  result.added_factor =
-      before == 0 ? 0.0
-                  : static_cast<double>(result.added_edges) /
-                        static_cast<double>(before);
-  return result;
+  PreprocessPool pool;
+  return preprocess(g, options, pool);
 }
 
 }  // namespace rs

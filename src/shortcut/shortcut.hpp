@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -54,11 +55,44 @@ struct PreprocessResult {
 /// kFull1Rho and k = options.k for kGreedy / kDP.
 PreprocessResult preprocess(const Graph& g, const PreprocessOptions& options);
 
+/// Reusable scratch for shortcut selection: the ball's shortest-path-tree
+/// CSR, the DP tables, the traceback stack, a global->local index map,
+/// and the output index list. Everything keeps its capacity across balls,
+/// so a warm scratch selects with zero heap allocations. The map needs no
+/// stamping: every slot read (a settled vertex's parent, itself a ball
+/// member) is written earlier in the same call, so stale entries — from
+/// other balls or other graphs — are never consulted.
+struct ShortcutSelectScratch {
+  /// Grows the per-vertex map to cover `n` vertices; never shrinks.
+  void reserve(Vertex n);
+
+  // Ball tree (local ball indices; 0 is the source/root).
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> child_offsets;  // CSR over children
+  std::vector<std::uint32_t> children;
+  std::vector<std::uint32_t> child_count;
+  // DP tables and traceback stack (kDP).
+  std::vector<std::uint32_t> dp_f;
+  std::vector<std::uint32_t> dp_s;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  // Global vertex -> ball index map (replaces a per-ball hash map).
+  std::vector<std::uint32_t> local;
+  // Selected ball-vertex indices, reused across calls.
+  std::vector<std::uint32_t> selected;
+};
+
 /// Shortcut targets for one ball under a heuristic: ball-vertex indices
 /// (into ball.vertices) that receive a direct edge from ball.source.
 /// Exposed for unit tests; preprocess() uses it internally.
 std::vector<std::uint32_t> select_shortcuts(const Ball& ball, Vertex k,
                                             ShortcutHeuristic heuristic);
+
+/// Scratch-reusing form: returns `scratch.selected` (valid until the next
+/// call on the same scratch). The serving shape of the selection step — a
+/// warm scratch performs zero heap allocations per ball.
+const std::vector<std::uint32_t>& select_shortcuts(
+    const Ball& ball, Vertex k, ShortcutHeuristic heuristic,
+    ShortcutSelectScratch& scratch);
 
 /// Minimum number of shortcut edges for one shortest-path tree so that all
 /// members sit within k hops — exhaustive search over subsets, exponential;

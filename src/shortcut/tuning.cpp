@@ -12,7 +12,7 @@ namespace rs {
 
 double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
                              ShortcutHeuristic heuristic, Vertex sample_size,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, PreprocessPool& pool) {
   if (heuristic == ShortcutHeuristic::kNone) return 0.0;
   const Vertex n = g.num_vertices();
   if (n == 0 || g.num_undirected_edges() == 0) return 0.0;
@@ -21,18 +21,21 @@ double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
   const SplitRng rng(seed);
 
   const int nw = num_workers();
+  pool.ensure(static_cast<std::size_t>(nw));
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(nw), 0);
   const BallOptions opts{rho, 0, /*settle_ties=*/false};
 #pragma omp parallel num_threads(nw)
   {
-    BallSearchWorkspace ws(n);
+    PreprocessContext& ctx =
+        pool.at(static_cast<std::size_t>(omp_get_thread_num()));
+    ctx.reserve(n);
     std::uint64_t mine = 0;
 #pragma omp for schedule(dynamic, 4)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(sample_size); ++i) {
       const Vertex src = static_cast<Vertex>(
           rng.bounded(0, static_cast<std::uint64_t>(i), n));
-      const Ball ball = ws.run(gw, src, opts);
-      mine += select_shortcuts(ball, k, heuristic).size();
+      const Ball& ball = ctx.ball(gw, src, opts);
+      mine += ctx.select(ball, k, heuristic).size();
     }
     counts[static_cast<std::size_t>(omp_get_thread_num())] = mine;
   }
@@ -43,18 +46,28 @@ double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
          static_cast<double>(g.num_undirected_edges());
 }
 
+double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
+                             ShortcutHeuristic heuristic, Vertex sample_size,
+                             std::uint64_t seed) {
+  PreprocessPool pool;
+  return estimate_added_factor(g, rho, k, heuristic, sample_size, seed, pool);
+}
+
 TuningAdvice choose_parameters(const Graph& g, double budget_factor, Vertex k,
                                ShortcutHeuristic heuristic, Vertex max_rho,
                                Vertex sample_size, std::uint64_t seed) {
+  // One pool across the whole rho ladder: every rung after the first runs
+  // its sampled balls allocation-free.
+  PreprocessPool pool;
   TuningAdvice advice;
   advice.k = k;
   advice.heuristic = heuristic;
   advice.rho = 8;
-  advice.estimated_factor =
-      estimate_added_factor(g, advice.rho, k, heuristic, sample_size, seed);
+  advice.estimated_factor = estimate_added_factor(g, advice.rho, k, heuristic,
+                                                  sample_size, seed, pool);
   for (Vertex rho = 16; rho <= max_rho && rho < g.num_vertices(); rho *= 2) {
     const double f =
-        estimate_added_factor(g, rho, k, heuristic, sample_size, seed);
+        estimate_added_factor(g, rho, k, heuristic, sample_size, seed, pool);
     if (f > budget_factor) break;
     advice.rho = rho;
     advice.estimated_factor = f;

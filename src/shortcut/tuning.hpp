@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "shortcut/preprocess_context.hpp"
 #include "shortcut/shortcut.hpp"
 
 namespace rs {
@@ -25,6 +26,13 @@ double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
                              Vertex sample_size = 64,
                              std::uint64_t seed = 7);
 
+/// Pooled form: ball + selection scratch drawn from `pool`, so repeated
+/// estimates (the tuning ladder, sweeps) run allocation-free per ball once
+/// the pool is warm.
+double estimate_added_factor(const Graph& g, Vertex rho, Vertex k,
+                             ShortcutHeuristic heuristic, Vertex sample_size,
+                             std::uint64_t seed, PreprocessPool& pool);
+
 struct TuningAdvice {
   Vertex rho = 0;
   Vertex k = 0;
@@ -36,11 +44,9 @@ struct TuningAdvice {
 /// Largest rho from {8, 16, 32, ..., max_rho} whose estimated added-edge
 /// factor stays within `budget_factor` (the paper suggests ~1.0, i.e. at
 /// most doubling the graph). k defaults to the paper's recommendation.
-TuningAdvice choose_parameters(const Graph& g, double budget_factor = 1.0,
-                               Vertex k = 3,
-                               ShortcutHeuristic heuristic = ShortcutHeuristic::kDP,
-                               Vertex max_rho = 1024,
-                               Vertex sample_size = 64,
-                               std::uint64_t seed = 7);
+TuningAdvice choose_parameters(
+    const Graph& g, double budget_factor = 1.0, Vertex k = 3,
+    ShortcutHeuristic heuristic = ShortcutHeuristic::kDP,
+    Vertex max_rho = 1024, Vertex sample_size = 64, std::uint64_t seed = 7);
 
 }  // namespace rs

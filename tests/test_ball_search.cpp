@@ -32,7 +32,8 @@ TEST_P(BallRadiusTest, RadiusMatchesFullDijkstra) {
     const Vertex src = g.num_vertices() / 3;
     const auto full = dijkstra(g, src);
     const Ball ball = ball_search(gw, src, rho);
-    EXPECT_EQ(ball.radius, rho_th_distance(full, rho)) << name << " rho=" << rho;
+    EXPECT_EQ(ball.radius, rho_th_distance(full, rho))
+        << name << " rho=" << rho;
 
     // Every ball member's distance is exact.
     for (const BallVertex& bv : ball.vertices) {
@@ -41,12 +42,14 @@ TEST_P(BallRadiusTest, RadiusMatchesFullDijkstra) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(SeedsAndRhos, BallRadiusTest,
-                         ::testing::Combine(::testing::Values(1, 2),
-                                            ::testing::Values(1, 2, 5, 16, 64)));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRhos, BallRadiusTest,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(1, 2, 5, 16, 64)));
 
 TEST(BallSearch, SourceIsFirstWithZeroDistance) {
-  const Graph g = test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
+  const Graph g =
+      test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
   const Ball ball = ball_search(g, 7, 10);
   ASSERT_FALSE(ball.vertices.empty());
   EXPECT_EQ(ball.vertices[0].v, 7u);
@@ -56,7 +59,8 @@ TEST(BallSearch, SourceIsFirstWithZeroDistance) {
 }
 
 TEST(BallSearch, SettleOrderIsNondecreasing) {
-  const Graph g = test::weighted_suite(2)[2].graph.with_weight_sorted_adjacency();
+  const Graph g =
+      test::weighted_suite(2)[2].graph.with_weight_sorted_adjacency();
   const Ball ball = ball_search(g, 0, 32);
   for (std::size_t i = 1; i < ball.vertices.size(); ++i) {
     EXPECT_LE(ball.vertices[i - 1].dist, ball.vertices[i].dist);
@@ -87,7 +91,8 @@ TEST(BallSearch, ExactRhoModeStopsAtRho) {
 }
 
 TEST(BallSearch, RhoOneIsJustTheSource) {
-  const Graph g = test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
+  const Graph g =
+      test::weighted_suite(1)[0].graph.with_weight_sorted_adjacency();
   const Ball ball = ball_search(g, 4, 1);
   EXPECT_EQ(ball.radius, 0u);
   EXPECT_EQ(ball.vertices.size(), 1u);
@@ -128,7 +133,8 @@ TEST(BallSearch, EdgeRestrictionPreservesRadiiOnDistinctWeights) {
       const Ball unrestricted =
           ws.run(g, 1, BallOptions{rho, static_cast<Vertex>(g.num_vertices()),
                                    true});
-      EXPECT_EQ(restricted.radius, unrestricted.radius) << name << " rho=" << rho;
+      EXPECT_EQ(restricted.radius, unrestricted.radius)
+          << name << " rho=" << rho;
       EXPECT_EQ(restricted.vertices.size(), unrestricted.vertices.size())
           << name << " rho=" << rho;
     }

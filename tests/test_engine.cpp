@@ -46,7 +46,8 @@ TEST(SsspEngine, PathAvoidsShortcutEdgesAndClosesDistance) {
   Dist total = 0;
   for (std::size_t i = 1; i < path.size(); ++i) {
     bool found = false;
-    for (EdgeId e = g.first_arc(path[i - 1]); e < g.last_arc(path[i - 1]); ++e) {
+    for (EdgeId e = g.first_arc(path[i - 1]); e < g.last_arc(path[i - 1]);
+         ++e) {
       if (g.arc_target(e) == path[i]) {
         total += g.arc_weight(e);
         found = true;

@@ -52,7 +52,8 @@ TEST(RoadNetwork, DeterministicInSeed) {
 TEST(RoadNetwork, KeepProbExtremes) {
   // keep_prob = 1 with no diagonals: the full lattice.
   const Graph full = gen::road_network(10, 10, 3, 1.0, 0.0);
-  EXPECT_EQ(full.num_undirected_edges(), gen::grid2d(10, 10).num_undirected_edges());
+  EXPECT_EQ(full.num_undirected_edges(),
+            gen::grid2d(10, 10).num_undirected_edges());
   // keep_prob = 0: exactly the spanning tree.
   const Graph tree = gen::road_network(10, 10, 3, 0.0, 0.0);
   EXPECT_EQ(tree.num_undirected_edges(), 99u);

@@ -61,7 +61,9 @@ TEST(GlobalOpt, BroomCoversFanWithOneEdgePerSource) {
   const Vertex k = 3;
   std::vector<EdgeTriple> edges;
   for (Vertex v = 0; v + 1 <= k; ++v) edges.push_back({v, v + 1, 1});
-  for (Vertex leaf = k + 1; leaf < k + 11; ++leaf) edges.push_back({k, leaf, 1});
+  for (Vertex leaf = k + 1; leaf < k + 11; ++leaf) {
+    edges.push_back({k, leaf, 1});
+  }
   const Graph g = build_graph(k + 11, edges);
   PreprocessOptions opts;
   opts.rho = g.num_vertices();

@@ -109,7 +109,8 @@ TEST(Graph, WeightSortedAdjacency) {
   ASSERT_EQ(ws.size(), 3u);
   EXPECT_TRUE(std::is_sorted(ws.begin(), ws.end()));
   // Same edge multiset.
-  EXPECT_EQ(gw.with_target_sorted_adjacency(), g.with_target_sorted_adjacency());
+  EXPECT_EQ(gw.with_target_sorted_adjacency(),
+            g.with_target_sorted_adjacency());
 }
 
 TEST(Graph, ToTriplesRoundTrip) {
@@ -119,10 +120,10 @@ TEST(Graph, ToTriplesRoundTrip) {
 }
 
 TEST(Graph, RejectsInconsistentCsr) {
-  EXPECT_THROW(Graph({0, 2}, {1}, {1}), std::invalid_argument);      // offsets vs arcs
-  EXPECT_THROW(Graph({0, 1}, {5}, {1}), std::invalid_argument);      // target range
-  EXPECT_THROW(Graph({0, 1}, {0}, {1, 2}), std::invalid_argument);   // weights size
-  EXPECT_THROW(Graph({1, 0}, {}, {}), std::invalid_argument);        // non-monotone
+  EXPECT_THROW(Graph({0, 2}, {1}, {1}), std::invalid_argument);  // offs vs arcs
+  EXPECT_THROW(Graph({0, 1}, {5}, {1}), std::invalid_argument);  // target range
+  EXPECT_THROW(Graph({0, 1}, {0}, {1, 2}), std::invalid_argument);  // wt size
+  EXPECT_THROW(Graph({1, 0}, {}, {}), std::invalid_argument);  // non-monotone
 }
 
 TEST(MergeEdges, AddsNewEdgesAndDedups) {
@@ -204,7 +205,8 @@ TEST(Graph, EqualityComparesAllComponents) {
   const Graph b = triangle();
   EXPECT_TRUE(a == b);
   EXPECT_FALSE(a != b);
-  const Graph different_weight = build_graph(3, {{0, 1, 6}, {1, 2, 3}, {0, 2, 10}});
+  const Graph different_weight =
+      build_graph(3, {{0, 1, 6}, {1, 2, 3}, {0, 2, 10}});
   EXPECT_TRUE(a != different_weight);
   const Graph different_edge = build_graph(3, {{0, 1, 5}, {1, 2, 3}});
   EXPECT_TRUE(a != different_edge);

@@ -29,7 +29,8 @@ TEST(Dimacs, RoundTripPreservesGraph) {
   io::write_dimacs(g, out);
   std::istringstream in(out.str());
   const Graph g2 = io::read_dimacs(in);
-  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+  EXPECT_EQ(g.with_target_sorted_adjacency(),
+            g2.with_target_sorted_adjacency());
 }
 
 TEST(Dimacs, RejectsMissingHeader) {
@@ -91,7 +92,8 @@ TEST(EdgeList, RoundTrip) {
   io::write_edge_list(g, out);
   std::istringstream in(out.str());
   const Graph g2 = io::read_edge_list(in, g.num_vertices());
-  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+  EXPECT_EQ(g.with_target_sorted_adjacency(),
+            g2.with_target_sorted_adjacency());
 }
 
 TEST(EdgeList, RejectsGarbageLine) {
@@ -100,7 +102,8 @@ TEST(EdgeList, RejectsGarbageLine) {
 }
 
 TEST(File, MissingFileThrows) {
-  EXPECT_THROW(io::read_dimacs_file("/nonexistent/file.gr"), std::runtime_error);
+  EXPECT_THROW(io::read_dimacs_file("/nonexistent/file.gr"),
+               std::runtime_error);
   EXPECT_THROW(io::read_edge_list_file("/nonexistent/file.txt"),
                std::runtime_error);
 }
@@ -110,7 +113,8 @@ TEST(File, WriteReadRoundTrip) {
   const std::string path = ::testing::TempDir() + "/rs_io_test.gr";
   io::write_dimacs_file(g, path);
   const Graph g2 = io::read_dimacs_file(path);
-  EXPECT_EQ(g.with_target_sorted_adjacency(), g2.with_target_sorted_adjacency());
+  EXPECT_EQ(g.with_target_sorted_adjacency(),
+            g2.with_target_sorted_adjacency());
 }
 
 }  // namespace

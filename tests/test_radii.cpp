@@ -48,7 +48,8 @@ TEST(Radii, ZeroRadiiSettleOneDistanceClassPerStep) {
       assign_uniform_weights(gen::grid2d(9, 11), /*seed=*/3, 1, 50);
   const auto ref = dijkstra(g, 0);
   RunStats stats;
-  const auto d = radius_stepping(g, 0, dijkstra_radii(g.num_vertices()), &stats);
+  const auto d =
+      radius_stepping(g, 0, dijkstra_radii(g.num_vertices()), &stats);
   EXPECT_EQ(d, ref);
 
   std::set<Dist> classes;
@@ -82,7 +83,8 @@ TEST(Radii, ConstantDeltaRadiiAreCorrectForAnyDelta) {
   const auto ref = dijkstra(g, 2);
   RunStats prev_stats;
   std::size_t prev_steps = 0;
-  for (const Dist delta : {Dist{0}, Dist{1}, Dist{10}, Dist{100}, Dist{10000}}) {
+  for (const Dist delta :
+       {Dist{0}, Dist{1}, Dist{10}, Dist{100}, Dist{10000}}) {
     RunStats stats;
     const auto d =
         radius_stepping(g, 2, constant_radii(g.num_vertices(), delta), &stats);

@@ -58,7 +58,8 @@ TEST_P(CorrectnessTest, MatchesDijkstraForAnyRadii) {
   for (const auto& [name, g] : test::weighted_suite(seed)) {
     const Vertex n = g.num_vertices();
     const Vertex src =
-        static_cast<Vertex>((static_cast<std::uint64_t>(src_pick) * 104729) % n);
+        static_cast<Vertex>((static_cast<std::uint64_t>(src_pick) * 104729) %
+                            n);
     const auto ref = dijkstra(g, src);
 
     EXPECT_EQ(radius_stepping(g, src, dijkstra_radii(n)), ref)
@@ -81,7 +82,8 @@ TEST(RadiusStepping, ZeroRadiiStepsEqualDistinctDistanceClasses) {
   // distinct nonzero distance value (the paper's rho = 1 row).
   for (const auto& [name, g] : test::weighted_suite(9)) {
     RunStats stats;
-    const auto d = radius_stepping(g, 0, dijkstra_radii(g.num_vertices()), &stats);
+    const auto d =
+        radius_stepping(g, 0, dijkstra_radii(g.num_vertices()), &stats);
     EXPECT_EQ(stats.steps, count_distinct_distances(d)) << name;
   }
 }
@@ -236,11 +238,14 @@ TEST(RadiusStepping, ZeroWeightEdgesSettleWithinTheStep) {
     std::vector<EdgeTriple> edges;
     const Vertex n = 60;
     for (Vertex v = 0; v + 1 < n; ++v) {
-      edges.push_back({v, v + 1, static_cast<Weight>(rng.bounded(0, trial * 100 + v, 3))});
+      edges.push_back(
+          {v, v + 1, static_cast<Weight>(rng.bounded(0, trial * 100 + v, 3))});
     }
     for (int extra = 0; extra < 40; ++extra) {
-      const Vertex u = static_cast<Vertex>(rng.bounded(1, trial * 100 + extra, n));
-      const Vertex v = static_cast<Vertex>(rng.bounded(2, trial * 100 + extra, n));
+      const Vertex u =
+          static_cast<Vertex>(rng.bounded(1, trial * 100 + extra, n));
+      const Vertex v =
+          static_cast<Vertex>(rng.bounded(2, trial * 100 + extra, n));
       if (u != v) {
         edges.push_back({u, v, static_cast<Weight>(rng.bounded(3, extra, 4))});
       }

@@ -73,7 +73,9 @@ TEST(SelectShortcuts, DpBeatsGreedyOnPaperCounterexample) {
   // chain 0-1-2-3
   for (Vertex v = 0; v + 1 <= k; ++v) edges.push_back({v, v + 1, 1});
   // leaves 4..13 hanging off vertex 3 (depth k+1)
-  for (Vertex leaf = k + 1; leaf < k + 11; ++leaf) edges.push_back({k, leaf, 1});
+  for (Vertex leaf = k + 1; leaf < k + 11; ++leaf) {
+    edges.push_back({k, leaf, 1});
+  }
   const Graph g = build_graph(k + 11, edges);
   const Ball ball = ball_of(g, 0, g.num_vertices());
   const auto greedy = select_shortcuts(ball, k, ShortcutHeuristic::kGreedy);
@@ -89,12 +91,14 @@ TEST_P(DpOptimalityTest, DpMatchesBruteforceOnRandomBalls) {
   const int seed = GetParam();
   // Small random graphs so the exponential oracle stays cheap.
   const Graph g = assign_uniform_weights(
-      largest_component(gen::erdos_renyi(24, 40, static_cast<std::uint64_t>(seed))),
+      largest_component(
+          gen::erdos_renyi(24, 40, static_cast<std::uint64_t>(seed))),
       static_cast<std::uint64_t>(seed) + 100, 1, 20);
   const Graph gw = g.with_weight_sorted_adjacency();
   BallSearchWorkspace ws(g.num_vertices());
   for (Vertex src = 0; src < g.num_vertices(); src += 3) {
-    const Ball ball = ws.run(gw, src, BallOptions{12, 0, /*settle_ties=*/false});
+    const Ball ball =
+        ws.run(gw, src, BallOptions{12, 0, /*settle_ties=*/false});
     if (ball.vertices.size() > 18) continue;  // keep 2^B tractable
     for (const Vertex k : {Vertex{1}, Vertex{2}, Vertex{3}}) {
       const auto dp = select_shortcuts(ball, k, ShortcutHeuristic::kDP);
@@ -127,7 +131,9 @@ TEST(SelectShortcuts, ShortcutSetActuallyBoundsHops) {
     std::vector<std::size_t> parent(b, 0);
     {
       std::vector<std::int64_t> pos(g.num_vertices(), -1);
-      for (std::size_t i = 0; i < b; ++i) pos[ball.vertices[i].v] = static_cast<std::int64_t>(i);
+      for (std::size_t i = 0; i < b; ++i) {
+        pos[ball.vertices[i].v] = static_cast<std::int64_t>(i);
+      }
       for (std::size_t i = 1; i < b; ++i) {
         parent[i] = static_cast<std::size_t>(pos[ball.vertices[i].parent]);
       }
@@ -212,7 +218,8 @@ TEST(Preprocess, AddedFactorAccounting) {
             g.num_undirected_edges() + pre.added_edges);
   EXPECT_GT(pre.added_edges, 0u);
   EXPECT_NEAR(pre.added_factor,
-              double(pre.added_edges) / double(g.num_undirected_edges()), 1e-12);
+              double(pre.added_edges) / double(g.num_undirected_edges()),
+              1e-12);
   // At most (rho - 1) shortcuts per source (and usually far fewer are new).
   EXPECT_LE(pre.added_edges,
             static_cast<EdgeId>(g.num_vertices()) * (opts.rho - 1));
@@ -261,6 +268,49 @@ TEST(KRadiusExact, HandComputedChain) {
   EXPECT_EQ(k_radius_exact(g, 0, 2), 3u);
   EXPECT_EQ(k_radius_exact(g, 2, 2), kInfDist);  // everything within 2 hops
   EXPECT_EQ(k_radius_exact(g, 0, 4), kInfDist);
+}
+
+TEST(KRadiusExact, ManyParallelArcsDoNotTruncateTheScan) {
+  // Vertex 0 carries more outgoing arcs than the graph has vertices
+  // (parallel arcs kept, dedup off). Arcs are CSR-sorted by (target,
+  // weight), so the arc to the highest-numbered target sits beyond
+  // position n: a ball scan whose edge limit were n (instead of
+  // unbounded) would never see it and report a wrong k-radius.
+  BuildOptions keep;
+  keep.symmetrize = false;
+  keep.remove_self_loops = false;
+  keep.dedup = false;
+  const Vertex n = 8;
+  std::vector<EdgeTriple> edges;
+  for (Vertex v = 1; v <= 5; ++v) {  // 10 arcs ahead of the critical one
+    edges.push_back({0, v, 50});
+    edges.push_back({0, v, 60});
+  }
+  edges.push_back({0, 6, 1});  // sorts last among 0's arcs (11th of 11)
+  edges.push_back({6, 7, 1});
+  const Graph g = build_graph(n, std::move(edges), keep);
+  // d(7) = 2 in 2 hops (0->6->7); every other reachable vertex is 1 hop.
+  // r̄_1(0) = 2 — but only if the scan reaches the 11th arc of vertex 0.
+  EXPECT_EQ(k_radius_exact(g, 0, 1), 2u);
+}
+
+TEST(KRadiusExact, MatchesMinHopTreeOnAdversarialMultigraphs) {
+  // Reference semantics: the min-hop Dijkstra tree, over the directed /
+  // self-loop / parallel-arc suite.
+  for (const auto& [name, g] : test::adversarial_suite(31)) {
+    for (const Vertex k : {Vertex{1}, Vertex{3}}) {
+      const auto got = all_k_radii_exact(g, k);
+      for (Vertex v = 0; v < g.num_vertices(); v += 7) {
+        const ShortestPathTreeResult tree = dijkstra_min_hop_tree(g, v);
+        Dist want = kInfDist;
+        for (Vertex u = 0; u < g.num_vertices(); ++u) {
+          if (tree.dist[u] == kInfDist || u == v) continue;
+          if (tree.hops[u] > k && tree.dist[u] < want) want = tree.dist[u];
+        }
+        EXPECT_EQ(got[v], want) << name << " k=" << k << " v=" << v;
+      }
+    }
+  }
 }
 
 TEST(KRadiusExact, UsesMinHopPath) {

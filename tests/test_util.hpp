@@ -23,19 +23,27 @@ struct GraphCase {
 /// distances small and collisions plentiful — a stress for tie handling).
 inline std::vector<GraphCase> weighted_suite(std::uint64_t seed = 1) {
   std::vector<GraphCase> out;
-  out.push_back({"grid2d", assign_uniform_weights(gen::grid2d(14, 17), seed, 1, 100)});
-  out.push_back({"grid3d", assign_uniform_weights(gen::grid3d(6, 5, 7), seed + 1, 1, 100)});
-  out.push_back({"road", assign_uniform_weights(gen::road_network(15, 15, seed), seed + 2, 1, 100)});
-  out.push_back({"scalefree", assign_uniform_weights(
-                                  gen::barabasi_albert(300, 3, seed), seed + 3, 1, 100)});
+  out.push_back(
+      {"grid2d", assign_uniform_weights(gen::grid2d(14, 17), seed, 1, 100)});
+  out.push_back({"grid3d", assign_uniform_weights(gen::grid3d(6, 5, 7),
+                                                  seed + 1, 1, 100)});
+  out.push_back({"road", assign_uniform_weights(gen::road_network(15, 15, seed),
+                                                seed + 2, 1, 100)});
+  out.push_back({"scalefree",
+                 assign_uniform_weights(gen::barabasi_albert(300, 3, seed),
+                                        seed + 3, 1, 100)});
   out.push_back({"er", assign_uniform_weights(
                            largest_component(gen::erdos_renyi(300, 900, seed)),
                            seed + 4, 1, 100)});
-  out.push_back({"chain", assign_uniform_weights(gen::chain(120), seed + 5, 1, 100)});
-  out.push_back({"star", assign_uniform_weights(gen::star(80), seed + 6, 1, 100)});
-  out.push_back({"complete", assign_uniform_weights(gen::complete(40), seed + 7, 1, 100)});
+  out.push_back(
+      {"chain", assign_uniform_weights(gen::chain(120), seed + 5, 1, 100)});
+  out.push_back(
+      {"star", assign_uniform_weights(gen::star(80), seed + 6, 1, 100)});
+  out.push_back({"complete", assign_uniform_weights(gen::complete(40),
+                                                    seed + 7, 1, 100)});
   out.push_back({"bipartite_chain",
-                 assign_uniform_weights(gen::bipartite_chain(8, 6), seed + 8, 1, 100)});
+                 assign_uniform_weights(gen::bipartite_chain(8, 6), seed + 8, 1,
+                                        100)});
   out.push_back({"rgg", largest_component(
                             gen::random_geometric(400, 0.09, seed + 9, 100))});
   return out;
