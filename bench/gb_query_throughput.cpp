@@ -16,6 +16,13 @@
 // effect per commit. Every strategy's distances are checked against the
 // flat baseline.
 //
+// Targeted point-to-point serving (PR 5) is tracked alongside: p2p1_qps /
+// p2p8_qps / p2p64_qps time a warm-context serve() loop over the same
+// source batch with 1, 8, and 64 random targets per request — the
+// early-termination, O(|targets|)-response regime a router or
+// reachability service runs. Each p2p strategy's per-target distances are
+// checked against the flat full-SSSP reference too.
+//
 // Self-timed on purpose (no Google Benchmark dependency despite the gb_
 // prefix) so it runs in every environment, including the CI bench-smoke
 // job, and always writes BENCH_gb_query_throughput.json for the perf
@@ -36,6 +43,7 @@
 #include "core/query_context.hpp"
 #include "exp_common.hpp"
 #include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
 
 namespace {
@@ -55,6 +63,29 @@ double best_seconds(int reps, const std::function<void()>& run) {
   return best;
 }
 
+/// One targeted request per source: `targets_per` random targets drawn
+/// deterministically per request (same requests for every engine/rep).
+std::vector<QueryRequest> make_p2p_requests(const Graph& g,
+                                            const std::vector<Vertex>& sources,
+                                            int targets_per,
+                                            QueryEngine engine) {
+  const SplitRng rng(4242);
+  std::vector<QueryRequest> requests;
+  requests.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QueryRequest req;
+    req.source = sources[i];
+    req.engine = engine;
+    req.targets.reserve(static_cast<std::size_t>(targets_per));
+    for (int t = 0; t < targets_per; ++t) {
+      req.targets.push_back(static_cast<Vertex>(rng.bounded(
+          i, static_cast<std::uint64_t>(t), g.num_vertices())));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
 }  // namespace
 
 int main() {
@@ -68,8 +99,9 @@ int main() {
   print_header("Query throughput — serving strategies (queries/sec)", s,
                graphs);
   std::printf("batch=%d  reps=%d  rho=%u\n\n", batch, reps, rho);
-  std::printf("  %-8s  %-8s  %10s  %10s  %10s  %8s\n", "graph", "engine",
-              "seq_qps", "ctx_qps", "batch_qps", "speedup");
+  std::printf("  %-8s  %-8s  %10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
+              "graph", "engine", "seq_qps", "ctx_qps", "batch_qps", "speedup",
+              "p2p1_qps", "p2p8_qps", "p2p64_qps");
 
   BenchJson json("gb_query_throughput", s);
   bool ok = true;
@@ -154,9 +186,42 @@ int main() {
       const double batch_qps = b / t_batch;
       const double speedup = batch_qps / seq_qps;
 
-      std::printf("  %-8s  %-8s  %10.1f  %10.1f  %10.1f  %7.2fx\n",
+      // Targeted point-to-point serving: one warm context + reused
+      // response over per-source requests with 1 / 8 / 64 random targets
+      // (early termination + O(|targets|) responses). Distances are
+      // verified against the full-SSSP reference during warm-up.
+      const int target_counts[] = {1, 8, 64};
+      double p2p_qps[3] = {0.0, 0.0, 0.0};
+      QueryContext p2p_ctx(g.num_vertices());
+      QueryResponse p2p_resp;
+      for (int ti = 0; ti < 3; ++ti) {
+        const std::vector<QueryRequest> requests =
+            make_p2p_requests(g, sources, target_counts[ti], row.engine);
+        for (std::size_t i = 0; i < requests.size(); ++i) {  // warm + check
+          engine.serve(requests[i], p2p_ctx, p2p_resp);
+          for (const TargetResult& tr : p2p_resp.targets) {
+            if (tr.dist != flat_ref[i].dist[tr.target]) {
+              std::fprintf(stderr,
+                           "P2P MISMATCH on %s engine %s source %u "
+                           "target %u\n",
+                           name.c_str(), row.label, requests[i].source,
+                           tr.target);
+              ok = false;
+            }
+          }
+        }
+        const double t_p2p = best_seconds(row_reps, [&] {
+          for (const QueryRequest& req : requests) {
+            engine.serve(req, p2p_ctx, p2p_resp);
+          }
+        });
+        p2p_qps[ti] = b / t_p2p;
+      }
+
+      std::printf("  %-8s  %-8s  %10.1f  %10.1f  %10.1f  %7.2fx  %10.1f  "
+                  "%10.1f  %10.1f\n",
                   name.c_str(), row.label, seq_qps, ctx_qps, batch_qps,
-                  speedup);
+                  speedup, p2p_qps[0], p2p_qps[1], p2p_qps[2]);
 
       // The engine lives in the metric-name prefix, NOT in a label: the
       // flat metrics keep their PR 2 identity (name + labels), so the CI
@@ -170,6 +235,9 @@ int main() {
       json.add(p + "ctx_qps", ctx_qps, "queries/sec", labels);
       json.add(p + "batch_qps", batch_qps, "queries/sec", labels);
       json.add(p + "batch_speedup", speedup, "x", labels);
+      json.add(p + "p2p1_qps", p2p_qps[0], "queries/sec", labels);
+      json.add(p + "p2p8_qps", p2p_qps[1], "queries/sec", labels);
+      json.add(p + "p2p64_qps", p2p_qps[2], "queries/sec", labels);
     }
   }
 

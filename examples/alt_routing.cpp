@@ -1,10 +1,11 @@
 // ALT point-to-point routing (A* + Landmarks + Triangle inequality,
 // Goldberg & Harrelson): the classic downstream consumer of fast
 // multi-source SSSP. Radius-Stepping computes the landmark distance
-// tables (one run per landmark, amortizing one preprocessing pass —
-// exactly the paper's §5.4 multi-source regime); A* then answers
-// point-to-point queries expanding a fraction of what plain Dijkstra
-// scans.
+// tables through the serving API (full-distances QueryRequests — one run
+// per landmark, amortizing one preprocessing pass, exactly the paper's
+// §5.4 multi-source regime); A* then answers point-to-point queries
+// expanding a fraction of what plain Dijkstra scans. The engine's own
+// targeted serve() is the exact-baseline oracle for each query.
 //
 //   ./alt_routing [side=160] [landmarks=8] [queries=10]
 #include <cstdio>
@@ -111,11 +112,19 @@ int main(int argc, char** argv) {
 
   // Farthest-point landmark selection: greedily pick the vertex maximizing
   // distance to the chosen set (a standard ALT heuristic), each pick one
-  // Radius-Stepping run.
+  // full-distances serve (the landmark table is the rare workload that
+  // needs the whole O(n) vector).
   Timer tables_timer;
+  QueryContext ctx;  // one warm context across all landmark runs
+  const auto landmark_row = [&](Vertex lm) {
+    QueryRequest req;
+    req.source = lm;
+    req.want_full_distances = true;
+    return engine.serve(req, ctx).dist;
+  };
   std::vector<std::vector<Dist>> table;
   std::vector<Vertex> landmarks{0};
-  table.push_back(engine.query(0).dist);
+  table.push_back(landmark_row(0));
   while (static_cast<int>(landmarks.size()) < num_landmarks) {
     Vertex far = 0;
     Dist best = 0;
@@ -128,7 +137,7 @@ int main(int argc, char** argv) {
       }
     }
     landmarks.push_back(far);
-    table.push_back(engine.query(far).dist);
+    table.push_back(landmark_row(far));
   }
   std::printf("%d landmark tables in %.2fs\n", num_landmarks,
               tables_timer.seconds());
@@ -144,7 +153,12 @@ int main(int argc, char** argv) {
     Dist d_alt = 0;
     const std::size_t pops_dij = dijkstra_to_target(g, s, t, &d_ref);
     const std::size_t pops_alt = alt_to_target(g, table, s, t, &d_alt);
-    if (d_ref != d_alt) {
+    // The engine's targeted serve is the exact oracle for the same pair.
+    QueryRequest p2p;
+    p2p.source = s;
+    p2p.targets = {t};
+    const QueryResponse exact = engine.serve(p2p, ctx);
+    if (d_ref != d_alt || d_ref != exact.targets[0].dist) {
       std::printf("MISMATCH on query %d\n", qi);
       return 1;
     }

@@ -4,17 +4,22 @@
 // pass over all landmark runs — the multi-source regime where the paper
 // recommends raising rho (Section 5.4).
 //
+// Landmark tables are the one serving workload that genuinely needs the
+// full O(n) distance vector per source, so the requests set
+// want_full_distances, and serve_batch() runs them through the two-level
+// scheduler (source-parallel across the per-worker context pool).
+//
 //   ./landmark_distances [side=128] [landmarks=8]
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
-#include "core/radius_stepping.hpp"
+#include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
-#include "shortcut/shortcut.hpp"
 
 int main(int argc, char** argv) {
   using namespace rs;
@@ -30,21 +35,28 @@ int main(int argc, char** argv) {
   opts.k = 4;
   opts.heuristic = ShortcutHeuristic::kDP;
   Timer prep;
-  const PreprocessResult pre = preprocess(g, opts);
+  const SsspEngine engine(g, opts);
   std::printf("preprocess: %.2fs, +%.2fx edges (amortized over %d runs)\n",
-              prep.seconds(), pre.added_factor, landmarks);
+              prep.seconds(), engine.preprocessing().added_factor, landmarks);
 
+  // One full-distances request per landmark, served as a batch.
   const SplitRng rng(77);
-  std::vector<std::vector<Dist>> table;
-  table.reserve(static_cast<std::size_t>(landmarks));
-  Timer queries;
-  std::size_t total_steps = 0;
+  std::vector<QueryRequest> requests;
   for (int i = 0; i < landmarks; ++i) {
-    const Vertex lm = static_cast<Vertex>(
+    QueryRequest req;
+    req.source = static_cast<Vertex>(
         rng.bounded(0, static_cast<std::uint64_t>(i), g.num_vertices()));
-    RunStats stats;
-    table.push_back(radius_stepping(pre.graph, lm, pre.radius, &stats));
-    total_steps += stats.steps;
+    req.want_full_distances = true;
+    requests.push_back(std::move(req));
+  }
+  Timer queries;
+  std::vector<QueryResponse> responses = engine.serve_batch(requests);
+  std::size_t total_steps = 0;
+  std::vector<std::vector<Dist>> table;
+  table.reserve(responses.size());
+  for (QueryResponse& resp : responses) {
+    total_steps += resp.stats.steps;
+    table.push_back(std::move(resp.dist));
   }
   std::printf("%d landmark tables in %.2fs (avg %zu steps per source)\n",
               landmarks, queries.seconds(),
@@ -63,5 +75,18 @@ int main(int argc, char** argv) {
   }
   std::printf("landmark lower bound d(corner, corner) >= %llu\n",
               static_cast<unsigned long long>(lb));
+
+  // And the cheap upper bound for the same pair is a targeted request.
+  QueryRequest p2p;
+  p2p.source = u;
+  p2p.targets = {v};
+  const QueryResponse resp = engine.serve(p2p);
+  std::printf("exact d(corner, corner) = %llu (targeted serve, %zu steps%s)\n",
+              static_cast<unsigned long long>(resp.targets[0].dist),
+              resp.stats.steps, resp.stats.early_exit ? ", early exit" : "");
+  if (resp.targets[0].dist < lb) {
+    std::printf("BOUND VIOLATION\n");
+    return 1;
+  }
   return 0;
 }

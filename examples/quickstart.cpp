@@ -1,12 +1,14 @@
 // Quickstart: build a small weighted graph, preprocess it into a
-// (k, rho)-graph, and run Radius-Stepping from a source.
+// (k, rho)-graph, run Radius-Stepping from a source, and serve a targeted
+// point-to-point request through the SsspEngine API.
 //
 //   ./quickstart
 //
-// Walks through the whole public API in ~50 lines.
+// Walks through the whole public API in ~70 lines.
 #include <cstdio>
 
 #include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
 #include "core/radius_stepping.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -52,5 +54,21 @@ int main() {
   std::printf("check vs dijkstra: %zu mismatches\n", mismatches);
   std::printf("d(0, far corner) = %llu\n",
               static_cast<unsigned long long>(dist[g.num_vertices() - 1]));
+
+  // 5. The serving API: SsspEngine owns the preprocessing; a targeted
+  //    QueryRequest gets distance + path to the far corner and stops as
+  //    soon as it is settled (early termination; O(|targets|) response).
+  const SsspEngine engine(g, opts);
+  QueryRequest req;
+  req.source = 0;
+  req.targets = {g.num_vertices() - 1};
+  req.want_paths = true;
+  const QueryResponse resp = engine.serve(req);
+  const TargetResult& corner = resp.targets[0];
+  std::printf("serve: d(0, %u) = %llu over a %zu-hop path (%zu steps%s)\n",
+              corner.target, static_cast<unsigned long long>(corner.dist),
+              corner.path.size() - 1, resp.stats.steps,
+              resp.stats.early_exit ? ", early exit" : "");
+  if (corner.dist != ref[corner.target]) ++mismatches;
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,20 +1,22 @@
-// Road-network routing: the paper's headline use case. Preprocessing is
-// paid once; many shortest-path queries then run with bounded steps —
-// exactly the "amortize preprocessing over multiple sources" advice of
-// Section 5.4.
+// Road-network routing: the paper's headline use case, on the serving
+// API. Preprocessing is paid once (§5.4 amortization); the router then
+// answers point-to-point requests — source, a few destinations, give me
+// distances and turn-by-turn paths — through SsspEngine::serve(). The
+// engine terminates as soon as every requested destination is settled, so
+// a nearby destination costs a fraction of the rounds of a full SSSP, and
+// the response is O(|targets|): no n-sized vector per request.
 //
 //   ./road_router [side=192] [queries=5]
 #include <cstdio>
 #include <cstdlib>
 
 #include "baseline/dijkstra.hpp"
-#include "core/radius_stepping.hpp"
+#include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 #include "graph/weights.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
-#include "shortcut/shortcut.hpp"
 
 int main(int argc, char** argv) {
   using namespace rs;
@@ -38,39 +40,57 @@ int main(int argc, char** argv) {
   opts.rho = 64;
   opts.k = 3;
   opts.heuristic = ShortcutHeuristic::kDP;
-  const PreprocessResult pre = preprocess(g, opts);
+  const SsspEngine engine(g, opts);
   std::printf("preprocess (rho=%u, k=%u, dp): %.2fs, +%.2fx edges\n",
-              opts.rho, opts.k, prep_timer.seconds(), pre.added_factor);
+              opts.rho, opts.k, prep_timer.seconds(),
+              engine.preprocessing().added_factor);
 
-  // Many queries from random sources.
+  // Point-to-point requests from random sources to three random
+  // destinations each, served from one warm context + reused response
+  // (the zero-allocation hot path).
   const SplitRng rng(123);
-  double rs_total = 0.0;
+  QueryContext ctx;
+  QueryResponse resp;
+  double serve_total = 0.0;
   double dj_total = 0.0;
+  const Vertex n = g.num_vertices();
   for (int qi = 0; qi < queries; ++qi) {
-    const Vertex src =
-        static_cast<Vertex>(rng.bounded(0, static_cast<std::uint64_t>(qi),
-                                        g.num_vertices()));
-    Timer t1;
-    RunStats stats;
-    const std::vector<Dist> d1 =
-        radius_stepping(pre.graph, src, pre.radius, &stats);
-    rs_total += t1.seconds();
-
-    Timer t2;
-    const std::vector<Dist> d2 = dijkstra(g, src);
-    dj_total += t2.seconds();
-
-    std::size_t bad = 0;
-    for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      if (d1[v] != d2[v]) ++bad;
+    QueryRequest req;
+    req.source = static_cast<Vertex>(
+        rng.bounded(0, static_cast<std::uint64_t>(qi), n));
+    for (std::uint64_t t = 0; t < 3; ++t) {
+      req.targets.push_back(
+          static_cast<Vertex>(rng.bounded(1 + t, qi, n)));
     }
-    std::printf(
-        "  query %d (src %u): %zu steps, max %zu substeps/step, %s\n", qi,
-        src, stats.steps, stats.max_substeps_in_step,
-        bad == 0 ? "matches dijkstra" : "MISMATCH");
+    req.want_paths = true;
+
+    Timer t1;
+    engine.serve(req, ctx, resp);
+    serve_total += t1.seconds();
+
+    // Cross-check the targeted answers against a full Dijkstra run.
+    Timer t2;
+    const std::vector<Dist> ref = dijkstra(g, req.source);
+    dj_total += t2.seconds();
+    std::size_t bad = 0;
+    for (const TargetResult& tr : resp.targets) {
+      if (tr.dist != ref[tr.target]) ++bad;
+    }
+    std::printf("  query %d (src %u): %zu steps%s, 3 routes (%zu/%zu/%zu "
+                "hops), %s\n",
+                qi, req.source, resp.stats.steps,
+                resp.stats.early_exit ? ", early exit" : "",
+                resp.targets[0].path.empty() ? 0
+                                             : resp.targets[0].path.size() - 1,
+                resp.targets[1].path.empty() ? 0
+                                             : resp.targets[1].path.size() - 1,
+                resp.targets[2].path.empty() ? 0
+                                             : resp.targets[2].path.size() - 1,
+                bad == 0 ? "matches dijkstra" : "MISMATCH");
     if (bad != 0) return 1;
   }
-  std::printf("avg per query: radius-stepping %.1f ms, dijkstra %.1f ms\n",
-              1e3 * rs_total / queries, 1e3 * dj_total / queries);
+  std::printf("avg per request: targeted serve %.1f ms, full dijkstra "
+              "%.1f ms\n",
+              1e3 * serve_total / queries, 1e3 * dj_total / queries);
   return 0;
 }

@@ -5,12 +5,19 @@
 //   sssp_cli gen --type grid2d --side 200 --weights 10000 -o g.gr
 //   sssp_cli stats g.gr
 //   sssp_cli preprocess g.gr --rho 64 --k 3 --heuristic dp -o g.pre
-//   sssp_cli query g.gr g.pre --source 0 --target 39999 --engine flat
+//   sssp_cli query g.gr g.pre --source 0 --targets 39999,1250 --engine flat
 //   sssp_cli run g.gr --algo all --source 0
+//
+// The query subcommand is a targeted serve: with --targets (or --target)
+// it sends one QueryRequest and prints per-target distance + path without
+// ever materializing the O(n) distance vector — and the engine terminates
+// early once every target is settled.
 #include <cstdio>
 #include <cctype>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -166,42 +173,78 @@ int cmd_preprocess(const Args& args) {
   return 0;
 }
 
+/// Parses "a,b,c" into vertex ids (throws std::invalid_argument /
+/// std::out_of_range on garbage, trailing junk, or ids that do not fit a
+/// Vertex — caught by main's handler).
+std::vector<Vertex> parse_vertex_list(const std::string& csv) {
+  std::vector<Vertex> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(pos, comma - pos);
+    if (!item.empty()) {
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(item, &used);
+      if (used != item.size() ||
+          v > std::numeric_limits<Vertex>::max()) {
+        throw std::invalid_argument("bad vertex id in --targets: " + item);
+      }
+      out.push_back(static_cast<Vertex>(v));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
 int cmd_query(const Args& args) {
   if (args.positional().size() < 2) {
-    std::fprintf(stderr, "usage: sssp_cli query <graph> <pre> --source S "
-                         "[--target T] [--engine flat|bst|bstflat]\n");
+    std::fprintf(stderr,
+                 "usage: sssp_cli query <graph> <pre> --source S "
+                 "[--targets A,B,C | --target T] [--paths 0|1] "
+                 "[--engine flat|bst|bstflat]\n");
     return 1;
   }
   const Graph g = load_graph(args.positional()[0]);
   const SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
-  const Vertex src = static_cast<Vertex>(args.get_int("--source", 0));
+
+  QueryRequest req;
+  req.source = static_cast<Vertex>(args.get_int("--source", 0));
+  req.targets = parse_vertex_list(args.get("--targets", ""));
+  const long single = args.get_int("--target", -1);
+  if (single >= 0) req.targets.push_back(static_cast<Vertex>(single));
+  req.want_paths = !req.targets.empty() && args.get_int("--paths", 1) != 0;
+  // No targets: a classic full-SSSP probe (stats + full vector held only
+  // long enough to report). With targets the response is O(|targets|).
+  req.want_full_distances = req.targets.empty();
   const std::string which = args.get("--engine", "flat");
-  const QueryEngine qe = which == "bst"       ? QueryEngine::kBst
-                         : which == "bstflat" ? QueryEngine::kBstFlat
-                                              : QueryEngine::kFlat;
+  req.engine = which == "bst"       ? QueryEngine::kBst
+               : which == "bstflat" ? QueryEngine::kBstFlat
+                                    : QueryEngine::kFlat;
 
   Timer t;
-  const QueryResult q = engine.query(src, qe);
-  std::printf("query from %u: %.1f ms, %zu steps, %zu substeps "
+  const QueryResponse resp = engine.serve(req);
+  std::printf("query from %u: %.1f ms, %zu steps%s, %zu substeps "
               "(max %zu/step), %zu settled\n",
-              src, t.millis(), q.stats.steps, q.stats.substeps,
-              q.stats.max_substeps_in_step, q.stats.settled);
+              req.source, t.millis(), resp.stats.steps,
+              resp.stats.early_exit ? " (early exit)" : "",
+              resp.stats.substeps, resp.stats.max_substeps_in_step,
+              resp.stats.settled);
 
-  const long target = args.get_int("--target", -1);
-  if (target >= 0) {
-    const Vertex tgt = static_cast<Vertex>(target);
-    if (q.dist[tgt] == kInfDist) {
-      std::printf("d(%u, %u) = unreachable\n", src, tgt);
-    } else {
-      std::printf("d(%u, %u) = %llu\n", src, tgt,
-                  static_cast<unsigned long long>(q.dist[tgt]));
-      const auto path = engine.path(q, tgt);
-      std::printf("path (%zu hops):", path.size() - 1);
-      const std::size_t show = std::min<std::size_t>(path.size(), 12);
-      for (std::size_t i = 0; i < show; ++i) std::printf(" %u", path[i]);
-      if (path.size() > show) std::printf(" ... %u", path.back());
-      std::printf("\n");
+  for (const TargetResult& tr : resp.targets) {
+    if (tr.dist == kInfDist) {
+      std::printf("d(%u, %u) = unreachable\n", req.source, tr.target);
+      continue;
     }
+    std::printf("d(%u, %u) = %llu\n", req.source, tr.target,
+                static_cast<unsigned long long>(tr.dist));
+    if (!req.want_paths) continue;
+    const std::vector<Vertex>& path = tr.path;
+    std::printf("path (%zu hops):", path.size() - 1);
+    const std::size_t show = std::min<std::size_t>(path.size(), 12);
+    for (std::size_t i = 0; i < show; ++i) std::printf(" %u", path[i]);
+    if (path.size() > show) std::printf(" ... %u", path.back());
+    std::printf("\n");
   }
   return 0;
 }

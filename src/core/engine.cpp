@@ -50,76 +50,135 @@ void SsspEngine::check_engine(QueryEngine engine) const {
   }
 }
 
-void SsspEngine::run_query(Vertex source, QueryEngine engine,
-                           QueryContext* ctx, QueryResult& out) const {
-  out.source = source;
-  switch (engine) {
-    case QueryEngine::kFlat:
-      if (ctx != nullptr) {
-        radius_stepping(pre_.graph, source, pre_.radius, *ctx, out.dist,
-                        &out.stats);
-      } else {
-        out.dist = radius_stepping(pre_.graph, source, pre_.radius, &out.stats);
-      }
-      break;
-    case QueryEngine::kBst:
-      if (ctx != nullptr) {
-        radius_stepping_bst(pre_.graph, source, pre_.radius, *ctx, out.dist,
-                            &out.stats);
-      } else {
-        out.dist =
-            radius_stepping_bst(pre_.graph, source, pre_.radius, &out.stats);
-      }
-      break;
-    case QueryEngine::kBstFlat:
-      if (ctx != nullptr) {
-        radius_stepping_flatset(pre_.graph, source, pre_.radius, *ctx,
-                                out.dist, &out.stats);
-      } else {
-        out.dist = radius_stepping_flatset(pre_.graph, source, pre_.radius,
-                                           &out.stats);
-      }
-      break;
-    case QueryEngine::kUnweighted:
-      if (ctx != nullptr) {
-        radius_stepping_unweighted(pre_.graph, source, pre_.radius, *ctx,
-                                   out.dist, &out.stats);
-      } else {
-        out.dist = radius_stepping_unweighted(pre_.graph, source, pre_.radius,
-                                              &out.stats);
-      }
-      break;
+void SsspEngine::validate(const QueryRequest& req) const {
+  check_engine(req.engine);
+  const Vertex n = pre_.graph.num_vertices();
+  if (req.source >= n) {
+    throw std::invalid_argument("SsspEngine: bad source");
+  }
+  for (const Vertex t : req.targets) {
+    if (t >= n) throw std::invalid_argument("SsspEngine: bad target");
   }
 }
 
-QueryResult SsspEngine::query(Vertex source, QueryEngine engine) const {
-  check_engine(engine);
-  QueryResult out;
-  run_query(source, engine, nullptr, out);
-  return out;
+const Graph& SsspEngine::transpose(Graph& local) const {
+  if (transpose_ != nullptr) {
+    std::call_once(transpose_->once,
+                   [&] { transpose_->graph = original_.transposed(); });
+    return transpose_->graph;
+  }
+  // Moved-from engine: stay correct, skip the cache.
+  local = original_.transposed();
+  return local;
 }
 
-QueryResult SsspEngine::query(Vertex source, QueryEngine engine,
-                              QueryContext& ctx) const {
-  check_engine(engine);
-  QueryResult out;
-  run_query(source, engine, &ctx, out);
-  return out;
+void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
+                           const Graph* transpose, QueryResponse& resp) const {
+  const Vertex n = pre_.graph.num_vertices();
+  resp.source = req.source;
+  resp.stats = RunStats{};
+  resp.dist.clear();
+
+  // Early termination only when it cannot change what the caller sees: a
+  // full distance vector needs the exhaustive run, and an untargeted
+  // request has no settled-set to wait for.
+  const bool early = !req.targets.empty() && !req.want_full_distances;
+  if (early) {
+    ctx.set_targets(n, req.targets.data(), req.targets.size());
+  } else {
+    ctx.clear_targets();
+  }
+
+  switch (req.engine) {
+    case QueryEngine::kFlat:
+      radius_stepping_partial(pre_.graph, req.source, pre_.radius, ctx,
+                              &resp.stats);
+      break;
+    case QueryEngine::kBst:
+      radius_stepping_bst_partial(pre_.graph, req.source, pre_.radius, ctx,
+                                  &resp.stats);
+      break;
+    case QueryEngine::kBstFlat:
+      radius_stepping_flatset_partial(pre_.graph, req.source, pre_.radius,
+                                      ctx, &resp.stats);
+      break;
+    case QueryEngine::kUnweighted:
+      radius_stepping_unweighted_partial(pre_.graph, req.source, pre_.radius,
+                                         ctx, &resp.stats);
+      break;
+  }
+
+  // Per-target answers, read straight out of the context's working array
+  // (zero-copy: the O(n) vector is never materialized for targeted
+  // requests). Every target is exact here: either the run was exhaustive,
+  // or it stopped only once all of them settled.
+  resp.targets.resize(req.targets.size());
+  for (std::size_t i = 0; i < req.targets.size(); ++i) {
+    TargetResult& tr = resp.targets[i];
+    tr.target = req.targets[i];
+    tr.dist = ctx.read_dist(tr.target);
+    tr.path.clear();
+  }
+  if (req.want_paths && transpose != nullptr) {
+    const auto dist_of = [&ctx](Vertex v) { return ctx.read_dist(v); };
+    for (TargetResult& tr : resp.targets) {
+      if (tr.dist != kInfDist) {
+        // Distances are identical on the original graph (shortcuts
+        // preserve them), so the walk over the original's transpose never
+        // uses a shortcut edge.
+        extract_path_by_closure(*transpose, tr.target, dist_of, tr.path);
+      }
+    }
+  }
+
+  // End the query: the full copy only when asked, otherwise just restore
+  // the context's all-infinite invariant.
+  if (req.want_full_distances) {
+    ctx.finish_query(n, resp.dist);
+  } else {
+    ctx.reset_distances(n);
+  }
+  ctx.clear_targets();
 }
 
-std::vector<QueryResult> SsspEngine::query_batch(
-    const std::vector<Vertex>& sources, QueryEngine engine) const {
-  const std::size_t batch = sources.size();
-  std::vector<QueryResult> out(batch);
+QueryResponse SsspEngine::serve(const QueryRequest& req) const {
+  QueryContext ctx(pre_.graph.num_vertices());
+  return serve(req, ctx);
+}
+
+QueryResponse SsspEngine::serve(const QueryRequest& req,
+                                QueryContext& ctx) const {
+  QueryResponse resp;
+  serve(req, ctx, resp);
+  return resp;
+}
+
+void SsspEngine::serve(const QueryRequest& req, QueryContext& ctx,
+                       QueryResponse& resp) const {
+  validate(req);
+  Graph local;
+  // The transpose is only ever dereferenced for an actual target's path.
+  const bool paths = req.want_paths && !req.targets.empty();
+  const Graph* tp = paths ? &transpose(local) : nullptr;
+  run_serve(req, ctx, tp, resp);
+}
+
+std::vector<QueryResponse> SsspEngine::serve_batch(
+    const std::vector<QueryRequest>& requests) const {
+  const std::size_t batch = requests.size();
+  std::vector<QueryResponse> out(batch);
   if (batch == 0) return out;
 
   // Validate everything up front: nothing may throw inside the parallel
   // region below.
-  check_engine(engine);
-  const Vertex n = pre_.graph.num_vertices();
-  for (const Vertex s : sources) {
-    if (s >= n) throw std::invalid_argument("query_batch: bad source");
+  bool any_paths = false;
+  for (const QueryRequest& req : requests) {
+    validate(req);
+    any_paths = any_paths || (req.want_paths && !req.targets.empty());
   }
+  // All workers share the one cached transpose; build it before they run.
+  Graph local;
+  const Graph* tp = any_paths ? &transpose(local) : nullptr;
 
   // Take the engine's warm context pool if it is free; concurrent batches
   // (or a moved-from engine) fall back to a batch-local pool rather than
@@ -134,8 +193,8 @@ std::vector<QueryResult> SsspEngine::query_batch(
 
   const int nw = num_workers();
   if (nw > 1 && batch >= static_cast<std::size_t>(nw)) {
-    // Source-parallel: one strictly sequential query per worker. Dynamic
-    // schedule — per-source cost varies with eccentricity.
+    // Request-parallel: one strictly sequential query per worker. Dynamic
+    // schedule — per-request cost varies with eccentricity and targets.
     pool.ensure(static_cast<std::size_t>(nw));
     for (int w = 0; w < nw; ++w) {
       pool.at(static_cast<std::size_t>(w)).set_sequential(true);
@@ -144,7 +203,7 @@ std::vector<QueryResult> SsspEngine::query_batch(
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch); ++i) {
       QueryContext& ctx =
           pool.at(static_cast<std::size_t>(omp_get_thread_num()));
-      run_query(sources[static_cast<std::size_t>(i)], engine, &ctx,
+      run_serve(requests[static_cast<std::size_t>(i)], ctx, tp,
                 out[static_cast<std::size_t>(i)]);
     }
     return out;
@@ -158,7 +217,44 @@ std::vector<QueryResult> SsspEngine::query_batch(
   QueryContext& ctx = pool.at(0);
   ctx.set_sequential(nw <= 1);
   for (std::size_t i = 0; i < batch; ++i) {
-    run_query(sources[i], engine, &ctx, out[i]);
+    run_serve(requests[i], ctx, tp, out[i]);
+  }
+  return out;
+}
+
+QueryResult SsspEngine::query(Vertex source, QueryEngine engine) const {
+  QueryContext ctx(pre_.graph.num_vertices());
+  return query(source, engine, ctx);
+}
+
+QueryResult SsspEngine::query(Vertex source, QueryEngine engine,
+                              QueryContext& ctx) const {
+  QueryRequest req;
+  req.source = source;
+  req.want_full_distances = true;
+  req.engine = engine;
+  QueryResponse resp = serve(req, ctx);
+  QueryResult out;
+  out.source = resp.source;
+  out.dist = std::move(resp.dist);
+  out.stats = resp.stats;
+  return out;
+}
+
+std::vector<QueryResult> SsspEngine::query_batch(
+    const std::vector<Vertex>& sources, QueryEngine engine) const {
+  std::vector<QueryRequest> requests(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    requests[i].source = sources[i];
+    requests[i].want_full_distances = true;
+    requests[i].engine = engine;
+  }
+  std::vector<QueryResponse> responses = serve_batch(requests);
+  std::vector<QueryResult> out(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    out[i].source = responses[i].source;
+    out[i].dist = std::move(responses[i].dist);
+    out[i].stats = responses[i].stats;
   }
   return out;
 }
@@ -175,23 +271,12 @@ std::vector<Vertex> SsspEngine::path(const QueryResult& q,
     throw std::invalid_argument("SsspEngine::path: bad target");
   }
   if (q.dist[target] == kInfDist) return {};
-  // Distances are identical on the original graph (shortcuts preserve
-  // them), so parents derived there avoid shortcut edges entirely. Parents
-  // come from each vertex's incoming arcs (directed-correct); the transpose
-  // that exposes them is built once and shared across path() calls.
   Graph local;
-  const Graph* tg;
-  if (transpose_ != nullptr) {
-    std::call_once(transpose_->once,
-                   [&] { transpose_->graph = original_.transposed(); });
-    tg = &transpose_->graph;
-  } else {  // moved-from engine: stay correct, skip the cache
-    local = original_.transposed();
-    tg = &local;
-  }
-  const std::vector<Vertex> parent =
-      parents_from_distances(original_, *tg, q.dist);
-  return extract_path(parent, target);
+  const Graph& tg = transpose(local);
+  std::vector<Vertex> out;
+  extract_path_by_closure(tg, target, [&q](Vertex v) { return q.dist[v]; },
+                          out);
+  return out;
 }
 
 }  // namespace rs

@@ -1,17 +1,23 @@
 // SsspEngine: the batteries-included entry point a downstream application
-// uses. Owns the preprocessed (k, rho)-graph and radii, answers queries
-// from any source with the engine of your choice, and reconstructs paths.
+// uses. Owns the preprocessed (k, rho)-graph and radii and serves typed
+// QueryRequests with the engine of your choice (core/request.hpp).
 //
 //   SsspEngine engine(graph, {.rho = 64, .k = 3});
-//   auto q = engine.query(source);
-//   auto hop_route = engine.path(q, target);
+//   QueryRequest req;
+//   req.source = s;
+//   req.targets = {a, b, c};   // early termination: exits once a, b, c
+//   req.want_paths = true;     // settle (exact at a fraction of the rounds)
+//   QueryResponse resp = engine.serve(req);
 //
-// Serving hot path: query() with a caller-owned QueryContext answers with
-// zero engine allocations once the context is warm, and query_batch() runs
-// the multi-source regime preprocessing is amortized over (§5.4) with
-// two-level parallelism — source-parallel across a per-worker context pool
-// when the batch is at least as wide as the worker count, intra-query
-// parallelism otherwise.
+// Serving hot path: serve() with a caller-owned QueryContext (and a reused
+// QueryResponse) answers warm targeted requests with zero heap
+// allocations; serve_batch() runs the multi-source regime preprocessing is
+// amortized over (§5.4) with two-level parallelism — request-parallel
+// across a per-worker context pool when the batch is at least as wide as
+// the worker count, intra-query parallelism otherwise.
+//
+// The pre-PR5 API (query / query_batch / path) remains as thin wrappers
+// over serve*: a query() is exactly a serve() with want_full_distances.
 #pragma once
 
 #include <memory>
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "core/query_context.hpp"
+#include "core/request.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
 #include "parallel/context_pool.hpp"
@@ -26,15 +33,6 @@
 #include "shortcut/shortcut.hpp"
 
 namespace rs {
-
-/// Which Radius-Stepping implementation answers queries.
-enum class QueryEngine : std::uint8_t {
-  kFlat,        // atomic-array engine (default; fastest)
-  kBst,         // Algorithm 2 on the arena-treap substrate (O(p log q) sets)
-  kBstFlat,     // Algorithm 2 on the flat sorted-array substrate
-  kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
-                // and preprocessing added no shortcut edges
-};
 
 struct QueryResult {
   Vertex source = kNoVertex;
@@ -65,28 +63,54 @@ class SsspEngine {
   SsspEngine(SsspEngine&&) = default;
   SsspEngine& operator=(SsspEngine&&) = default;
 
-  /// Distances from `source` (plus run statistics). Allocates fresh
-  /// per-query state; use the QueryContext overload on the serving path.
+  /// Serves one request (semantics in core/request.hpp): per-target
+  /// distances — and optional expanded paths — in O(|targets|) space,
+  /// with early termination once every target is settled; or the full
+  /// distance vector when asked. Validates source, targets, and engine
+  /// choice (std::invalid_argument). This overload allocates fresh
+  /// per-request state; use the QueryContext form on the serving path.
+  QueryResponse serve(const QueryRequest& req) const;
+
+  /// Same over a caller-owned reusable context: the engine hot path
+  /// performs no heap allocations once the context is warm (the returned
+  /// response is the one unavoidable output allocation).
+  QueryResponse serve(const QueryRequest& req, QueryContext& ctx) const;
+
+  /// Lowest-level form: writes into `resp`, reusing its capacity. A warm
+  /// context + reused response serves targeted requests with ZERO heap
+  /// allocations (pinned by tests/test_alloc_free.cpp).
+  void serve(const QueryRequest& req, QueryContext& ctx,
+             QueryResponse& resp) const;
+
+  /// One response per request, in input order, bit-identical to per-
+  /// request serve() calls. Requests may mix sources, target sets, flags,
+  /// and engines.
+  ///
+  /// Scheduling: with W workers and B requests, B >= W runs
+  /// request-parallel (one strictly sequential query per worker, contexts
+  /// from an internal per-worker pool); B < W keeps the batch loop
+  /// sequential and lets each query use intra-query parallelism.
+  /// Thread-safe: concurrent batches on one engine fall back to a
+  /// batch-local context pool. Path reconstruction shares the cached
+  /// transpose (built once, before the parallel region).
+  std::vector<QueryResponse> serve_batch(
+      const std::vector<QueryRequest>& requests) const;
+
+  /// Legacy wrapper: full distances from `source` == serve() with
+  /// want_full_distances. Allocates fresh per-query state.
   QueryResult query(Vertex source,
                     QueryEngine engine = QueryEngine::kFlat) const;
 
-  /// Same, over a caller-owned reusable context: after the first query the
-  /// engine hot path performs no heap allocations (the returned
+  /// Legacy wrapper over a caller-owned reusable context: after the first
+  /// query the engine hot path performs no heap allocations (the returned
   /// QueryResult::dist is the one unavoidable output allocation). This
   /// covers every engine, including kBst — its treap nodes come from the
   /// context's arena and are recycled across queries.
   QueryResult query(Vertex source, QueryEngine engine,
                     QueryContext& ctx) const;
 
-  /// One query per source (the multi-source regime preprocessing is
-  /// amortized over, §5.4). Results are returned in input order and are
-  /// identical to per-source query() calls.
-  ///
-  /// Scheduling: with W workers and B sources, B >= W runs source-parallel
-  /// (one strictly sequential query per worker, contexts from an internal
-  /// per-worker pool); B < W keeps the batch loop sequential and lets each
-  /// query use intra-query parallelism. Thread-safe: concurrent batches on
-  /// one engine fall back to a batch-local context pool.
+  /// Legacy wrapper: one full-distance query per source (== serve_batch
+  /// over want_full_distances requests), same two-level scheduling.
   std::vector<QueryResult> query_batch(
       const std::vector<Vertex>& sources,
       QueryEngine engine = QueryEngine::kFlat) const;
@@ -102,23 +126,32 @@ class SsspEngine {
   const PreprocessResult& preprocessing() const { return pre_; }
 
  private:
-  /// Engine dispatch into `out` (source/dist/stats filled). `ctx` may be
-  /// null (fresh state). Validation must have happened already — this is
-  /// the noexcept-in-practice body run inside parallel regions.
-  void run_query(Vertex source, QueryEngine engine, QueryContext* ctx,
-                 QueryResult& out) const;
+  /// Request execution into `resp`. Validation must have happened already
+  /// — this is the noexcept-in-practice body run inside parallel regions.
+  /// `transpose` must be non-null when req.want_paths.
+  void run_serve(const QueryRequest& req, QueryContext& ctx,
+                 const Graph* transpose, QueryResponse& resp) const;
+
+  /// Throws std::invalid_argument unless source, every target, and the
+  /// engine choice are valid for this preprocessing.
+  void validate(const QueryRequest& req) const;
 
   /// Throws if `engine` cannot run on this preprocessing (kUnweighted on a
   /// weighted/shortcutted graph).
   void check_engine(QueryEngine engine) const;
 
+  /// The cached transpose of the original graph (built at most once,
+  /// shared by all path reconstructions). On a moved-from engine the
+  /// cache is gone: the transpose is built into `local` instead.
+  const Graph& transpose(Graph& local) const;
+
   Graph original_;
   PreprocessResult pre_;
 
-  // Reusable per-worker contexts for query_batch, boxed so the engine
+  // Reusable per-worker contexts for serve_batch, boxed so the engine
   // stays movable despite the mutex. The first batch to arrive takes the
   // warm pool; concurrent batches use a batch-local one (correctness over
-  // warmth). Never null except in a moved-from engine, which query_batch
+  // warmth). Never null except in a moved-from engine, which serve_batch
   // tolerates by falling back to the local pool.
   struct BatchPool {
     std::mutex mutex;

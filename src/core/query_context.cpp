@@ -39,6 +39,34 @@ void QueryContext::finish_query(Vertex n, std::vector<Dist>& out) {
   }
 }
 
+void QueryContext::reset_distances(Vertex n) {
+  std::atomic<Dist>* dist = dist_.data();
+  if (sequential_) {
+    for (Vertex v = 0; v < n; ++v) {
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    }
+  } else {
+    parallel_for(0, n, [&](std::size_t v) {
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    });
+  }
+}
+
+void QueryContext::set_targets(Vertex n, const Vertex* targets,
+                               std::size_t count) {
+  if (target_gen_.size() < n) target_gen_.resize(n, 0);
+  ++target_epoch_;  // starts at 1 on first use, so zero-init never matches
+  targeted_ = true;
+  targets_remaining_ = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vertex v = targets[i];
+    if (target_gen_[v] != target_epoch_) {  // duplicates stamp once
+      target_gen_[v] = target_epoch_;
+      ++targets_remaining_;
+    }
+  }
+}
+
 std::vector<std::vector<Vertex>>& QueryContext::buckets(int workers) {
   const auto w = static_cast<std::size_t>(workers < 1 ? 1 : workers);
   if (buckets_.size() < w) buckets_.resize(w);

@@ -63,8 +63,43 @@ class QueryContext {
 
   /// Copies distances of [0, n) into `out` and restores the all-infinite
   /// invariant in the same pass. Every begin_query() must be paired with
-  /// exactly one finish_query().
+  /// exactly one finish_query() OR reset_distances().
   void finish_query(Vertex n, std::vector<Dist>& out);
+
+  /// Restores the all-infinite invariant WITHOUT producing the O(n)
+  /// output copy — the finish of a targeted serve, whose response reads
+  /// only O(|targets|) entries via read_dist() beforehand.
+  void reset_distances(Vertex n);
+
+  /// Current tentative distance of `v` (valid between an engine run and
+  /// the finish_query()/reset_distances() that ends it). Exact for every
+  /// settled vertex; an upper bound elsewhere.
+  Dist read_dist(Vertex v) const {
+    return dist_[v].load(std::memory_order_relaxed);
+  }
+
+  // --- targeted queries (early termination) --------------------------------
+  // serve() stamps the request's target set before running an engine;
+  // every engine twin calls note_target_settled() as it settles vertices
+  // and may stop at the next step boundary once targets_remaining() hits
+  // zero (Theorem 3.1 makes step-boundary distances final, so the exit is
+  // exact). Settle sites are single-writer in every twin — the counter is
+  // plain. clear_targets() is O(1); stamps are epoch-invalidated.
+  void set_targets(Vertex n, const Vertex* targets, std::size_t count);
+  void clear_targets() {
+    targeted_ = false;
+    targets_remaining_ = 0;
+  }
+  bool has_targets() const { return targeted_; }
+  std::size_t targets_remaining() const { return targets_remaining_; }
+  /// Records that `v` settled; decrements the remaining count the first
+  /// time a stamped target settles (idempotent per query).
+  void note_target_settled(Vertex v) {
+    if (target_gen_[v] == target_epoch_) {
+      target_gen_[v] = target_epoch_ - 1;  // un-stamp: exactly-once
+      --targets_remaining_;
+    }
+  }
 
   // --- tentative distances -------------------------------------------------
   // Shared by parallel engines (CAS WriteMin) and sequential ones (relaxed
@@ -166,14 +201,19 @@ class QueryContext {
  private:
   Vertex n_ = 0;
   bool sequential_ = false;
+  bool targeted_ = false;
+  std::size_t targets_remaining_ = 0;
 
   std::uint64_t query_gen_ = 0;
   std::uint64_t claim_epoch_ = 0;
   std::uint64_t mark_epoch_ = 0;
+  std::uint64_t target_epoch_ = 0;
 
   std::vector<std::atomic<Dist>> dist_;       // invariant: all kInfDist
   std::vector<std::uint64_t> settled_gen_;    // == query_gen_ => settled
   std::vector<std::uint64_t> mark_gen_;       // == mark_epoch_ => marked
+  std::vector<std::uint64_t> target_gen_;     // == target_epoch_ => wanted,
+                                              // unsettled (lazily sized)
   std::vector<std::atomic<std::uint64_t>> claim_;  // == claim_epoch_ => claimed
 
   std::vector<Vertex> frontier_;

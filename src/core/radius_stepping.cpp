@@ -24,6 +24,12 @@ namespace {
 /// Substep counts are NOT: relaxations read neighbor distances live
 /// (chaotic relaxation), so how fast a step converges internally depends
 /// on processing order. Only Theorem 3.2's k+2 upper bound is invariant.
+///
+/// Targeted early termination: when ctx.has_targets(), the run stops at
+/// the first STEP boundary with every stamped target settled. Vertices
+/// marked settled mid-step can still improve while the annulus converges,
+/// so the check only ever fires between steps, where Theorem 3.1 makes
+/// every settled distance final — the exit is exact.
 template <bool Par>
 void radius_stepping_run(const Graph& g, Vertex source,
                          const std::vector<Dist>& radius, QueryContext& ctx,
@@ -38,9 +44,16 @@ void radius_stepping_run(const Graph& g, Vertex source,
     dist[v].store(nd, std::memory_order_relaxed);
     return true;
   };
+  const bool targeted = ctx.has_targets();
+  // All settle sites run in sequential sections (both twins), so the
+  // target bookkeeping needs no atomics.
+  const auto settle = [&](Vertex v) {
+    ctx.mark_settled(v);
+    if (targeted) ctx.note_target_settled(v);
+  };
 
   dist[source].store(0, std::memory_order_relaxed);
-  ctx.mark_settled(source);
+  settle(source);
   local.settled = 1;
 
   // Frontier: unsettled vertices with finite tentative distance. Seeded by
@@ -83,7 +96,13 @@ void radius_stepping_run(const Graph& g, Vertex source,
   // as relaxation targets. d_0 = 0 covers the source.
   Dist prev_di = 0;
 
+  // The entry check covers requests whose targets are already settled
+  // (source-only target sets); the per-step check is at the bottom.
   while (!frontier.empty()) {
+    if (targeted && ctx.targets_remaining() == 0) {
+      local.early_exit = true;
+      break;
+    }
     ++local.steps;
 
     // Line 4: d_i = min over the frontier of delta(v) + r(v).
@@ -105,7 +124,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
     for (const Vertex v : frontier) {
       if (load(v) <= di) {
         active.push_back(v);
-        ctx.mark_settled(v);
+        settle(v);
       }
     }
     local.settled += active.size();
@@ -186,7 +205,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
         if (load(v) <= di) {
           active.push_back(v);
           if (!ctx.is_settled(v)) {
-            ctx.mark_settled(v);
+            settle(v);
             ++local.settled;
           }
         } else if (!ctx.is_settled(v) && ctx.mark(v)) {
@@ -203,6 +222,14 @@ void radius_stepping_run(const Graph& g, Vertex source,
     local.max_substeps_in_step =
         std::max(local.max_substeps_in_step, substeps_this_step);
     local.relaxations += relaxed_this_step;
+
+    // Step boundary: every settled vertex is now final (Theorem 3.1), so a
+    // targeted run that has settled all its targets is done — skip the
+    // frontier rebuild entirely.
+    if (targeted && ctx.targets_remaining() == 0) {
+      local.early_exit = true;
+      break;
+    }
 
     // Rebuild the frontier: drop settled vertices, add the new arrivals.
     // Every member was marked on first insertion, so the two lists are
@@ -238,9 +265,9 @@ void radius_stepping_run(const Graph& g, Vertex source,
 
 }  // namespace
 
-void radius_stepping(const Graph& g, Vertex source,
-                     const std::vector<Dist>& radius, QueryContext& ctx,
-                     std::vector<Dist>& out, RunStats* stats) {
+void radius_stepping_partial(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, RunStats* stats) {
   const Vertex n = g.num_vertices();
   if (radius.size() != n) {
     throw std::invalid_argument("radius_stepping: radius size mismatch");
@@ -257,7 +284,16 @@ void radius_stepping(const Graph& g, Vertex source,
     radius_stepping_run<true>(g, source, radius, ctx, local);
   }
   if (stats != nullptr) *stats = local;
-  ctx.finish_query(n, out);
+}
+
+void radius_stepping(const Graph& g, Vertex source,
+                     const std::vector<Dist>& radius, QueryContext& ctx,
+                     std::vector<Dist>& out, RunStats* stats) {
+  // A full distance vector must come from an exhaustive run: stale target
+  // stamps on a reused context must never truncate it.
+  ctx.clear_targets();
+  radius_stepping_partial(g, source, radius, ctx, stats);
+  ctx.finish_query(g.num_vertices(), out);
 }
 
 std::vector<Dist> radius_stepping(const Graph& g, Vertex source,

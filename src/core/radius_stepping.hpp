@@ -31,8 +31,19 @@ std::vector<Dist> radius_stepping(const Graph& g, Vertex source,
 /// are written into `out`. Honors ctx.sequential(): in sequential mode the
 /// whole query runs on the calling thread with no atomics or OpenMP
 /// regions, so it can execute inside an outer source-parallel batch.
+/// Always runs to exhaustion (any stale target stamps are cleared).
 void radius_stepping(const Graph& g, Vertex source,
                      const std::vector<Dist>& radius, QueryContext& ctx,
                      std::vector<Dist>& out, RunStats* stats = nullptr);
+
+/// Serving primitive: runs the engine leaving tentative distances IN the
+/// context — read the ones you need with ctx.read_dist(), then restore the
+/// invariant with ctx.finish_query() or ctx.reset_distances(). Honors
+/// ctx.has_targets(): a targeted run may stop at the first step boundary
+/// where every stamped target is settled (targets are then exact; other
+/// vertices hold upper bounds). SsspEngine::serve builds on this.
+void radius_stepping_partial(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, RunStats* stats = nullptr);
 
 }  // namespace rs

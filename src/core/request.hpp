@@ -1,0 +1,89 @@
+// The typed serving surface of SsspEngine: QueryRequest in, QueryResponse
+// out.
+//
+// The paper's preprocessing cost is amortized over many queries (§5.4),
+// and most consumers of such a service — point-to-point routers,
+// reachability checks, k-nearest lookups — read a handful of targets per
+// request. A QueryRequest says exactly what the caller needs; the engine
+// then does only that much work:
+//
+//  * `targets` non-empty and `want_full_distances` false is the targeted
+//    regime: the run terminates early, at the first step boundary where
+//    every requested target is settled. Radius-Stepping settles vertices
+//    in rounds of nondecreasing distance (Theorem 3.1: by the end of step
+//    i every vertex with delta <= d_i is final), so the early exit is
+//    EXACT — the per-target distances equal a full run's — while executing
+//    a fraction of the rounds when the targets are near the source.
+//  * the response is O(|targets|) space: per-target distances are read
+//    straight out of the engine's working distance array (zero-copy — the
+//    O(n) dist vector is neither copied nor allocated) and optional paths
+//    are expanded by a targeted backward walk over the cached transpose.
+//    (One O(n) store sweep remains per request: restoring the context's
+//    all-infinite distance invariant. It allocates nothing and replaces
+//    the old copy+reset pass; shrinking it to O(touched) means tracking
+//    first-touches in every engine's relax loop — a ROADMAP follow-up.)
+//  * `want_full_distances` requests the classic O(n) dist vector; it
+//    disables early termination (a partial vector would not be the full
+//    answer) and makes the response equivalent to the legacy query() API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "graph/types.hpp"
+
+namespace rs {
+
+/// Which Radius-Stepping implementation answers a request.
+enum class QueryEngine : std::uint8_t {
+  kFlat,        // atomic-array engine (default; fastest)
+  kBst,         // Algorithm 2 on the arena-treap substrate (O(p log q) sets)
+  kBstFlat,     // Algorithm 2 on the flat sorted-array substrate
+  kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
+                // and preprocessing added no shortcut edges
+};
+
+/// One serving request: distances (and optionally paths) from `source` to
+/// `targets`, or the full distance vector when `want_full_distances`.
+struct QueryRequest {
+  Vertex source = kNoVertex;
+
+  /// Vertices whose distances the caller wants. Order is preserved in the
+  /// response (duplicates allowed; each occurrence is answered). Empty
+  /// with `want_full_distances` unset still runs the query — useful only
+  /// for its RunStats — but the natural targeted request lists 1..k
+  /// targets and leaves `want_full_distances` off to get early
+  /// termination.
+  std::vector<Vertex> targets;
+
+  /// Expand the shortest path for every reachable target (vertices of the
+  /// ORIGINAL graph; shortcut edges never appear).
+  bool want_paths = false;
+
+  /// Fill QueryResponse::dist with distances to every vertex (O(n)).
+  /// Forces a full run: early termination is disabled.
+  bool want_full_distances = false;
+
+  QueryEngine engine = QueryEngine::kFlat;
+};
+
+/// Per-target slice of a response.
+struct TargetResult {
+  Vertex target = kNoVertex;
+  Dist dist = kInfDist;  // kInfDist == unreachable
+  /// source..target inclusive; empty when unreachable or !want_paths.
+  /// For target == source the path is the single vertex {source}.
+  std::vector<Vertex> path;
+};
+
+struct QueryResponse {
+  Vertex source = kNoVertex;
+  /// Parallel to QueryRequest::targets (same order, same multiplicity).
+  std::vector<TargetResult> targets;
+  /// Full distance vector; filled iff want_full_distances, else empty.
+  std::vector<Dist> dist;
+  RunStats stats;
+};
+
+}  // namespace rs

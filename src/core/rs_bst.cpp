@@ -22,6 +22,13 @@ std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
   return out;
 }
 
+void radius_stepping_bst_partial(const Graph& g, Vertex source,
+                                 const std::vector<Dist>& radius,
+                                 QueryContext& ctx, RunStats* stats) {
+  detail::radius_stepping_ordered_partial<Treap<std::pair<Dist, Vertex>>>(
+      g, source, radius, ctx, stats);
+}
+
 void radius_stepping_flatset(const Graph& g, Vertex source,
                              const std::vector<Dist>& radius,
                              QueryContext& ctx, std::vector<Dist>& out,
@@ -37,6 +44,13 @@ std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
   std::vector<Dist> out;
   radius_stepping_flatset(g, source, radius, ctx, out, stats);
   return out;
+}
+
+void radius_stepping_flatset_partial(const Graph& g, Vertex source,
+                                     const std::vector<Dist>& radius,
+                                     QueryContext& ctx, RunStats* stats) {
+  detail::radius_stepping_ordered_partial<FlatSet<std::pair<Dist, Vertex>>>(
+      g, source, radius, ctx, stats);
 }
 
 }  // namespace rs

@@ -34,6 +34,13 @@ std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
                                       const std::vector<Dist>& radius,
                                       RunStats* stats = nullptr);
 
+/// Serving primitive: distances stay in `ctx` (read via ctx.read_dist(),
+/// then finish_query()/reset_distances()); honors ctx.has_targets()
+/// step-boundary early termination (see core/radius_stepping.hpp).
+void radius_stepping_bst_partial(const Graph& g, Vertex source,
+                                 const std::vector<Dist>& radius,
+                                 QueryContext& ctx, RunStats* stats = nullptr);
+
 /// The same Algorithm 2 on the flat sorted-array substrate
 /// (pset/flat_set.hpp): O(n)-copy bulk operations instead of the treap's
 /// O(p log q). Identical results; exists to show the analysis only needs
@@ -46,5 +53,11 @@ void radius_stepping_flatset(const Graph& g, Vertex source,
 std::vector<Dist> radius_stepping_flatset(const Graph& g, Vertex source,
                                           const std::vector<Dist>& radius,
                                           RunStats* stats = nullptr);
+
+/// Serving primitive for the flat-set substrate (see *_bst_partial).
+void radius_stepping_flatset_partial(const Graph& g, Vertex source,
+                                     const std::vector<Dist>& radius,
+                                     QueryContext& ctx,
+                                     RunStats* stats = nullptr);
 
 }  // namespace rs

@@ -49,6 +49,15 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
   // sequential spine of this engine either way.
   constexpr bool kArena = std::is_same_v<OrderedSet, Treap<Key>>;
   const Vertex n = g.num_vertices();
+  const bool targeted = ctx.has_targets();
+  // Settle sites are all in the sequential spine, so the target counter
+  // needs no atomics. Like the flat engine, the early exit only fires at
+  // step boundaries: vertices settled mid-step can still improve while
+  // the annulus converges (the re-relax branch below).
+  const auto settle = [&ctx, targeted](Vertex v) {
+    ctx.mark_settled(v);
+    if (targeted) ctx.note_target_settled(v);
+  };
 
   std::atomic<Dist>* dist = ctx.dist();
   const auto load = [&](Vertex v) {
@@ -77,7 +86,7 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
   };
 
   store(source, 0);
-  ctx.mark_settled(source);  // settled == the paper's "in some A_i" flag
+  settle(source);  // settled == the paper's "in some A_i" flag
   local.settled = 1;
 
   // Lines 3-4: seed Q and R with the source's relaxed neighbours.
@@ -116,6 +125,12 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
       ctx.pair_buckets(nw);
 
   while (!q.empty()) {
+    // Step boundary: all settled distances are final, so a targeted run
+    // with no targets remaining is done (also covers source-only sets).
+    if (targeted && ctx.targets_remaining() == 0) {
+      local.early_exit = true;
+      break;
+    }
     ++local.steps;
 
     // Line 6: d_i = min of R.
@@ -128,7 +143,7 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
     kb.r_moved.clear();
     for (const auto& [d, v] : kb.moved) {
       active.push_back(v);
-      ctx.mark_settled(v);
+      settle(v);
       kb.r_moved.push_back({d + radius[v], v});
     }
     std::sort(kb.r_moved.begin(), kb.r_moved.end());
@@ -223,7 +238,7 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
         }
         if (nd <= di) {
           // Line 11-14: migrate from Q/R into A_i.
-          ctx.mark_settled(v);
+          settle(v);
           next_active.push_back(v);
           ++local.settled;
         } else {
@@ -251,10 +266,9 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
 }
 
 template <typename OrderedSet>
-void radius_stepping_ordered(const Graph& g, Vertex source,
-                             const std::vector<Dist>& radius,
-                             QueryContext& ctx, std::vector<Dist>& out,
-                             RunStats* stats) {
+void radius_stepping_ordered_partial(const Graph& g, Vertex source,
+                                     const std::vector<Dist>& radius,
+                                     QueryContext& ctx, RunStats* stats) {
   const Vertex n = g.num_vertices();
   if (radius.size() != n) {
     throw std::invalid_argument("radius_stepping_bst: radius size mismatch");
@@ -271,7 +285,16 @@ void radius_stepping_ordered(const Graph& g, Vertex source,
                                                   local);
   }
   if (stats != nullptr) *stats = local;
-  ctx.finish_query(n, out);
+}
+
+template <typename OrderedSet>
+void radius_stepping_ordered(const Graph& g, Vertex source,
+                             const std::vector<Dist>& radius,
+                             QueryContext& ctx, std::vector<Dist>& out,
+                             RunStats* stats) {
+  ctx.clear_targets();  // full output == exhaustive run, always
+  radius_stepping_ordered_partial<OrderedSet>(g, source, radius, ctx, stats);
+  ctx.finish_query(g.num_vertices(), out);
 }
 
 }  // namespace rs::detail

@@ -17,11 +17,18 @@ namespace {
 /// the batch scheduler (no atomics, no OpenMP regions). One claim epoch
 /// spans the whole query: a vertex is claimed when first reached, which is
 /// final for unit weights.
+///
+/// Targeted early termination: with unit weights a claimed vertex's level
+/// is already final, so the run may stop right after the level expansion
+/// that claims the last stamped target — finer-grained than the weighted
+/// engines' step-boundary exit, and still exact. The bookkeeping lives in
+/// the sequential level-stamping pass, so no atomics are needed.
 template <bool Par>
 void rs_unweighted_run(const Graph& g, Vertex source,
                        const std::vector<Dist>& radius, QueryContext& ctx,
                        RunStats& local) {
   std::atomic<Dist>* dist = ctx.dist();
+  const bool targeted = ctx.has_targets();
   ctx.next_claim_epoch();
   if constexpr (Par) {
     ctx.claim(source);
@@ -29,6 +36,7 @@ void rs_unweighted_run(const Graph& g, Vertex source,
     ctx.claim_sequential(source);
   }
   dist[source].store(0, std::memory_order_relaxed);
+  if (targeted) ctx.note_target_settled(source);
   local.settled = 1;
 
   const int nw = Par ? num_workers() : 1;
@@ -73,8 +81,14 @@ void rs_unweighted_run(const Graph& g, Vertex source,
         }
       }
     }
-    for (const Vertex v : into) dist[v].store(level, std::memory_order_relaxed);
+    for (const Vertex v : into) {
+      dist[v].store(level, std::memory_order_relaxed);
+      if (targeted) ctx.note_target_settled(v);
+    }
     local.relaxations += into.size();
+  };
+  const auto targets_done = [&] {
+    return targeted && ctx.targets_remaining() == 0;
   };
 
   // Seed: one expansion from the source (reuses the active list as a
@@ -86,6 +100,10 @@ void rs_unweighted_run(const Graph& g, Vertex source,
   Dist level = 1;  // hop distance of the current frontier
 
   while (!frontier.empty()) {
+    if (targets_done()) {
+      local.early_exit = true;
+      break;
+    }
     ++local.steps;
     // d_i = min over the frontier of delta(v) + r(v); all deltas == level.
     Dist min_r;
@@ -107,6 +125,7 @@ void rs_unweighted_run(const Graph& g, Vertex source,
       expand(frontier, next, level + 1);
       frontier.swap(next);
       ++level;
+      if (targets_done()) break;  // claimed == final: exit mid-step too
     }
     local.substeps += substeps_this_step;
     local.max_substeps_in_step =
@@ -116,10 +135,9 @@ void rs_unweighted_run(const Graph& g, Vertex source,
 
 }  // namespace
 
-void radius_stepping_unweighted(const Graph& g, Vertex source,
-                                const std::vector<Dist>& radius,
-                                QueryContext& ctx, std::vector<Dist>& out,
-                                RunStats* stats) {
+void radius_stepping_unweighted_partial(const Graph& g, Vertex source,
+                                        const std::vector<Dist>& radius,
+                                        QueryContext& ctx, RunStats* stats) {
   const Vertex n = g.num_vertices();
   if (radius.size() != n) {
     throw std::invalid_argument("radius_stepping_unweighted: radius size");
@@ -136,7 +154,15 @@ void radius_stepping_unweighted(const Graph& g, Vertex source,
     rs_unweighted_run<true>(g, source, radius, ctx, local);
   }
   if (stats != nullptr) *stats = local;
-  ctx.finish_query(n, out);
+}
+
+void radius_stepping_unweighted(const Graph& g, Vertex source,
+                                const std::vector<Dist>& radius,
+                                QueryContext& ctx, std::vector<Dist>& out,
+                                RunStats* stats) {
+  ctx.clear_targets();  // full output == exhaustive run, always
+  radius_stepping_unweighted_partial(g, source, radius, ctx, stats);
+  ctx.finish_query(g.num_vertices(), out);
 }
 
 std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,

@@ -25,9 +25,19 @@ std::vector<Dist> radius_stepping_unweighted(const Graph& g, Vertex source,
 
 /// Context-reusing form: identical results, scratch state in `ctx`, output
 /// in `out`. Honors ctx.sequential() (see core/radius_stepping.hpp).
+/// Always runs to exhaustion (any stale target stamps are cleared).
 void radius_stepping_unweighted(const Graph& g, Vertex source,
                                 const std::vector<Dist>& radius,
                                 QueryContext& ctx, std::vector<Dist>& out,
                                 RunStats* stats = nullptr);
+
+/// Serving primitive: distances stay in `ctx` (read via ctx.read_dist(),
+/// then finish_query()/reset_distances()); honors ctx.has_targets() early
+/// termination — with unit weights the exit is per-level, right after the
+/// expansion that claims the last target (claimed == final).
+void radius_stepping_unweighted_partial(const Graph& g, Vertex source,
+                                        const std::vector<Dist>& radius,
+                                        QueryContext& ctx,
+                                        RunStats* stats = nullptr);
 
 }  // namespace rs

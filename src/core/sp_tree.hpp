@@ -8,6 +8,8 @@
 // production SSSP systems (and the paper's work accounting) treat paths.
 #pragma once
 
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +34,53 @@ std::vector<Vertex> parents_from_distances(const Graph& g, const Graph& tg,
 /// last); empty if t is unreachable.
 std::vector<Vertex> extract_path(const std::vector<Vertex>& parent,
                                  Vertex target);
+
+/// Targeted backward walk: writes the shortest source->target path into
+/// `out` (source first, target last; cleared to empty when unreachable)
+/// reading distances through `dist_of(v)` — a plain vector, the engine's
+/// atomic working array, anything callable. O(path length * in-degree)
+/// instead of the O(m + n) full parents pass: the serving-path form.
+///
+/// `tg` is the TRANSPOSE of the graph the path lives in. `dist_of(target)`
+/// must be exact; predecessors are found by exact closure (dist_of(u) +
+/// w(u, v) == dist_of(v)), which self-selects exact vertices even when
+/// other entries are tentative upper bounds from an early-terminated run:
+/// an overestimate can never close an exact distance (closure would imply
+/// a shorter-than-shortest path), so every hop walked is a true shortest-
+/// path edge. Ties pick the smallest vertex id (deterministic; matches
+/// parents_from_distances on fully-exact distance arrays).
+template <typename DistFn>
+void extract_path_by_closure(const Graph& tg, Vertex target, DistFn&& dist_of,
+                             std::vector<Vertex>& out) {
+  out.clear();
+  Dist d = dist_of(target);
+  if (d == kInfDist) return;
+  Vertex cur = target;
+  out.push_back(cur);
+  while (d > 0) {
+    Vertex best = kNoVertex;
+    Dist best_d = 0;
+    for (EdgeId e = tg.first_arc(cur); e < tg.last_arc(cur); ++e) {
+      const Vertex u = tg.arc_target(e);
+      if (u >= best) continue;  // only a smaller id can improve the tie
+      const Dist du = dist_of(u);
+      if (du != kInfDist && du + tg.arc_weight(e) == d) {
+        best = u;
+        best_d = du;
+      }
+    }
+    if (best == kNoVertex) {
+      throw std::logic_error("extract_path_by_closure: no exact predecessor");
+    }
+    cur = best;
+    d = best_d;
+    out.push_back(cur);
+    if (out.size() > tg.num_vertices()) {
+      throw std::logic_error("extract_path_by_closure: predecessor cycle");
+    }
+  }
+  std::reverse(out.begin(), out.end());
+}
 
 /// Validates that (dist, parent) form a consistent shortest-path tree:
 /// every parent edge exists and closes the distance exactly. Test oracle

@@ -19,8 +19,12 @@ struct RunStats {
   std::size_t relaxations = 0;
   /// Largest active set |A_i| seen.
   std::size_t max_active = 0;
-  /// Vertices settled (== n reachable from the source on termination).
+  /// Vertices settled (== n reachable from the source on termination; a
+  /// targeted early exit stops once every requested target is in here).
   std::size_t settled = 0;
+  /// True when a targeted run stopped before exhausting the frontier —
+  /// every requested target settled early (core/request.hpp semantics).
+  bool early_exit = false;
 };
 
 }  // namespace rs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
 #include "core/query_context.hpp"
 #include "core/radii.hpp"
 #include "core/radius_stepping.hpp"
@@ -134,6 +135,54 @@ TEST(AllocFree, WarmSequentialUnweightedQueryAllocatesNothing) {
     measured = window.count();
   }
   EXPECT_EQ(measured, 0u);
+}
+
+TEST(AllocFree, WarmTargetedServeAllocatesNothing) {
+  // The PR 5 acceptance pin: a warm targeted serve — request with targets
+  // and paths, reused QueryContext AND reused QueryResponse — performs
+  // ZERO heap allocations end to end. The response vectors are the only
+  // O(|targets|) state and they keep their capacity across requests; the
+  // target stamps, the early-exit bookkeeping, the per-target reads, and
+  // the transpose-walk path expansion all run out of warmed storage.
+  const Graph g = test_graph();
+  PreprocessOptions opts;
+  opts.rho = 10;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+
+  QueryRequest req;
+  req.source = 3;
+  req.targets = {37, 220, 338};
+  req.want_paths = true;
+
+  QueryContext ctx;
+  ctx.set_sequential(true);
+  QueryResponse resp;
+  engine.serve(req, ctx, resp);  // warm-up (also builds the transpose)
+  const QueryResult full = engine.query(3);
+  for (const TargetResult& tr : resp.targets) {
+    ASSERT_EQ(tr.dist, full.dist[tr.target]);
+  }
+
+  // kBstFlat is exempt: its flat-set substrate reallocates set storage by
+  // design (see the engine matrix in README). kFlat and kBst carry the
+  // zero-allocation contract.
+  for (const QueryEngine qe : {QueryEngine::kFlat, QueryEngine::kBst}) {
+    req.engine = qe;
+    engine.serve(req, ctx, resp);  // warm this engine's scratch too
+    std::uint64_t measured;
+    {
+      AllocationWindow window;
+      engine.serve(req, ctx, resp);
+      measured = window.count();
+    }
+    EXPECT_EQ(measured, 0u) << "engine " << static_cast<int>(qe);
+    ASSERT_EQ(resp.targets.size(), req.targets.size());
+    for (const TargetResult& tr : resp.targets) {
+      ASSERT_EQ(tr.dist, full.dist[tr.target]);  // still exact when warm
+      ASSERT_EQ(tr.path.back(), tr.target);
+    }
+  }
 }
 
 TEST(AllocFree, WarmPreprocessContextBallLoopAllocatesNothing) {

@@ -1,0 +1,488 @@
+// The serving API contract (core/request.hpp + SsspEngine::serve*):
+//
+//  * targeted serve returns distances BIT-IDENTICAL to a full query for
+//    every requested target — across all four engines, the weighted AND
+//    adversarial suites, and several worker counts (early termination must
+//    be invisible in the answers);
+//  * early exit actually fires: on a path graph with a near target the
+//    round count strictly drops versus the full run (asserted via
+//    RunStats);
+//  * serve_batch == per-request serve, in input order, for mixed requests;
+//  * expanded paths are genuine shortest paths of the ORIGINAL graph;
+//  * every entry point bounds-checks its inputs (the PR 5 bugfix:
+//    query(Vertex) historically validated only in query_batch).
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.hpp"
+#include "core/engine.hpp"
+#include "core/query_context.hpp"
+#include "core/radii.hpp"
+#include "core/sp_tree.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "parallel/primitives.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+/// Restores the global worker count on scope exit.
+struct WorkerGuard {
+  int before = num_workers();
+  ~WorkerGuard() { set_num_workers(before); }
+};
+
+/// Engine wrapper that skips preprocessing (constant radii, no shortcuts)
+/// so directed/multigraph/unit-weight inputs stay exactly as built.
+SsspEngine raw_engine(const Graph& g, Dist r = 25) {
+  PreprocessResult pre;
+  pre.graph = g;
+  pre.radius = constant_radii(g.num_vertices(), r);
+  pre.options.heuristic = ShortcutHeuristic::kNone;
+  return SsspEngine(g, std::move(pre));
+}
+
+std::vector<Vertex> spread_targets(const Graph& g, std::size_t count) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<Vertex>(((i + 1) * n) / (count + 1)));
+  }
+  return out;
+}
+
+/// The sum of original-graph edge weights along `path`, failing the test
+/// if any hop is not an original arc. Parallel arcs: cheapest one counts,
+/// which is what a shortest path must use anyway.
+Dist path_weight(const Graph& g, const std::vector<Vertex>& path) {
+  Dist total = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    Dist best = kInfDist;
+    for (EdgeId e = g.first_arc(path[i - 1]); e < g.last_arc(path[i - 1]);
+         ++e) {
+      if (g.arc_target(e) == path[i]) {
+        best = std::min(best, static_cast<Dist>(g.arc_weight(e)));
+      }
+    }
+    EXPECT_NE(best, kInfDist) << "hop " << i << " is not an original edge";
+    if (best == kInfDist) return kInfDist;
+    total += best;
+  }
+  return total;
+}
+
+const QueryEngine kWeightedEngines[] = {
+    QueryEngine::kFlat, QueryEngine::kBst, QueryEngine::kBstFlat};
+
+TEST(Serve, TargetedMatchesFullQueryOnWeightedSuite) {
+  WorkerGuard guard;
+  for (const auto& [name, g] : test::weighted_suite(13)) {
+    PreprocessOptions opts;
+    opts.rho = 10;
+    opts.k = 2;
+    const SsspEngine engine(g, opts);
+    const Vertex source = g.num_vertices() / 3;
+    const std::vector<Vertex> targets = spread_targets(g, 6);
+
+    for (const QueryEngine qe : kWeightedEngines) {
+      const QueryResult full = engine.query(source, qe);
+      QueryRequest req;
+      req.source = source;
+      req.targets = targets;
+      req.engine = qe;
+      for (const int nw : {1, 3, 8}) {
+        set_num_workers(nw);
+        const QueryResponse resp = engine.serve(req);
+        ASSERT_EQ(resp.targets.size(), targets.size());
+        EXPECT_EQ(resp.source, source);
+        EXPECT_TRUE(resp.dist.empty());  // O(|targets|) response only
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          EXPECT_EQ(resp.targets[i].target, targets[i]);
+          EXPECT_EQ(resp.targets[i].dist, full.dist[targets[i]])
+              << name << " engine " << static_cast<int>(qe) << " nw=" << nw
+              << " target " << targets[i];
+        }
+        // Early termination never runs MORE rounds than the full query.
+        EXPECT_LE(resp.stats.steps, full.stats.steps) << name;
+      }
+    }
+  }
+}
+
+TEST(Serve, TargetedMatchesDijkstraOnAdversarialSuite) {
+  WorkerGuard guard;
+  for (const auto& [name, g] : test::adversarial_suite(3)) {
+    const SsspEngine engine = raw_engine(g);
+    const std::vector<Vertex> targets = spread_targets(g, 5);
+    const auto ref = dijkstra(g, 1);
+    for (const QueryEngine qe : kWeightedEngines) {
+      for (const int nw : {1, 4}) {
+        set_num_workers(nw);
+        QueryRequest req;
+        req.source = 1;
+        req.targets = targets;
+        req.engine = qe;
+        const QueryResponse resp = engine.serve(req);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          EXPECT_EQ(resp.targets[i].dist, ref[targets[i]])
+              << name << " engine " << static_cast<int>(qe) << " nw=" << nw;
+        }
+      }
+    }
+  }
+}
+
+TEST(Serve, TargetedUnweightedEngineMatches) {
+  WorkerGuard guard;
+  for (const auto& [name, g] : test::unweighted_suite(17)) {
+    const SsspEngine engine = raw_engine(g, 6);
+    const std::vector<Vertex> targets = spread_targets(g, 6);
+    const QueryResult full = engine.query(0, QueryEngine::kUnweighted);
+    for (const int nw : {1, 3, 8}) {
+      set_num_workers(nw);
+      QueryRequest req;
+      req.source = 0;
+      req.targets = targets;
+      req.engine = QueryEngine::kUnweighted;
+      const QueryResponse resp = engine.serve(req);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        EXPECT_EQ(resp.targets[i].dist, full.dist[targets[i]])
+            << name << " nw=" << nw << " target " << targets[i];
+      }
+    }
+  }
+}
+
+TEST(Serve, EarlyExitStrictlyReducesRoundsOnPathGraph) {
+  // A long weighted chain with the source at one end and the target right
+  // next to it: the full run needs many steps (bounded frontier), the
+  // targeted run should stop almost immediately.
+  WorkerGuard guard;
+  const Graph g = assign_uniform_weights(gen::chain(400), 3, 1, 100);
+  PreprocessOptions opts;
+  opts.rho = 8;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+
+  for (const QueryEngine qe : kWeightedEngines) {
+    const QueryResult full = engine.query(0, qe);
+    ASSERT_GT(full.stats.steps, 3u) << "chain too easy to measure early exit";
+    QueryRequest req;
+    req.source = 0;
+    req.targets = {2};  // two hops from the source
+    req.engine = qe;
+    for (const int nw : {1, 4}) {
+      set_num_workers(nw);
+      const QueryResponse resp = engine.serve(req);
+      EXPECT_EQ(resp.targets[0].dist, full.dist[2]);
+      EXPECT_TRUE(resp.stats.early_exit)
+          << "engine " << static_cast<int>(qe) << " nw=" << nw;
+      EXPECT_LT(resp.stats.steps, full.stats.steps)
+          << "engine " << static_cast<int>(qe) << " nw=" << nw;
+    }
+  }
+
+  // Same for the unweighted engine on the unit-weight chain.
+  const Graph unit = gen::chain(400);
+  const SsspEngine ue = raw_engine(unit, 4);
+  const QueryResult ufull = ue.query(0, QueryEngine::kUnweighted);
+  ASSERT_GT(ufull.stats.steps, 3u);
+  QueryRequest ureq;
+  ureq.source = 0;
+  ureq.targets = {2};
+  ureq.engine = QueryEngine::kUnweighted;
+  const QueryResponse uresp = ue.serve(ureq);
+  EXPECT_EQ(uresp.targets[0].dist, ufull.dist[2]);
+  EXPECT_TRUE(uresp.stats.early_exit);
+  EXPECT_LT(uresp.stats.steps, ufull.stats.steps);
+}
+
+TEST(Serve, WantFullDistancesDisablesEarlyExitAndFillsBoth) {
+  const Graph g = assign_uniform_weights(gen::chain(300), 5, 1, 50);
+  PreprocessOptions opts;
+  opts.rho = 8;
+  const SsspEngine engine(g, opts);
+  const QueryResult full = engine.query(0);
+
+  QueryRequest req;
+  req.source = 0;
+  req.targets = {1, 2};
+  req.want_full_distances = true;
+  const QueryResponse resp = engine.serve(req);
+  EXPECT_EQ(resp.dist, full.dist);  // the whole vector, bit-identical
+  EXPECT_FALSE(resp.stats.early_exit);
+  EXPECT_EQ(resp.stats.steps, full.stats.steps);  // exhaustive run
+  EXPECT_EQ(resp.targets[0].dist, full.dist[1]);
+  EXPECT_EQ(resp.targets[1].dist, full.dist[2]);
+}
+
+TEST(Serve, PathsMatchLegacyPathOnFullRuns) {
+  for (const auto& [name, g] : test::weighted_suite(7)) {
+    PreprocessOptions opts;
+    opts.rho = 12;
+    opts.k = 2;
+    const SsspEngine engine(g, opts);
+    const QueryResult full = engine.query(0);
+    QueryRequest req;
+    req.source = 0;
+    req.targets = spread_targets(g, 4);
+    req.want_paths = true;
+    req.want_full_distances = true;  // exhaustive: closure sets identical
+    const QueryResponse resp = engine.serve(req);
+    for (const TargetResult& tr : resp.targets) {
+      EXPECT_EQ(tr.path, engine.path(full, tr.target)) << name;
+    }
+  }
+}
+
+TEST(Serve, ClosureWalkMatchesParentsFromDistancesOracle) {
+  // path() and serve(want_paths) now share extract_path_by_closure; pin
+  // both against the INDEPENDENT pre-PR5 reconstruction (full
+  // parents_from_distances pass + extract_path) so a tie-break divergence
+  // in the closure walk cannot slip by with both sides changing together.
+  // Directed graph: the transpose actually differs from the graph.
+  for (const auto& [name, g] : test::adversarial_suite(21)) {
+    const SsspEngine engine = raw_engine(g);
+    const QueryResult full = engine.query(1);
+    const std::vector<Vertex> parent =
+        parents_from_distances(g, g.transposed(), full.dist);
+    QueryRequest req;
+    req.source = 1;
+    req.targets = spread_targets(g, 4);
+    req.want_paths = true;
+    req.want_full_distances = true;  // exhaustive: oracle applies exactly
+    const QueryResponse resp = engine.serve(req);
+    for (const TargetResult& tr : resp.targets) {
+      const std::vector<Vertex> oracle = tr.dist == kInfDist
+                                             ? std::vector<Vertex>{}
+                                             : extract_path(parent, tr.target);
+      EXPECT_EQ(tr.path, oracle) << name << " target " << tr.target;
+      EXPECT_EQ(engine.path(full, tr.target), oracle) << name;
+    }
+  }
+}
+
+TEST(Serve, EarlyExitPathsAreGenuineShortestPaths) {
+  // With early termination the tie-break may see fewer exact predecessors
+  // than a full run, so paths need not be bit-identical — but they must
+  // be real shortest paths of the ORIGINAL graph: right endpoints, only
+  // original arcs, weights summing exactly to the distance.
+  const Graph g = assign_uniform_weights(gen::grid2d(15, 14), 11, 1, 60);
+  PreprocessOptions opts;
+  opts.rho = 10;
+  opts.k = 2;
+  opts.heuristic = ShortcutHeuristic::kFull1Rho;  // plenty of shortcuts
+  const SsspEngine engine(g, opts);
+  for (const QueryEngine qe : kWeightedEngines) {
+    QueryRequest req;
+    req.source = 0;
+    req.targets = {5, 40, 100};
+    req.want_paths = true;
+    req.engine = qe;
+    const QueryResponse resp = engine.serve(req);
+    for (const TargetResult& tr : resp.targets) {
+      ASSERT_NE(tr.dist, kInfDist);
+      ASSERT_GE(tr.path.size(), 2u);
+      EXPECT_EQ(tr.path.front(), 0u);
+      EXPECT_EQ(tr.path.back(), tr.target);
+      EXPECT_EQ(path_weight(g, tr.path), tr.dist)
+          << "engine " << static_cast<int>(qe) << " target " << tr.target;
+    }
+  }
+}
+
+TEST(Serve, BatchMatchesIndividualServesWithMixedRequests) {
+  WorkerGuard guard;
+  const Graph g = assign_uniform_weights(gen::road_network(14, 14, 3), 9);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+  const Vertex n = g.num_vertices();
+
+  // A deliberately heterogeneous batch: different sources, target counts,
+  // engines, and flag combinations in one vector.
+  std::vector<QueryRequest> requests;
+  for (std::size_t i = 0; i < 10; ++i) {
+    QueryRequest req;
+    req.source = static_cast<Vertex>((i * n) / 10);
+    for (std::size_t t = 0; t <= i % 4; ++t) {
+      req.targets.push_back(static_cast<Vertex>((t * n) / 5 + i));
+    }
+    req.want_paths = (i % 2 == 0);
+    req.want_full_distances = (i % 3 == 0);
+    req.engine = (i % 4 == 1) ? QueryEngine::kBst
+                 : (i % 4 == 2) ? QueryEngine::kBstFlat
+                                : QueryEngine::kFlat;
+    requests.push_back(std::move(req));
+  }
+
+  std::vector<QueryResponse> ref;
+  for (const QueryRequest& req : requests) ref.push_back(engine.serve(req));
+
+  for (const int nw : {1, 3, 8}) {
+    set_num_workers(nw);
+    const std::vector<QueryResponse> batch = engine.serve_batch(requests);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(batch[i].source, ref[i].source);
+      EXPECT_EQ(batch[i].dist, ref[i].dist) << "nw=" << nw << " req " << i;
+      ASSERT_EQ(batch[i].targets.size(), ref[i].targets.size());
+      for (std::size_t t = 0; t < ref[i].targets.size(); ++t) {
+        EXPECT_EQ(batch[i].targets[t].dist, ref[i].targets[t].dist)
+            << "nw=" << nw << " req " << i;
+        EXPECT_EQ(batch[i].targets[t].path, ref[i].targets[t].path)
+            << "nw=" << nw << " req " << i;
+      }
+      EXPECT_EQ(batch[i].stats.steps, ref[i].stats.steps) << "req " << i;
+      EXPECT_EQ(batch[i].stats.settled, ref[i].stats.settled) << "req " << i;
+    }
+  }
+}
+
+TEST(Serve, SourceTargetAndDuplicateEdgeCases) {
+  const Graph g = assign_uniform_weights(gen::grid2d(8, 8), 2, 1, 20);
+  PreprocessOptions opts;
+  opts.rho = 8;
+  const SsspEngine engine(g, opts);
+
+  // Target == source: distance 0, path is the single vertex.
+  QueryRequest req;
+  req.source = 5;
+  req.targets = {5};
+  req.want_paths = true;
+  QueryResponse resp = engine.serve(req);
+  EXPECT_TRUE(resp.stats.early_exit);  // nothing beyond the seed needed
+  EXPECT_EQ(resp.targets[0].dist, 0u);
+  EXPECT_EQ(resp.targets[0].path, std::vector<Vertex>{5});
+
+  // Duplicate targets: each occurrence answered, same values.
+  req.targets = {9, 9, 5};
+  resp = engine.serve(req);
+  ASSERT_EQ(resp.targets.size(), 3u);
+  EXPECT_EQ(resp.targets[0].dist, resp.targets[1].dist);
+  EXPECT_EQ(resp.targets[0].path, resp.targets[1].path);
+  EXPECT_EQ(resp.targets[2].dist, 0u);
+
+  // Empty targets without full distances: a stats-only probe.
+  req.targets.clear();
+  req.want_paths = false;
+  resp = engine.serve(req);
+  EXPECT_TRUE(resp.targets.empty());
+  EXPECT_TRUE(resp.dist.empty());
+  EXPECT_FALSE(resp.stats.early_exit);
+  EXPECT_EQ(resp.stats.settled, engine.query(5).stats.settled);
+}
+
+TEST(Serve, UnreachableTargetIsInfiniteWithEmptyPath) {
+  // half_directed_star-like: odd spokes point inward only, so they are
+  // unreachable from the center.
+  BuildOptions directed;
+  directed.symmetrize = false;
+  std::vector<EdgeTriple> edges;
+  for (Vertex v = 1; v < 10; ++v) {
+    if (v % 2 == 0) {
+      edges.push_back({0, v, v});
+    } else {
+      edges.push_back({v, 0, v});
+    }
+  }
+  const SsspEngine engine = raw_engine(build_graph(10, std::move(edges),
+                                                   directed));
+  QueryRequest req;
+  req.source = 0;
+  req.targets = {2, 3};  // 2 reachable, 3 not
+  req.want_paths = true;
+  const QueryResponse resp = engine.serve(req);
+  EXPECT_EQ(resp.targets[0].dist, 2u);
+  EXPECT_EQ(resp.targets[0].path, (std::vector<Vertex>{0, 2}));
+  EXPECT_EQ(resp.targets[1].dist, kInfDist);
+  EXPECT_TRUE(resp.targets[1].path.empty());
+  // An unreachable target means the frontier drained: no early exit.
+  EXPECT_FALSE(resp.stats.early_exit);
+}
+
+TEST(Serve, WarmContextAndResponseReuseStaysExact) {
+  // One context + one response object across many targeted requests of
+  // different shapes — values must match fresh serves every time.
+  const Graph g = assign_uniform_weights(gen::road_network(12, 12, 5), 4);
+  PreprocessOptions opts;
+  opts.rho = 10;
+  const SsspEngine engine(g, opts);
+  QueryContext ctx;
+  QueryResponse resp;
+  for (Vertex s = 0; s < 20; ++s) {
+    QueryRequest req;
+    req.source = s;
+    req.targets = spread_targets(g, 1 + s % 5);
+    req.want_paths = (s % 2 == 0);
+    req.engine = kWeightedEngines[s % 3];
+    engine.serve(req, ctx, resp);
+    const QueryResponse fresh = engine.serve(req);
+    ASSERT_EQ(resp.targets.size(), fresh.targets.size());
+    for (std::size_t i = 0; i < fresh.targets.size(); ++i) {
+      EXPECT_EQ(resp.targets[i].dist, fresh.targets[i].dist) << "s=" << s;
+      EXPECT_EQ(resp.targets[i].path, fresh.targets[i].path) << "s=" << s;
+    }
+  }
+}
+
+TEST(Serve, LegacyWrappersAgreeWithServe) {
+  const Graph g = assign_uniform_weights(gen::grid2d(10, 11), 8);
+  PreprocessOptions opts;
+  opts.rho = 10;
+  const SsspEngine engine(g, opts);
+  QueryRequest req;
+  req.source = 3;
+  req.want_full_distances = true;
+  const QueryResponse resp = engine.serve(req);
+  const QueryResult q = engine.query(3);
+  EXPECT_EQ(q.dist, resp.dist);
+  EXPECT_EQ(q.stats.steps, resp.stats.steps);
+  const auto batch = engine.query_batch({3, 7});
+  EXPECT_EQ(batch[0].dist, resp.dist);
+}
+
+TEST(Serve, EveryEntryPointBoundsChecksItsInputs) {
+  // Regression for the PR 5 bugfix: query(Vertex) and the QueryContext
+  // overload historically did not validate `source` (only query_batch
+  // did); all entry points must reject out-of-range vertices up front.
+  const Graph g = assign_uniform_weights(gen::grid2d(6, 6), 1, 1, 9);
+  PreprocessOptions opts;
+  opts.rho = 6;
+  const SsspEngine engine(g, opts);
+  const Vertex n = g.num_vertices();
+  QueryContext ctx;
+
+  EXPECT_THROW(engine.query(n), std::invalid_argument);
+  EXPECT_THROW(engine.query(kNoVertex), std::invalid_argument);
+  EXPECT_THROW(engine.query(n, QueryEngine::kBst, ctx),
+               std::invalid_argument);
+  EXPECT_THROW(engine.query_batch({0, n}), std::invalid_argument);
+
+  QueryRequest bad_source;
+  bad_source.source = n;
+  EXPECT_THROW(engine.serve(bad_source), std::invalid_argument);
+  EXPECT_THROW(engine.serve_batch({bad_source}), std::invalid_argument);
+
+  QueryRequest bad_target;
+  bad_target.source = 0;
+  bad_target.targets = {0, n};
+  EXPECT_THROW(engine.serve(bad_target), std::invalid_argument);
+  EXPECT_THROW(engine.serve_batch({bad_target}), std::invalid_argument);
+
+  // A default-constructed request carries source == kNoVertex.
+  EXPECT_THROW(engine.serve(QueryRequest{}), std::invalid_argument);
+
+  // Engine guard still fires through serve (weighted graph here).
+  QueryRequest bad_engine;
+  bad_engine.source = 0;
+  bad_engine.engine = QueryEngine::kUnweighted;
+  EXPECT_THROW(engine.serve(bad_engine), std::invalid_argument);
+
+  EXPECT_TRUE(engine.serve_batch({}).empty());
+}
+
+}  // namespace
+}  // namespace rs
