@@ -1,0 +1,300 @@
+// Load generator for the serving daemon (serve/server.hpp): drives an
+// SsspServer with targeted point-to-point requests and reports sustained
+// throughput plus the end-to-end latency distribution (p50/p99/p999) into
+// BENCH_sssp_serve.json — the serving-side perf trajectory CI gates.
+//
+// Two drive modes (RS_MODE=closed|open|both, default closed):
+//
+//   closed — RS_CLIENTS threads in a closed loop: each submits a request,
+//            blocks on its future, submits the next. Measures the
+//            saturated-throughput regime (qps) and the latency under it;
+//            this is the mode the CI bench-smoke job runs and gates.
+//   open   — one dispatcher submits at a fixed offered rate (RS_RATE qps;
+//            default 70% of a quick closed-loop calibration) without
+//            waiting for completions. Measures the latency a NON-saturated
+//            service shows and how much load sheds (queue-full rejections)
+//            when the offered rate exceeds capacity.
+//
+// Each mode gets a fresh SsspServer so its latency histogram is not
+// polluted by the other mode; the engine underneath is shared and
+// pre-warmed, so measured numbers reflect the steady serving state.
+// Every response is verified against full-SSSP reference distances, so
+// the driver doubles as an end-to-end concurrency smoke test.
+//
+// Knobs: RS_SCALE / RS_THREADS as usual; RS_REQUESTS (total requests per
+// mode; default 256 at ci scale, 4096 otherwise), RS_CLIENTS (closed-loop
+// client threads, default 8), RS_TARGETS (targets per request, default 1),
+// RS_RHO (preprocess rho, default 32), RS_QUEUE (queue capacity, 1024),
+// RS_MAX_BATCH (64), RS_BUDGET_US (micro-batch budget, 200),
+// RS_BATCHERS (2), RS_RATE (open-loop offered qps, 0 = auto).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "exp_common.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace rs;
+using namespace rs::serve;
+
+/// Request pool: one targeted request per pooled source, targets drawn
+/// deterministically. Request i is always answered against reference i.
+std::vector<QueryRequest> make_requests(const Graph& g,
+                                        const std::vector<Vertex>& sources,
+                                        int targets_per) {
+  const SplitRng rng(4242);
+  std::vector<QueryRequest> requests;
+  requests.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QueryRequest req;
+    req.source = sources[i];
+    req.targets.reserve(static_cast<std::size_t>(targets_per));
+    for (int t = 0; t < targets_per; ++t) {
+      req.targets.push_back(static_cast<Vertex>(rng.bounded(
+          i, static_cast<std::uint64_t>(t), g.num_vertices())));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+bool verify(const QueryResponse& resp, const QueryResult& ref) {
+  for (const TargetResult& tr : resp.targets) {
+    if (tr.dist != ref.dist[tr.target]) {
+      std::fprintf(stderr, "MISMATCH source %u target %u: %llu != %llu\n",
+                   resp.source, tr.target,
+                   static_cast<unsigned long long>(tr.dist),
+                   static_cast<unsigned long long>(ref.dist[tr.target]));
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ClosedResult {
+  double qps = 0.0;
+  bool ok = true;
+};
+
+/// Closed loop: `clients` threads race through `total` requests, each
+/// blocking on its own future before submitting the next.
+ClosedResult run_closed(const SsspEngine& engine, ServerOptions opts,
+                        const std::vector<QueryRequest>& requests,
+                        const std::vector<QueryResult>& ref,
+                        std::uint64_t total, int clients,
+                        LatencyHistogram::Snapshot* latency,
+                        ServerStats* stats) {
+  SsspServer server(engine, opts);
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> ok{true};
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t i;
+      while ((i = next.fetch_add(1, std::memory_order_relaxed)) < total) {
+        const std::size_t slot = i % requests.size();
+        const QueryResponse resp = server.serve_sync(requests[slot]);
+        if (!verify(resp, ref[slot])) ok.store(false);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.seconds();
+  server.drain();
+  if (latency != nullptr) *latency = server.latency().snapshot();
+  if (stats != nullptr) *stats = server.stats();
+  server.shutdown();
+  return {static_cast<double>(total) / seconds, ok.load()};
+}
+
+struct OpenResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  std::uint64_t rejected = 0;
+  bool ok = true;
+};
+
+/// Open loop: submit `total` requests at `rate` qps without waiting;
+/// queue-full rejections are counted as shed load, not failures.
+OpenResult run_open(const SsspEngine& engine, ServerOptions opts,
+                    const std::vector<QueryRequest>& requests,
+                    const std::vector<QueryResult>& ref, std::uint64_t total,
+                    double rate, LatencyHistogram::Snapshot* latency) {
+  SsspServer server(engine, opts);
+  OpenResult out;
+  out.offered_qps = rate;
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      1.0 / (rate > 0.0 ? rate : 1.0)));
+
+  std::vector<std::future<QueryResponse>> futures;
+  std::vector<std::size_t> slots;
+  futures.reserve(total);
+  slots.reserve(total);
+  Timer timer;
+  auto tick = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::size_t slot = i % requests.size();
+    std::future<QueryResponse> fut;
+    const SubmitStatus status = server.submit(requests[slot], fut);
+    if (status == SubmitStatus::kAccepted) {
+      futures.push_back(std::move(fut));
+      slots.push_back(slot);
+    } else if (status == SubmitStatus::kQueueFull) {
+      ++out.rejected;  // backpressure did its job; shed and move on
+    } else {
+      out.ok = false;
+    }
+    tick += interval;
+    std::this_thread::sleep_until(tick);
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResponse resp = futures[i].get();
+    if (!verify(resp, ref[slots[i]])) out.ok = false;
+  }
+  const double seconds = timer.seconds();
+  out.achieved_qps = static_cast<double>(futures.size()) / seconds;
+  if (latency != nullptr) *latency = server.latency().snapshot();
+  server.shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rs::exp;
+  const Scale s = scale_from_env();
+  const bool ci = s.name == "ci";
+  const auto total = static_cast<std::uint64_t>(
+      env_int64("RS_REQUESTS", ci ? 256 : 4096));
+  const int clients = static_cast<int>(env_int64("RS_CLIENTS", 8));
+  const int targets_per = static_cast<int>(env_int64("RS_TARGETS", 1));
+  const auto rho = static_cast<Vertex>(env_int64("RS_RHO", 32));
+  const std::string mode = env_string("RS_MODE", "closed");
+
+  ServerOptions opts;
+  opts.queue_capacity =
+      static_cast<std::size_t>(env_int64("RS_QUEUE", 1024));
+  opts.max_batch =
+      static_cast<std::size_t>(env_int64("RS_MAX_BATCH", 64));
+  opts.batch_budget =
+      std::chrono::microseconds(env_int64("RS_BUDGET_US", 200));
+  opts.batchers = static_cast<int>(env_int64("RS_BATCHERS", 2));
+
+  auto graphs = shortcut_suite(s);
+  // One graph keeps the runtime bounded; the road network is the serving
+  // workload the paper's preprocessing shines on.
+  const std::string graph_name = graphs.front().name;
+  const Graph g = paper_weighted(graphs.front().graph);
+  std::printf("loadgen — sssp_serve daemon (scale=%s graph=%s n=%u m=%zu)\n",
+              s.name.c_str(), graph_name.c_str(), g.num_vertices(),
+              static_cast<std::size_t>(g.num_edges()));
+  std::printf(
+      "requests=%llu clients=%d targets=%d queue=%zu max_batch=%zu "
+      "budget=%lldus batchers=%d mode=%s\n\n",
+      static_cast<unsigned long long>(total), clients, targets_per,
+      opts.queue_capacity, opts.max_batch,
+      static_cast<long long>(opts.batch_budget.count()), opts.batchers,
+      mode.c_str());
+
+  PreprocessOptions popts;
+  popts.rho = rho;
+  popts.k = 2;
+  const SsspEngine engine(g, popts);
+
+  const int pool = 64;
+  const std::vector<Vertex> sources = sample_sources(g, pool, /*seed=*/777);
+  const std::vector<QueryRequest> requests =
+      make_requests(g, sources, targets_per);
+  std::vector<QueryResult> ref;
+  ref.reserve(sources.size());
+  for (const Vertex src : sources) ref.push_back(engine.query(src));
+
+  // Warm the engine's leased batch pools (and code paths) outside any
+  // measured window, so the server latencies reflect steady state.
+  (void)engine.serve_batch(requests);
+
+  BenchJson json("sssp_serve", s);
+  const BenchJson::Labels labels{
+      {"graph", graph_name},
+      {"clients", std::to_string(clients)},
+      {"targets", std::to_string(targets_per)},
+      {"max_batch", std::to_string(opts.max_batch)}};
+  bool ok = true;
+
+  if (mode == "closed" || mode == "both") {
+    LatencyHistogram::Snapshot lat;
+    ServerStats stats;
+    const ClosedResult r = run_closed(engine, opts, requests, ref, total,
+                                      clients, &lat, &stats);
+    ok = ok && r.ok;
+    const auto p50 = lat.value_at_quantile(0.50);
+    const auto p99 = lat.value_at_quantile(0.99);
+    const auto p999 = lat.value_at_quantile(0.999);
+    std::printf("closed-loop: %10.1f qps   p50=%llu us  p99=%llu us  "
+                "p999=%llu us  mean_batch=%.2f  batches=%llu\n",
+                r.qps, static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p99),
+                static_cast<unsigned long long>(p999), stats.mean_batch(),
+                static_cast<unsigned long long>(stats.batches));
+    json.add("closed_qps", r.qps, "queries/sec", labels);
+    json.add("p50_us", static_cast<double>(p50), "us", labels);
+    json.add("p99_us", static_cast<double>(p99), "us", labels);
+    json.add("p999_us", static_cast<double>(p999), "us", labels);
+    json.add("mean_batch", stats.mean_batch(), "x", labels);
+  }
+
+  if (mode == "open" || mode == "both") {
+    double rate = static_cast<double>(env_int64("RS_RATE", 0));
+    if (rate <= 0.0) {
+      // Calibrate: a short closed-loop burst, then offer 70% of it — the
+      // non-saturated regime open-loop latency is meaningful in.
+      const ClosedResult cal =
+          run_closed(engine, opts, requests, ref,
+                     std::max<std::uint64_t>(total / 4, 32), clients,
+                     nullptr, nullptr);
+      ok = ok && cal.ok;
+      rate = 0.7 * cal.qps;
+      if (rate < 1.0) rate = 1.0;
+    }
+    LatencyHistogram::Snapshot lat;
+    const OpenResult r =
+        run_open(engine, opts, requests, ref, total, rate, &lat);
+    ok = ok && r.ok;
+    const auto p50 = lat.value_at_quantile(0.50);
+    const auto p99 = lat.value_at_quantile(0.99);
+    std::printf("open-loop:   offered %.1f qps, achieved %.1f qps, "
+                "rejected %llu   p50=%llu us  p99=%llu us\n",
+                r.offered_qps, r.achieved_qps,
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p99));
+    json.add("open_offered_qps", r.offered_qps, "queries/sec", labels);
+    json.add("open_achieved_qps", r.achieved_qps, "queries/sec", labels);
+    json.add("open_p50_us", static_cast<double>(p50), "us", labels);
+    json.add("open_p99_us", static_cast<double>(p99), "us", labels);
+    json.add("open_rejected", static_cast<double>(r.rejected), "requests",
+             labels);
+  }
+
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: serving results diverged or rejected\n");
+    return 1;
+  }
+  return 0;
+}

@@ -173,6 +173,35 @@ int cmd_preprocess(const Args& args) {
   return 0;
 }
 
+/// Strict integer flag: absent -> `dflt`; present -> must parse fully as
+/// an integer in [lo, hi]. Rejects what std::stol would let slide —
+/// trailing junk ("5x") — and, crucially, negatives where a vertex id is
+/// expected: `--source -5` historically cast straight to an unsigned
+/// Vertex and queried from vertex 4294967291 without a word.
+long get_checked(const Args& args, const std::string& key, long dflt,
+                 long lo, long hi) {
+  const std::string raw = args.get(key, "");
+  if (raw.empty()) return dflt;
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(raw, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(key + " expects an integer, got '" + raw +
+                                "'");
+  }
+  if (used != raw.size()) {
+    throw std::invalid_argument(key + " expects an integer, got '" + raw +
+                                "'");
+  }
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(key + " out of range [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]: " + raw);
+  }
+  return v;
+}
+
 /// Parses "a,b,c" into vertex ids (throws std::invalid_argument /
 /// std::out_of_range on garbage, trailing junk, or ids that do not fit a
 /// Vertex — caught by main's handler).
@@ -208,12 +237,16 @@ int cmd_query(const Args& args) {
   const Graph g = load_graph(args.positional()[0]);
   const SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
 
+  constexpr long kMaxVertex =
+      static_cast<long>(std::numeric_limits<Vertex>::max());
   QueryRequest req;
-  req.source = static_cast<Vertex>(args.get_int("--source", 0));
+  req.source = static_cast<Vertex>(
+      get_checked(args, "--source", 0, 0, kMaxVertex));
   req.targets = parse_vertex_list(args.get("--targets", ""));
-  const long single = args.get_int("--target", -1);
+  const long single = get_checked(args, "--target", -1, 0, kMaxVertex);
   if (single >= 0) req.targets.push_back(static_cast<Vertex>(single));
-  req.want_paths = !req.targets.empty() && args.get_int("--paths", 1) != 0;
+  req.want_paths =
+      !req.targets.empty() && get_checked(args, "--paths", 1, 0, 1) != 0;
   // No targets: a classic full-SSSP probe (stats + full vector held only
   // long enough to report). With targets the response is O(|targets|).
   req.want_full_distances = req.targets.empty();
@@ -256,7 +289,9 @@ int cmd_run(const Args& args) {
     return 1;
   }
   const Graph g = load_graph(args.positional()[0]);
-  const Vertex src = static_cast<Vertex>(args.get_int("--source", 0));
+  const Vertex src = static_cast<Vertex>(get_checked(
+      args, "--source", 0, 0,
+      static_cast<long>(std::numeric_limits<Vertex>::max())));
   const std::string algo = args.get("--algo", "all");
   const Vertex rho = static_cast<Vertex>(args.get_int("--rho", 64));
 

@@ -1,0 +1,364 @@
+// sssp_serve — the serving daemon as a binary: wraps SsspServer
+// (serve/server.hpp) around a preprocessed graph and answers targeted
+// shortest-path requests over stdin or TCP until told to stop.
+//
+//   sssp_serve                                   # built-in demo (smoke)
+//   sssp_serve g.gr g.pre                        # stdin line protocol
+//   sssp_serve g.gr g.pre --port 7447            # TCP line protocol
+//   sssp_serve g.gr --rho 64 --k 3               # preprocess in-process
+//
+// Daemon flags: --port P (TCP listener; default stdin), --queue N
+// (admission queue depth, default 1024), --max-batch N (micro-batch cap,
+// default 64), --budget-us N (coalescing window, default 200),
+// --batchers N (batcher threads, default 1), --engine flat|bst|bstflat.
+//
+// Line protocol (one request per line, stdin and TCP alike):
+//
+//   <source> <t1>[,<t2>,...]       e.g. "0 143,77,5"
+//
+// answered with one line per request: the per-target distances in input
+// order, space-separated, `inf` for unreachable — or `error: <reason>`
+// (bad ids and out-of-range vertices are rejected by admission control
+// without touching the engine). EOF (or SIGINT/SIGTERM for TCP) drains
+// in-flight requests and prints the serving stats before exiting.
+//
+// With no arguments, runs a self-contained demo: preprocesses a small
+// road network, fires concurrent clients through the daemon, verifies
+// every answer against direct engine.serve() calls, and exits non-zero
+// on any mismatch — which is exactly what the CTest smoke run executes.
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/weights.hpp"
+#include "serve/server.hpp"
+#include "shortcut/serialize.hpp"
+
+namespace {
+
+using namespace rs;
+using namespace rs::serve;
+
+/// Minimal --flag value parser (same contract as sssp_cli's).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      const bool is_flag =
+          a.size() >= 2 && a[0] == '-' &&
+          !std::isdigit(static_cast<unsigned char>(a[1]));
+      if (is_flag && i + 1 < argc) {
+        kv_[a] = argv[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  long get_int(const std::string& key, long dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stol(it->second);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+/// Strict vertex-id parse: digits only, fits a Vertex. Negative numbers,
+/// garbage, and overflow all throw — admission must never mangle an id.
+Vertex parse_vertex(const std::string& item) {
+  if (item.empty() || item[0] == '-') {
+    throw std::invalid_argument("bad vertex id: '" + item + "'");
+  }
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(item, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad vertex id: '" + item + "'");
+  }
+  if (used != item.size() || v > std::numeric_limits<Vertex>::max()) {
+    throw std::invalid_argument("bad vertex id: '" + item + "'");
+  }
+  return static_cast<Vertex>(v);
+}
+
+/// "<source> <t1>[,<t2>,...]" -> request. Throws on any malformed piece.
+QueryRequest parse_line(const std::string& line, QueryEngine engine) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    throw std::invalid_argument("expected '<source> <t1>[,<t2>,...]'");
+  }
+  QueryRequest req;
+  req.source = parse_vertex(line.substr(0, space));
+  req.engine = engine;
+  std::size_t pos = space + 1;
+  while (pos <= line.size()) {
+    std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) comma = line.size();
+    const std::string item = line.substr(pos, comma - pos);
+    if (!item.empty()) req.targets.push_back(parse_vertex(item));
+    pos = comma + 1;
+  }
+  if (req.targets.empty()) {
+    throw std::invalid_argument("at least one target required");
+  }
+  return req;
+}
+
+/// Serves one protocol line; always returns exactly one response line.
+std::string answer_line(SsspServer& server, const std::string& line,
+                        QueryEngine engine) {
+  QueryRequest req;
+  try {
+    req = parse_line(line, engine);
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what();
+  }
+  std::future<QueryResponse> fut;
+  const SubmitStatus status = server.submit(std::move(req), fut);
+  if (status != SubmitStatus::kAccepted) {
+    return std::string("error: ") + to_string(status);
+  }
+  const QueryResponse resp = fut.get();
+  std::string out;
+  for (const TargetResult& tr : resp.targets) {
+    if (!out.empty()) out += ' ';
+    out += tr.dist == kInfDist ? "inf" : std::to_string(tr.dist);
+  }
+  return out;
+}
+
+void print_stats(const SsspServer& server) {
+  const ServerStats s = server.stats();
+  const auto& lat = server.latency();
+  std::fprintf(stderr,
+               "sssp_serve: accepted=%llu completed=%llu in_flight=%llu "
+               "rejected(full=%llu invalid=%llu shutdown=%llu)\n",
+               static_cast<unsigned long long>(s.accepted),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.in_flight()),
+               static_cast<unsigned long long>(s.rejected_full),
+               static_cast<unsigned long long>(s.rejected_invalid),
+               static_cast<unsigned long long>(s.rejected_shutdown));
+  std::fprintf(stderr,
+               "sssp_serve: batches=%llu mean_batch=%.2f max_batch=%llu  "
+               "latency p50=%llu us p99=%llu us p999=%llu us\n",
+               static_cast<unsigned long long>(s.batches), s.mean_batch(),
+               static_cast<unsigned long long>(s.max_batch),
+               static_cast<unsigned long long>(lat.value_at_quantile(0.50)),
+               static_cast<unsigned long long>(lat.value_at_quantile(0.99)),
+               static_cast<unsigned long long>(lat.value_at_quantile(0.999)));
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+
+void on_signal(int) {
+  g_stop = 1;
+  // Closing the listener unblocks accept() so the main loop can drain.
+  if (g_listen_fd >= 0) ::close(g_listen_fd);
+}
+
+/// Blocking TCP front-end: line protocol, one thread per connection. All
+/// connections feed the same server, so requests from different clients
+/// coalesce into shared micro-batches.
+int tcp_serve(SsspServer& server, QueryEngine engine, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("sssp_serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    std::perror("sssp_serve: bind/listen");
+    ::close(fd);
+    return 1;
+  }
+  g_listen_fd = fd;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::fprintf(stderr, "sssp_serve: listening on port %d\n", port);
+
+  std::vector<std::thread> conns;
+  while (g_stop == 0) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;  // listener closed by the signal handler
+    conns.emplace_back([client, &server, engine] {
+      std::string buf;
+      char chunk[4096];
+      ssize_t got;
+      while ((got = ::read(client, chunk, sizeof(chunk))) > 0) {
+        buf.append(chunk, static_cast<std::size_t>(got));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+          std::string line = buf.substr(0, nl);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          buf.erase(0, nl + 1);
+          if (line.empty()) continue;
+          const std::string reply =
+              answer_line(server, line, engine) + "\n";
+          if (::write(client, reply.data(), reply.size()) < 0) break;
+        }
+      }
+      ::close(client);
+    });
+  }
+  for (std::thread& t : conns) t.join();
+  if (g_stop == 0) ::close(fd);
+  return 0;
+}
+
+/// Stdin front-end: one request line in, one response line out.
+int stdio_serve(SsspServer& server, QueryEngine engine) {
+  std::string line;
+  char chunk[4096];
+  while (std::fgets(chunk, sizeof(chunk), stdin) != nullptr) {
+    line = chunk;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    std::printf("%s\n", answer_line(server, line, engine).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// No-argument mode: a self-verifying concurrent demo of the daemon.
+int demo() {
+  Graph g = gen::road_network(24, 24, /*seed=*/3);
+  g = assign_uniform_weights(g, /*seed=*/10, 1, 1000);
+  PreprocessOptions popts;
+  popts.rho = 16;
+  popts.k = 2;
+  const SsspEngine engine(g, popts);
+
+  ServerOptions opts;
+  opts.queue_capacity = 256;
+  opts.max_batch = 16;
+  opts.batch_budget = std::chrono::microseconds(500);
+  opts.batchers = 2;
+  SsspServer server(engine, opts);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest req;
+        req.source = static_cast<Vertex>((c * 131 + i * 17) %
+                                         engine.original_graph()
+                                             .num_vertices());
+        req.targets = {static_cast<Vertex>((c * 7 + i * 53) %
+                                           engine.original_graph()
+                                               .num_vertices())};
+        const QueryResponse got = server.serve_sync(req);
+        const QueryResponse want = engine.serve(req);
+        if (got.targets[0].dist != want.targets[0].dist) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+  print_stats(server);
+  server.shutdown();
+
+  const ServerStats s = server.stats();
+  const bool counters_ok =
+      s.accepted == kClients * kPerClient && s.in_flight() == 0;
+  if (mismatches.load() != 0 || !counters_ok) {
+    std::fprintf(stderr, "sssp_serve demo: FAILED (%d mismatches)\n",
+                 mismatches.load());
+    return 1;
+  }
+  std::printf("sssp_serve demo: %d requests across %d clients, all "
+              "verified\n",
+              kClients * kPerClient, kClients);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv, 1);
+  if (args.positional().empty()) return demo();
+
+  try {
+    const std::string graph_path = args.positional()[0];
+    Graph g = graph_path.size() > 3 &&
+                      graph_path.substr(graph_path.size() - 3) == ".gr"
+                  ? io::read_dimacs_file(graph_path)
+                  : io::read_edge_list_file(graph_path);
+
+    SsspEngine engine = [&] {
+      if (args.positional().size() >= 2) {
+        return SsspEngine(std::move(g),
+                          load_preprocessing_file(args.positional()[1]));
+      }
+      PreprocessOptions popts;
+      popts.rho = static_cast<Vertex>(args.get_int("--rho", 64));
+      popts.k = static_cast<Vertex>(args.get_int("--k", 3));
+      return SsspEngine(std::move(g), popts);
+    }();
+
+    ServerOptions opts;
+    opts.queue_capacity =
+        static_cast<std::size_t>(args.get_int("--queue", 1024));
+    opts.max_batch =
+        static_cast<std::size_t>(args.get_int("--max-batch", 64));
+    opts.batch_budget =
+        std::chrono::microseconds(args.get_int("--budget-us", 200));
+    opts.batchers = static_cast<int>(args.get_int("--batchers", 1));
+
+    const std::string which = args.get("--engine", "flat");
+    const QueryEngine qe = which == "bst"       ? QueryEngine::kBst
+                           : which == "bstflat" ? QueryEngine::kBstFlat
+                                                : QueryEngine::kFlat;
+
+    SsspServer server(engine, opts);
+    const int port = static_cast<int>(args.get_int("--port", 0));
+    const int rc = port > 0 ? tcp_serve(server, qe, port)
+                            : stdio_serve(server, qe);
+    server.drain();
+    print_stats(server);
+    server.shutdown();
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,11 +13,14 @@ duplicate metrics are aggregated by MEDIAN, which is what makes a hard
 gate viable on noisy shared runners).
 
 Metrics are matched by (bench, metric name, sorted labels) and compared
-only when the unit is a rate (queries/sec, vertices/sec, balls/sec),
-where lower = slower = regression. Two bands:
+when the unit has a known direction: rates (queries/sec, vertices/sec,
+balls/sec), where lower = slower = regression, and latencies (us, ms),
+where HIGHER is the regression — this is how the serving daemon's
+p50/p99/p999 tail latencies are gated. Two bands:
 
-  * a drop beyond --threshold (default 20%) prints a REGRESSION warning;
-  * a drop beyond --fail-threshold (when given; CI uses 35%) is a hard
+  * a move-for-the-worse beyond --threshold (default 20%) prints a
+    REGRESSION warning;
+  * beyond --fail-threshold (when given; CI uses 35%) it is a hard
     failure — the script exits 1.
 
 New or vanished metrics are listed informationally. --fail-on-regression
@@ -30,7 +33,10 @@ import pathlib
 import statistics
 import sys
 
+# Higher is better: a drop is a regression.
 RATE_UNITS = {"queries/sec", "vertices/sec", "balls/sec"}
+# Lower is better (latencies): a rise is a regression.
+LATENCY_UNITS = {"us", "ms"}
 
 
 def load_metrics(directory):
@@ -98,18 +104,26 @@ def main():
             continue
         (old, unit) = base[key]
         (new, _) = cur[key]
-        if unit not in RATE_UNITS or old <= 0:
+        if old <= 0:
+            continue
+        if unit in RATE_UNITS:
+            direction = 1.0  # a drop is a regression
+        elif unit in LATENCY_UNITS:
+            direction = -1.0  # a rise is a regression
+        else:
             continue
         compared += 1
         delta = (new - old) / old
+        # Positive `worse` always means "moved in the bad direction".
+        worse = -direction * delta
         flag = ""
-        if args.fail_threshold is not None and delta < -args.fail_threshold:
+        if args.fail_threshold is not None and worse > args.fail_threshold:
             flag = "  << FAIL"
             failures.append((key, old, new, delta))
-        elif delta < -args.threshold:
+        elif worse > args.threshold:
             flag = "  << REGRESSION"
             regressions.append((key, old, new, delta))
-        elif delta > args.threshold:
+        elif worse < -args.threshold:
             improvements += 1
             flag = "  (improved)"
         bench, name, labels = key
@@ -126,17 +140,17 @@ def main():
     if added:
         print(f"\n{len(added)} new metric(s) with no baseline yet.")
 
-    print(f"\ncompared {compared} rate metric(s) (medians): "
+    print(f"\ncompared {compared} directional metric(s) (medians): "
           f"{len(failures)} hard failure(s), "
           f"{len(regressions)} warn-band regression(s) beyond "
           f"{args.threshold:.0%}, {improvements} improvement(s)")
     if regressions:
-        print("\nPERF REGRESSION WARNING — slower than the previous run:")
+        print("\nPERF REGRESSION WARNING — worse than the previous run:")
         for (bench, name, labels), old, new, delta in regressions:
             print(f"  {bench} {name} [{label_str(labels)}]: "
                   f"{old:.1f} -> {new:.1f} ({delta:+.1%})")
     if failures:
-        print(f"\nPERF GATE FAILURE — median dropped beyond "
+        print(f"\nPERF GATE FAILURE — median moved beyond "
               f"{args.fail_threshold:.0%}:")
         for (bench, name, labels), old, new, delta in failures:
             print(f"  {bench} {name} [{label_str(labels)}]: "

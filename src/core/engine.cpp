@@ -35,7 +35,7 @@ SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
   if (this != &other) {
     original_ = other.original_;
     pre_ = other.pre_;
-    batch_pool_ = std::make_unique<BatchPool>();
+    batch_pools_ = std::make_unique<BatchPools>();
     transpose_ = std::make_unique<TransposeCache>();
   }
   return *this;
@@ -131,12 +131,14 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
     }
   }
 
-  // End the query: the full copy only when asked, otherwise just restore
-  // the context's all-infinite invariant.
+  // End the query: the full copy only when asked, otherwise restore the
+  // context's all-infinite invariant in O(touched) — every engine records
+  // first-touches, so a targeted serve that early-terminated after a
+  // handful of vertices no longer pays an O(n) sweep per request.
   if (req.want_full_distances) {
     ctx.finish_query(n, resp.dist);
   } else {
-    ctx.reset_distances(n);
+    ctx.reset_touched();
   }
   ctx.clear_targets();
 }
@@ -180,16 +182,34 @@ std::vector<QueryResponse> SsspEngine::serve_batch(
   Graph local;
   const Graph* tp = any_paths ? &transpose(local) : nullptr;
 
-  // Take the engine's warm context pool if it is free; concurrent batches
-  // (or a moved-from engine) fall back to a batch-local pool rather than
-  // sharing state.
-  std::unique_lock<std::mutex> lock;
-  if (batch_pool_ != nullptr) {
-    lock = std::unique_lock<std::mutex>(batch_pool_->mutex, std::try_to_lock);
-  }
+  // Lease a warm context pool slot for this batch: try-lock an existing
+  // slot, or grow the slot set by one so every concurrent batch gets a
+  // dedicated pool that stays warm for future batches. Only a moved-from
+  // engine falls back to a cold batch-local pool.
   WorkerPool<QueryContext> local_pool;
-  WorkerPool<QueryContext>& pool =
-      lock.owns_lock() ? batch_pool_->pool : local_pool;
+  WorkerPool<QueryContext>* leased = &local_pool;
+  std::unique_lock<std::mutex> lease;
+  if (batch_pools_ != nullptr) {
+    BatchPools& pools = *batch_pools_;
+    // grow_mutex also serializes the slot scan: deque growth never moves
+    // existing slots, but the scan must not race the emplace itself. The
+    // critical section is tiny — try-locks never wait on a running batch.
+    std::lock_guard<std::mutex> grow(pools.grow_mutex);
+    for (BatchPoolSlot& slot : pools.slots) {
+      std::unique_lock<std::mutex> l(slot.mutex, std::try_to_lock);
+      if (l.owns_lock()) {
+        lease = std::move(l);
+        leased = &slot.pool;
+        break;
+      }
+    }
+    if (!lease.owns_lock()) {
+      BatchPoolSlot& slot = pools.slots.emplace_back();
+      lease = std::unique_lock<std::mutex>(slot.mutex);
+      leased = &slot.pool;
+    }
+  }
+  WorkerPool<QueryContext>& pool = *leased;
 
   const int nw = num_workers();
   if (nw > 1 && batch >= static_cast<std::size_t>(nw)) {

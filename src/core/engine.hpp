@@ -20,6 +20,7 @@
 // over serve*: a query() is exactly a serve() with want_full_distances.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -90,11 +91,20 @@ class SsspEngine {
   /// request-parallel (one strictly sequential query per worker, contexts
   /// from an internal per-worker pool); B < W keeps the batch loop
   /// sequential and lets each query use intra-query parallelism.
-  /// Thread-safe: concurrent batches on one engine fall back to a
-  /// batch-local context pool. Path reconstruction shares the cached
+  /// Thread-safe: each concurrent batch leases its own warm context-pool
+  /// slot (the slot set grows to the peak concurrency and stays warm), so
+  /// a serving daemon running parallel micro-batches never re-pays
+  /// context construction. Path reconstruction shares the cached
   /// transpose (built once, before the parallel region).
   std::vector<QueryResponse> serve_batch(
       const std::vector<QueryRequest>& requests) const;
+
+  /// Throws std::invalid_argument unless source, every target, and the
+  /// engine choice are valid for this preprocessing. serve/serve_batch
+  /// call it implicitly; admission layers (serve/server.hpp) call it at
+  /// accept time so one bad request is rejected on its own instead of
+  /// failing the micro-batch it would have been coalesced into.
+  void validate(const QueryRequest& req) const;
 
   /// Legacy wrapper: full distances from `source` == serve() with
   /// want_full_distances. Allocates fresh per-query state.
@@ -132,10 +142,6 @@ class SsspEngine {
   void run_serve(const QueryRequest& req, QueryContext& ctx,
                  const Graph* transpose, QueryResponse& resp) const;
 
-  /// Throws std::invalid_argument unless source, every target, and the
-  /// engine choice are valid for this preprocessing.
-  void validate(const QueryRequest& req) const;
-
   /// Throws if `engine` cannot run on this preprocessing (kUnweighted on a
   /// weighted/shortcutted graph).
   void check_engine(QueryEngine engine) const;
@@ -148,16 +154,29 @@ class SsspEngine {
   Graph original_;
   PreprocessResult pre_;
 
-  // Reusable per-worker contexts for serve_batch, boxed so the engine
-  // stays movable despite the mutex. The first batch to arrive takes the
-  // warm pool; concurrent batches use a batch-local one (correctness over
-  // warmth). Never null except in a moved-from engine, which serve_batch
-  // tolerates by falling back to the local pool.
-  struct BatchPool {
+  // Reusable per-worker context pools for serve_batch, boxed so the
+  // engine stays movable despite the mutexes. Each concurrent batch
+  // LEASES one slot for its duration: serve_batch try-locks the existing
+  // slots and, when all are busy, grows the set by one — so N concurrent
+  // batches end up with N dedicated pools that each stay warm for the
+  // next batch to lease. (The pre-PR6 design had a single slot whose
+  // try-lock loser fell back to a cold batch-local pool: under a serving
+  // daemon running concurrent micro-batches that re-paid full context
+  // construction on every collision.) Slots live in a deque so growth
+  // never moves a leased slot; the scan-or-grow runs under grow_mutex,
+  // which is never held while waiting on a slot (try-lock only), so
+  // acquisition cannot deadlock or block behind a running batch. Null
+  // only in a moved-from engine, which serve_batch tolerates by using a
+  // batch-local pool.
+  struct BatchPoolSlot {
     std::mutex mutex;
     WorkerPool<QueryContext> pool;
   };
-  std::unique_ptr<BatchPool> batch_pool_ = std::make_unique<BatchPool>();
+  struct BatchPools {
+    std::mutex grow_mutex;
+    std::deque<BatchPoolSlot> slots;
+  };
+  std::unique_ptr<BatchPools> batch_pools_ = std::make_unique<BatchPools>();
 
   // Lazily-built transpose of the original graph: path reconstruction walks
   // INCOMING arcs (directed-correct parents), and repeated path() calls

@@ -23,6 +23,9 @@ void QueryContext::reserve(Vertex n) {
 }
 
 void QueryContext::finish_query(Vertex n, std::vector<Dist>& out) {
+  // The fused copy below restores the all-infinite invariant for every
+  // vertex; any first-touch records are redundant — drop them.
+  for (auto& bucket : touched_) bucket.clear();
   out.resize(n);
   Dist* out_data = out.data();
   std::atomic<Dist>* dist = dist_.data();
@@ -49,6 +52,32 @@ void QueryContext::reset_distances(Vertex n) {
     parallel_for(0, n, [&](std::size_t v) {
       dist[v].store(kInfDist, std::memory_order_relaxed);
     });
+  }
+}
+
+std::vector<std::vector<Vertex>>& QueryContext::touch_buckets(int workers) {
+  const auto w = static_cast<std::size_t>(workers < 1 ? 1 : workers);
+  if (touched_.size() < w) touched_.resize(w);
+  // Records from a run that was abandoned mid-query (an engine threw) are
+  // dropped here; the distance array is equally unrecoverable in that case
+  // and the caller must not reuse the context without a full reset.
+  for (auto& bucket : touched_) bucket.clear();
+  return touched_;
+}
+
+std::size_t QueryContext::touched_count() const {
+  std::size_t total = 0;
+  for (const auto& bucket : touched_) total += bucket.size();
+  return total;
+}
+
+void QueryContext::reset_touched() {
+  std::atomic<Dist>* dist = dist_.data();
+  for (auto& bucket : touched_) {
+    for (const Vertex v : bucket) {
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    }
+    bucket.clear();
   }
 }
 

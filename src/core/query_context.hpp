@@ -67,8 +67,9 @@ class QueryContext {
   void finish_query(Vertex n, std::vector<Dist>& out);
 
   /// Restores the all-infinite invariant WITHOUT producing the O(n)
-  /// output copy — the finish of a targeted serve, whose response reads
-  /// only O(|targets|) entries via read_dist() beforehand.
+  /// output copy, by sweeping every entry. Prefer reset_touched() after an
+  /// engine run that recorded first-touches — this full sweep is the
+  /// fallback for distance arrays of unknown provenance.
   void reset_distances(Vertex n);
 
   /// Current tentative distance of `v` (valid between an engine run and
@@ -100,6 +101,36 @@ class QueryContext {
       --targets_remaining_;
     }
   }
+
+  // --- first-touch tracking (O(touched) reset) -----------------------------
+  // Every radius-stepping engine records each vertex whose tentative
+  // distance leaves kInfDist — exactly once per query, at the moment of
+  // the inf -> finite transition — into a per-worker touch bucket.
+  // reset_touched() then restores the all-infinite invariant by writing
+  // kInfDist back over just those vertices: the epilogue of a targeted
+  // serve costs O(touched), not O(n). (finish_query()'s fused full copy
+  // already restores the invariant; it discards the records.)
+  //
+  // Exactly-once discipline: sequential twins record after observing the
+  // old value == kInfDist; parallel twins use the write_min overload that
+  // reports the pre-CAS value, whose kInfDist observation has a unique
+  // winner. A missed record would leak a stale finite distance into the
+  // next query, so the contract is pinned by tests over every engine.
+
+  /// Ensures `workers` touch buckets exist and are empty. Engines call
+  /// this once per run, before any recording.
+  std::vector<std::vector<Vertex>>& touch_buckets(int workers);
+  /// Records the inf -> finite transition of `v` from worker `w` (must
+  /// only be called by worker `w`; bucket 0 in sequential sections).
+  void note_touched(Vertex v, int w = 0) { touched_[std::size_t(w)].push_back(v); }
+  /// Vertices recorded since the buckets were prepared (== finite entries
+  /// in the distance array after an engine run).
+  std::size_t touched_count() const;
+  /// O(touched) epilogue: restores the all-infinite invariant by resetting
+  /// exactly the recorded vertices, then clears the records. Only valid
+  /// when every inf -> finite transition since touch_buckets() was
+  /// recorded (all radius-stepping engine partials guarantee this).
+  void reset_touched();
 
   // --- tentative distances -------------------------------------------------
   // Shared by parallel engines (CAS WriteMin) and sequential ones (relaxed
@@ -224,6 +255,7 @@ class QueryContext {
   std::vector<std::vector<Vertex>> buckets_;
   std::vector<std::vector<std::pair<Vertex, Dist>>> pair_buckets_;
   std::vector<std::vector<Vertex>> bucket_slots_;
+  std::vector<std::vector<Vertex>> touched_{1};  // per-worker first-touches
   IndexedHeap<Dist> heap_{0};
   KeyBuffers key_buffers_;
   TreapArena<SetKey> tree_arena_;

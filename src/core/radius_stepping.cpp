@@ -52,7 +52,15 @@ void radius_stepping_run(const Graph& g, Vertex source,
     if (targeted) ctx.note_target_settled(v);
   };
 
+  // First-touch records feeding the O(touched) reset epilogue: sequential
+  // sections push into bucket 0 after observing the old distance was
+  // kInfDist; the parallel substep uses the pre-CAS value write_min
+  // reports, whose kInfDist observation has exactly one winner.
+  const int nw = Par ? num_workers() : 1;
+  std::vector<std::vector<Vertex>>& touch = ctx.touch_buckets(nw);
+
   dist[source].store(0, std::memory_order_relaxed);
+  touch[0].push_back(source);
   settle(source);
   local.settled = 1;
 
@@ -70,8 +78,14 @@ void radius_stepping_run(const Graph& g, Vertex source,
     const Vertex v = g.arc_target(e);
     if (v == source) continue;
     const auto w = static_cast<Dist>(g.arc_weight(e));
+    // The seed loop runs single-threaded in both twins, so the pre-relax
+    // load is an exact first-touch observation.
+    const Dist dv = load(v);
     const bool lowered = Par ? write_min(dist[v], w) : relax_seq(v, w);
-    if (lowered) ++local.relaxations;
+    if (lowered) {
+      ++local.relaxations;
+      if (dv == kInfDist) touch[0].push_back(v);
+    }
     if (!ctx.is_settled(v) && ctx.mark(v)) frontier.push_back(v);
   }
   // Min over the CURRENT frontier of delta(v) + r(v), maintained across
@@ -84,7 +98,6 @@ void radius_stepping_run(const Graph& g, Vertex source,
     }
   }
 
-  const int nw = Par ? num_workers() : 1;
   std::vector<std::vector<Vertex>>& buckets = ctx.buckets(nw);
   std::vector<Vertex>& active = ctx.active();
   std::vector<Vertex>& updated = ctx.updated();
@@ -144,8 +157,9 @@ void radius_stepping_run(const Graph& g, Vertex source,
 #pragma omp parallel num_threads(nw)
         {
           std::size_t my_relax = 0;
-          auto& mine =
-              buckets[static_cast<std::size_t>(omp_get_thread_num())];
+          const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+          auto& mine = buckets[tid];
+          auto& my_touch = touch[tid];
 #pragma omp for schedule(dynamic, 64)
           for (std::int64_t i = 0;
                i < static_cast<std::int64_t>(active.size()); ++i) {
@@ -157,8 +171,10 @@ void radius_stepping_run(const Graph& g, Vertex source,
               // settled in *this* step may still improve while the annulus
               // converges, so they stay relaxable.
               if (load(v) <= prev_di) continue;
-              if (write_min(dist[v], du + g.arc_weight(e))) {
+              Dist before = kInfDist;
+              if (write_min(dist[v], du + g.arc_weight(e), before)) {
                 ++my_relax;
+                if (before == kInfDist) my_touch.push_back(v);
                 if (ctx.claim(v)) mine.push_back(v);
               }
             }
@@ -177,6 +193,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
             if (dv <= prev_di) continue;
             const Dist nd = du + g.arc_weight(e);
             if (nd < dv) {
+              if (dv == kInfDist) touch[0].push_back(v);
               dist[v].store(nd, std::memory_order_relaxed);
               ++relaxed_this_step;
               if (ctx.claim_sequential(v)) mine.push_back(v);
@@ -283,6 +300,7 @@ void radius_stepping_partial(const Graph& g, Vertex source,
   } else {
     radius_stepping_run<true>(g, source, radius, ctx, local);
   }
+  local.touched = ctx.touched_count();
   if (stats != nullptr) *stats = local;
 }
 

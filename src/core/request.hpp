@@ -18,10 +18,10 @@
 //    straight out of the engine's working distance array (zero-copy — the
 //    O(n) dist vector is neither copied nor allocated) and optional paths
 //    are expanded by a targeted backward walk over the cached transpose.
-//    (One O(n) store sweep remains per request: restoring the context's
-//    all-infinite distance invariant. It allocates nothing and replaces
-//    the old copy+reset pass; shrinking it to O(touched) means tracking
-//    first-touches in every engine's relax loop — a ROADMAP follow-up.)
+//    The request epilogue is O(touched), not O(n): every engine records
+//    first-touches in its relax loop and the context resets exactly those
+//    entries (QueryContext::reset_touched), so an early-terminated request
+//    does work proportional to what it actually explored.
 //  * `want_full_distances` requests the classic O(n) dist vector; it
 //    disables early termination (a partial vector would not be the full
 //    answer) and makes the response equivalent to the legacy query() API.

@@ -35,8 +35,9 @@ std::vector<Dist> radius_stepping_bst(const Graph& g, Vertex source,
                                       RunStats* stats = nullptr);
 
 /// Serving primitive: distances stay in `ctx` (read via ctx.read_dist(),
-/// then finish_query()/reset_distances()); honors ctx.has_targets()
-/// step-boundary early termination (see core/radius_stepping.hpp).
+/// then finish_query() or the O(touched) reset_touched()); honors
+/// ctx.has_targets() step-boundary early termination (see
+/// core/radius_stepping.hpp).
 void radius_stepping_bst_partial(const Graph& g, Vertex source,
                                  const std::vector<Dist>& radius,
                                  QueryContext& ctx, RunStats* stats = nullptr);

@@ -85,7 +85,13 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
     }
   };
 
+  // First-touch records: every distance store of this engine happens in
+  // the sequential spine (seed loop + batch application), so bucket 0
+  // suffices in both twins.
+  std::vector<Vertex>& touch = ctx.touch_buckets(1)[0];
+
   store(source, 0);
+  touch.push_back(source);
   settle(source);  // settled == the paper's "in some A_i" flag
   local.settled = 1;
 
@@ -101,6 +107,8 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
       if (dv != kInfDist) {
         q.erase({dv, v});
         r.erase({dv + radius[v], v});
+      } else {
+        touch.push_back(v);
       }
       store(v, nd);
       q.insert({nd, v});
@@ -209,6 +217,7 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
         for (const auto& [v, nd] : proposals[static_cast<std::size_t>(t)]) {
           const Dist dv = load(v);
           if (nd >= dv) continue;  // superseded within the batch
+          if (dv == kInfDist) touch.push_back(v);  // first ever finite value
           if (ctx.mark(v)) {
             old_dist[v] = dv;
             touched.push_back(v);
@@ -284,6 +293,7 @@ void radius_stepping_ordered_partial(const Graph& g, Vertex source,
     radius_stepping_ordered_run<OrderedSet, true>(g, source, radius, ctx,
                                                   local);
   }
+  local.touched = ctx.touched_count();
   if (stats != nullptr) *stats = local;
 }
 

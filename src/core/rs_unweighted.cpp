@@ -29,6 +29,10 @@ void rs_unweighted_run(const Graph& g, Vertex source,
                        RunStats& local) {
   std::atomic<Dist>* dist = ctx.dist();
   const bool targeted = ctx.has_targets();
+  // First-touch records: every distance store happens in the sequential
+  // level-stamping pass over freshly-claimed vertices (claims are
+  // exactly-once per query), so bucket 0 suffices even in the Par twin.
+  std::vector<Vertex>& touch = ctx.touch_buckets(1)[0];
   ctx.next_claim_epoch();
   if constexpr (Par) {
     ctx.claim(source);
@@ -36,6 +40,7 @@ void rs_unweighted_run(const Graph& g, Vertex source,
     ctx.claim_sequential(source);
   }
   dist[source].store(0, std::memory_order_relaxed);
+  touch.push_back(source);
   if (targeted) ctx.note_target_settled(source);
   local.settled = 1;
 
@@ -83,6 +88,7 @@ void rs_unweighted_run(const Graph& g, Vertex source,
     }
     for (const Vertex v : into) {
       dist[v].store(level, std::memory_order_relaxed);
+      touch.push_back(v);
       if (targeted) ctx.note_target_settled(v);
     }
     local.relaxations += into.size();
@@ -153,6 +159,7 @@ void radius_stepping_unweighted_partial(const Graph& g, Vertex source,
   } else {
     rs_unweighted_run<true>(g, source, radius, ctx, local);
   }
+  local.touched = ctx.touched_count();
   if (stats != nullptr) *stats = local;
 }
 

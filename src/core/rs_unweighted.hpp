@@ -32,7 +32,8 @@ void radius_stepping_unweighted(const Graph& g, Vertex source,
                                 RunStats* stats = nullptr);
 
 /// Serving primitive: distances stay in `ctx` (read via ctx.read_dist(),
-/// then finish_query()/reset_distances()); honors ctx.has_targets() early
+/// then finish_query() or the O(touched) reset_touched()); honors
+/// ctx.has_targets() early
 /// termination — with unit weights the exit is per-level, right after the
 /// expansion that claims the last target (claimed == final).
 void radius_stepping_unweighted_partial(const Graph& g, Vertex source,

@@ -22,6 +22,10 @@ struct RunStats {
   /// Vertices settled (== n reachable from the source on termination; a
   /// targeted early exit stops once every requested target is in here).
   std::size_t settled = 0;
+  /// Vertices whose tentative distance left kInfDist during the run (the
+  /// first-touch records; a targeted early exit's epilogue resets exactly
+  /// these instead of sweeping all n — see QueryContext::reset_touched).
+  std::size_t touched = 0;
   /// True when a targeted run stopped before exhausting the frontier —
   /// every requested target settled early (core/request.hpp semantics).
   bool early_exit = false;

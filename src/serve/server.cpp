@@ -1,0 +1,209 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rs::serve {
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kQueueFull:
+      return "queue_full";
+    case SubmitStatus::kShuttingDown:
+      return "shutting_down";
+    case SubmitStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+SsspServer::SsspServer(const SsspEngine& engine, ServerOptions opts)
+    : engine_(engine), opts_(opts), queue_(opts.queue_capacity) {
+  paused_ = opts_.start_paused;
+  const int n = opts_.batchers < 1 ? 1 : opts_.batchers;
+  batchers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    batchers_.emplace_back([this] { batcher_loop(); });
+  }
+}
+
+SsspServer::~SsspServer() { shutdown(); }
+
+SubmitStatus SsspServer::submit(QueryRequest req,
+                                std::future<QueryResponse>& result) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitStatus::kShuttingDown;
+  }
+  // Validate at the edge: a bad request is rejected on its own, before it
+  // can be coalesced into (and poison) a micro-batch.
+  try {
+    engine_.validate(req);
+  } catch (const std::invalid_argument&) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitStatus::kInvalid;
+  }
+
+  Pending pending;
+  pending.request = std::move(req);
+  pending.accepted_at = std::chrono::steady_clock::now();
+  std::future<QueryResponse> fut = pending.promise.get_future();
+
+  if (!queue_.try_push(std::move(pending))) {
+    // A closed queue and a full queue both fail the push; report the one
+    // the caller can act on.
+    if (stopping_.load(std::memory_order_acquire)) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitStatus::kShuttingDown;
+    }
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitStatus::kQueueFull;
+  }
+  accepted_.fetch_add(1, std::memory_order_release);
+  result = std::move(fut);
+  return SubmitStatus::kAccepted;
+}
+
+QueryResponse SsspServer::serve_sync(QueryRequest req) {
+  std::future<QueryResponse> fut;
+  const SubmitStatus status = submit(std::move(req), fut);
+  if (status != SubmitStatus::kAccepted) {
+    throw std::runtime_error(std::string("SsspServer: request rejected: ") +
+                             to_string(status));
+  }
+  return fut.get();
+}
+
+void SsspServer::pause() {
+  std::lock_guard<std::mutex> lock(pause_mutex_);
+  paused_ = true;
+}
+
+void SsspServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void SsspServer::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) ==
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+void SsspServer::shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    stopping_.store(true, std::memory_order_release);
+    // Unpark the batchers so a paused server still drains its backlog.
+    resume();
+    // close() stops pushes but pops keep draining the buffer, so every
+    // accepted request is served before the batchers see "closed+empty".
+    queue_.close();
+    for (std::thread& t : batchers_) t.join();
+    batchers_.clear();
+  });
+}
+
+ServerStats SsspServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_acquire);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool SsspServer::wait_not_paused() {
+  std::unique_lock<std::mutex> lock(pause_mutex_);
+  pause_cv_.wait(lock, [&] {
+    return !paused_ || stopping_.load(std::memory_order_acquire);
+  });
+  return !stopping_.load(std::memory_order_acquire);
+}
+
+void SsspServer::batcher_loop() {
+  std::vector<Pending> batch;
+  batch.reserve(opts_.max_batch);
+  for (;;) {
+    // Parked while paused — but once stopping, fall through and keep
+    // draining: pop() below returns false only when closed AND empty.
+    wait_not_paused();
+
+    Pending first;
+    if (!queue_.pop(first)) break;  // closed and fully drained
+    batch.clear();
+    batch.push_back(std::move(first));
+
+    // Coalesce: keep collecting until the budget expires or the batch is
+    // full. A zero budget turns the timed pop into a non-blocking drain
+    // of whatever is already buffered.
+    if (opts_.max_batch > 1) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + opts_.batch_budget;
+      Pending more;
+      while (batch.size() < opts_.max_batch &&
+             queue_.try_pop_until(more, deadline)) {
+        batch.push_back(std::move(more));
+      }
+    }
+
+    execute(batch);
+  }
+}
+
+void SsspServer::execute(std::vector<Pending>& batch) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(batch.size());
+  for (Pending& p : batch) requests.push_back(std::move(p.request));
+
+  std::vector<QueryResponse> responses;
+  bool failed = false;
+  try {
+    responses = engine_.serve_batch(requests);
+  } catch (...) {
+    // Requests were validated at admission, so this is unexpected (e.g.
+    // bad_alloc) — but every promise must still be completed.
+    failed = true;
+    const std::exception_ptr err = std::current_exception();
+    for (Pending& p : batch) p.promise.set_exception(err);
+  }
+
+  if (!failed) {
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          now - batch[i].accepted_at);
+      latency_.record(static_cast<std::uint64_t>(us.count()));
+      batch[i].promise.set_value(std::move(responses[i]));
+    }
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t width = batch.size();
+  std::uint64_t cur = max_batch_.load(std::memory_order_relaxed);
+  while (width > cur &&
+         !max_batch_.compare_exchange_weak(cur, width,
+                                           std::memory_order_relaxed)) {
+  }
+
+  // Advance completed_ under the drain mutex so a drainer that just
+  // checked the counters cannot go to sleep and miss this notification.
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    completed_.fetch_add(batch.size(), std::memory_order_release);
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace rs::serve

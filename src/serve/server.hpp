@@ -1,0 +1,211 @@
+// SsspServer: the long-running serving daemon over an SsspEngine.
+//
+//   SsspEngine engine(graph, {.rho = 64, .k = 3});
+//   SsspServer server(engine, {.queue_capacity = 1024,
+//                              .max_batch = 64,
+//                              .batch_budget = std::chrono::microseconds(200)});
+//   std::future<QueryResponse> fut;
+//   if (server.submit(std::move(req), fut) == SubmitStatus::kAccepted) {
+//     QueryResponse resp = fut.get();
+//   }
+//   server.shutdown();  // stop accepting, drain in-flight, join batchers
+//
+// Architecture (one request's life):
+//
+//   client threads ──submit()──► BoundedQueue ──pop──► batcher thread(s)
+//        │ validate + admission      (backpressure)        │ coalesce up to
+//        │ control at the edge                             │ max_batch within
+//        ▼                                                 ▼ batch_budget
+//   SubmitStatus / future ◄──promise◄── engine.serve_batch(micro-batch)
+//
+// Micro-batching: a batcher blocks for the first request, then keeps
+// collecting until the batch budget expires or max_batch is reached, and
+// hands the whole batch to SsspEngine::serve_batch — which runs it
+// request-parallel over a leased warm context pool. The budget trades a
+// bounded latency add-on (at most batch_budget of waiting) for the batch
+// throughput regime the paper's preprocessing is amortized over (§5.4):
+// under load the window fills instantly and the budget costs nothing;
+// when idle a lone request waits out at most one budget.
+//
+// Admission control: requests are validated at submit time (kInvalid) so a
+// bad request is rejected alone instead of poisoning its micro-batch, and
+// the bounded queue sheds load (kQueueFull) instead of queueing without
+// limit. Both rejections are cheap constant-time paths.
+//
+// Lifecycle: counter-based in-flight tracking (accepted vs completed)
+// drives drain() — block until everything admitted so far has completed —
+// and shutdown() = stop admitting, close the queue (buffered requests
+// still drain), join the batchers. A request's promise is always
+// completed: with a response, or with an exception if its batch failed.
+//
+// Every completion records end-to-end latency (submit to promise
+// fulfillment, queueing and coalescing included — the number a client
+// actually experiences) into an allocation-free LatencyHistogram.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/request.hpp"
+#include "serve/latency_histogram.hpp"
+#include "serve/request_queue.hpp"
+
+namespace rs::serve {
+
+/// Outcome of SsspServer::submit. Only kAccepted produces a future.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,      // admitted; the future will be fulfilled
+  kQueueFull,     // backpressure: queue at capacity, try again later
+  kShuttingDown,  // server no longer admits requests
+  kInvalid,       // request failed SsspEngine::validate (bad source/target/
+                  // engine); see error() text via serve_sync or validate
+};
+
+const char* to_string(SubmitStatus status);
+
+struct ServerOptions {
+  /// Admission buffer depth; pushes beyond it are rejected kQueueFull.
+  std::size_t queue_capacity = 1024;
+
+  /// Micro-batch size cap. 1 disables coalescing entirely.
+  std::size_t max_batch = 64;
+
+  /// How long a batcher keeps collecting after the first request of a
+  /// micro-batch. Zero means "grab whatever is already queued, never
+  /// wait" — coalescing without any latency add-on.
+  std::chrono::microseconds batch_budget{200};
+
+  /// Number of batcher threads pulling micro-batches concurrently. Each
+  /// concurrent batch leases its own warm context pool inside the engine,
+  /// so >1 batchers trade per-batch width for pipeline overlap.
+  int batchers = 1;
+
+  /// Start with batchers parked (see pause()). Requests queue but are not
+  /// served until resume() — how tests set up deterministic queue-full
+  /// and coalescing scenarios.
+  bool start_paused = false;
+};
+
+/// Monotonic counters, readable at any time without stopping the server.
+struct ServerStats {
+  std::uint64_t accepted = 0;           // admitted into the queue
+  std::uint64_t rejected_full = 0;      // kQueueFull rejections
+  std::uint64_t rejected_invalid = 0;   // kInvalid rejections
+  std::uint64_t rejected_shutdown = 0;  // kShuttingDown rejections
+  std::uint64_t completed = 0;          // promises fulfilled
+  std::uint64_t batches = 0;            // serve_batch calls issued
+  std::uint64_t max_batch = 0;          // widest micro-batch so far
+
+  /// Requests admitted but not yet completed (queued or being served).
+  std::uint64_t in_flight() const { return accepted - completed; }
+  /// Mean micro-batch width — the coalescing factor under load.
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(batches);
+  }
+};
+
+class SsspServer {
+ public:
+  /// The engine must outlive the server. Batcher threads start
+  /// immediately (parked if opts.start_paused).
+  explicit SsspServer(const SsspEngine& engine, ServerOptions opts = {});
+
+  /// shutdown() if the caller has not already.
+  ~SsspServer();
+
+  SsspServer(const SsspServer&) = delete;
+  SsspServer& operator=(const SsspServer&) = delete;
+
+  /// Admission: validates, then enqueues. On kAccepted, `result` is a
+  /// future fulfilled when the request's micro-batch completes (with the
+  /// response, or the batch's exception). On any rejection `result` is
+  /// untouched and nothing was enqueued.
+  SubmitStatus submit(QueryRequest req, std::future<QueryResponse>& result);
+
+  /// Convenience blocking call: submit + wait. Throws std::runtime_error
+  /// on admission rejection (message names the SubmitStatus).
+  QueryResponse serve_sync(QueryRequest req);
+
+  /// Parks the batchers after their current micro-batch: admitted
+  /// requests keep queueing but none are served until resume(). The
+  /// deterministic-test hook (fill the queue, assert coalescing) and an
+  /// operational pressure valve (e.g. while swapping the engine).
+  void pause();
+  void resume();
+
+  /// Blocks until in_flight() reaches zero — every request admitted
+  /// before (or during) the drain has completed. Does not stop admission;
+  /// call pause() or shutdown() first for a quiescent point. Self-
+  /// deadlocks if the server is paused with requests buffered.
+  void drain();
+
+  /// Stops admission, lets the queue drain (buffered requests are still
+  /// served), joins the batchers. Idempotent; safe to call concurrently.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  /// End-to-end request latency (microseconds, submit to completion).
+  const LatencyHistogram& latency() const { return latency_; }
+
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  void batcher_loop();
+  /// Serves one micro-batch and fulfills its promises. Never throws.
+  void execute(std::vector<Pending>& batch);
+  /// Blocks while paused. Returns false when the server is stopping.
+  bool wait_not_paused();
+
+  const SsspEngine& engine_;
+  const ServerOptions opts_;
+
+  BoundedQueue<Pending> queue_;
+  std::vector<std::thread> batchers_;
+
+  // Admission gate. Set by shutdown() before the queue closes, so submit
+  // can distinguish "full" from "shutting down".
+  std::atomic<bool> stopping_{false};
+
+  // Pause gate for the batchers.
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // In-flight tracking: accepted_ counts successful admissions,
+  // completed_ counts fulfilled promises; drain() waits for the gap to
+  // close. completed_ is only advanced under drain_mutex_ (then
+  // notified), so a drainer cannot miss the final wakeup.
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  // Stats counters (relaxed; read via stats()).
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+
+  LatencyHistogram latency_;
+
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace rs::serve

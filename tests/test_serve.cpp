@@ -13,6 +13,9 @@
 //    query(Vertex) historically validated only in query_batch).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "baseline/dijkstra.hpp"
 #include "core/engine.hpp"
 #include "core/query_context.hpp"
@@ -482,6 +485,135 @@ TEST(Serve, EveryEntryPointBoundsChecksItsInputs) {
   EXPECT_THROW(engine.serve(bad_engine), std::invalid_argument);
 
   EXPECT_TRUE(engine.serve_batch({}).empty());
+}
+
+TEST(Serve, TouchedStatCountsFirstTouchesExactly) {
+  // The O(touched)-reset bookkeeping (PR 6): every engine records each
+  // vertex whose distance leaves kInfDist exactly once. On an exhaustive
+  // run over a connected graph that is every vertex; on an early-exit run
+  // it is at most that — and the count is identical across engines and
+  // worker counts because the touched set is schedule-independent (the
+  // per-step settled frontiers are deterministic, Theorem 3.1).
+  WorkerGuard guard;
+  const Graph g = assign_uniform_weights(gen::road_network(12, 12, 5), 4);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+  const Vertex n = g.num_vertices();
+
+  QueryRequest full;
+  full.source = 3;
+  full.want_full_distances = true;
+
+  QueryRequest targeted;
+  targeted.source = 3;
+  targeted.targets = {4};  // a near target: early exit leaves most untouched
+
+  for (const QueryEngine qe :
+       {QueryEngine::kFlat, QueryEngine::kBst, QueryEngine::kBstFlat}) {
+    for (const int nw : {1, 4}) {
+      set_num_workers(nw);
+      full.engine = qe;
+      targeted.engine = qe;
+
+      QueryResponse r = engine.serve(full);
+      std::size_t reachable = 0;
+      for (const Dist d : r.dist) reachable += (d != kInfDist) ? 1 : 0;
+      EXPECT_EQ(r.stats.touched, reachable)
+          << "engine " << static_cast<int>(qe) << " nw=" << nw;
+
+      const QueryResponse t = engine.serve(targeted);
+      EXPECT_GE(t.stats.touched, 2u);  // source + target at minimum
+      EXPECT_LE(t.stats.touched, static_cast<std::size_t>(n));
+      EXPECT_LT(t.stats.touched, reachable)
+          << "early exit should leave most of the graph untouched";
+    }
+  }
+}
+
+TEST(Serve, TouchedResetRestoresContextInvariantAcrossRequests) {
+  // After a targeted serve, reset_touched() must restore the all-infinite
+  // invariant EXACTLY — any missed entry would leak a stale finite
+  // distance into a later request from a different source. Alternate
+  // sources and engines over one warm context and check every answer.
+  const Graph g = assign_uniform_weights(gen::grid2d(9, 9), 11, 1, 50);
+  PreprocessOptions opts;
+  opts.rho = 8;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+  const Vertex n = g.num_vertices();
+
+  QueryContext ctx;
+  QueryResponse resp;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    QueryRequest req;
+    req.source = static_cast<Vertex>((i * 29) % n);
+    req.targets = {static_cast<Vertex>((i * 13 + 1) % n),
+                   static_cast<Vertex>((i * 41 + 7) % n)};
+    req.engine = (i % 3 == 0)   ? QueryEngine::kFlat
+                 : (i % 3 == 1) ? QueryEngine::kBst
+                                : QueryEngine::kBstFlat;
+    engine.serve(req, ctx, resp);
+    const QueryResult ref = engine.query(req.source);
+    for (const TargetResult& tr : resp.targets) {
+      ASSERT_EQ(tr.dist, ref.dist[tr.target]) << "request " << i;
+    }
+  }
+}
+
+TEST(Serve, ConcurrentServeBatchesStayExact) {
+  // Satellite of PR 6: concurrent serve_batch callers used to race the
+  // engine's single batch-pool try-lock — the loser silently fell back to
+  // a cold batch-local pool. Now each concurrent batch leases its own
+  // warm slot; this stress pins that N threads hammering serve_batch on
+  // ONE engine stay exact (run under ASan/TSan-less CI with RS_THREADS=8
+  // to shake scheduling).
+  const Graph g = assign_uniform_weights(gen::road_network(13, 13, 2), 6);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+  const Vertex n = g.num_vertices();
+
+  // Four distinct batches (mixed sources/targets/engines), reference
+  // answers computed single-threaded up front.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::vector<QueryRequest>> batches(kThreads);
+  std::vector<std::vector<QueryResponse>> want(kThreads);
+  for (int b = 0; b < kThreads; ++b) {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      QueryRequest req;
+      req.source = static_cast<Vertex>((b * 97 + i * 31) % n);
+      req.targets = {static_cast<Vertex>((b * 17 + i * 7) % n),
+                     static_cast<Vertex>((b + i * 61 + 3) % n)};
+      req.engine = (i % 2 == 0) ? QueryEngine::kFlat : QueryEngine::kBst;
+      batches[b].push_back(std::move(req));
+    }
+    for (const QueryRequest& req : batches[b]) {
+      want[b].push_back(engine.serve(req));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int b = 0; b < kThreads; ++b) {
+    threads.emplace_back([&, b] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::vector<QueryResponse> got = engine.serve_batch(batches[b]);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          for (std::size_t t = 0; t < got[i].targets.size(); ++t) {
+            if (got[i].targets[t].dist != want[b][i].targets[t].dist) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

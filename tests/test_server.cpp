@@ -1,0 +1,387 @@
+// The serving-daemon contract (serve/server.hpp + serve/request_queue.hpp
+// + serve/latency_histogram.hpp):
+//
+//  * lifecycle — start, drain with requests in flight, shutdown; counters
+//    (accepted vs completed) reach equality and every promise is
+//    fulfilled, including requests still queued when shutdown is called;
+//  * admission control — a full queue rejects with kQueueFull (and only
+//    the overflowing request), an out-of-range request with kInvalid
+//    (validated at the edge, never coalesced into a batch), a stopped
+//    server with kShuttingDown;
+//  * micro-batching — N requests queued within one budget coalesce into
+//    ONE serve_batch call (asserted via ServerStats.batches), and
+//    coalescing is invisible in the answers;
+//  * histogram — quantiles match a sorted-sample oracle within the
+//    documented 1/32 relative error, across magnitudes;
+//  * concurrency — many closed-loop clients against multiple batchers
+//    produce exact answers and consistent counters.
+//
+// The pause/resume hook makes the queue-full and coalescing scenarios
+// deterministic: with batchers parked, submissions buffer instead of
+// racing the consumer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "serve/latency_histogram.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+
+namespace rs {
+namespace {
+
+using serve::BoundedQueue;
+using serve::LatencyHistogram;
+using serve::ServerOptions;
+using serve::ServerStats;
+using serve::SsspServer;
+using serve::SubmitStatus;
+
+SsspEngine small_engine() {
+  const Graph g =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 7, 1, 100);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  return SsspEngine(g, opts);
+}
+
+QueryRequest p2p(const SsspEngine& engine, std::uint64_t i) {
+  const Vertex n = engine.original_graph().num_vertices();
+  QueryRequest req;
+  req.source = static_cast<Vertex>((i * 37) % n);
+  req.targets = {static_cast<Vertex>((i * 53 + 11) % n)};
+  return req;
+}
+
+TEST(BoundedQueue, PushPopOrderCapacityAndClose) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full: backpressure, not blocking
+  EXPECT_EQ(q.size(), 3u);
+
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);  // FIFO
+  EXPECT_TRUE(q.try_push(4));  // slot freed
+
+  q.close();
+  EXPECT_FALSE(q.try_push(5));  // closed rejects pushes...
+  EXPECT_TRUE(q.pop(out));      // ...but buffered items still drain
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(q.pop(out));  // closed AND empty
+}
+
+TEST(BoundedQueue, TimedPopHonorsDeadline) {
+  BoundedQueue<int> q(2);
+  int out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.try_pop_until(
+      out, t0 + std::chrono::milliseconds(20)));  // times out empty
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+  ASSERT_TRUE(q.try_push(9));
+  EXPECT_TRUE(q.try_pop_until(
+      out, std::chrono::steady_clock::now()));  // past deadline, non-blocking
+  EXPECT_EQ(out, 9);
+}
+
+TEST(Server, DrainWithRequestsInFlightThenShutdown) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.start_paused = true;  // everything below queues deterministically
+  opts.max_batch = 4;
+  SsspServer server(engine, opts);
+
+  constexpr std::uint64_t kRequests = 10;
+  std::vector<std::future<QueryResponse>> futures;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    std::future<QueryResponse> fut;
+    ASSERT_EQ(server.submit(p2p(engine, i), fut), SubmitStatus::kAccepted);
+    futures.push_back(std::move(fut));
+  }
+  EXPECT_EQ(server.stats().in_flight(), kRequests);
+
+  server.resume();
+  server.drain();  // blocks until every admitted request completed
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.in_flight(), 0u);
+  EXPECT_EQ(server.latency().count(), kRequests);
+
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const QueryResponse got = futures[i].get();
+    const QueryResponse want = engine.serve(p2p(engine, i));
+    ASSERT_EQ(got.targets.size(), 1u);
+    EXPECT_EQ(got.targets[0].dist, want.targets[0].dist) << "request " << i;
+  }
+
+  server.shutdown();
+  std::future<QueryResponse> fut;
+  EXPECT_EQ(server.submit(p2p(engine, 0), fut),
+            SubmitStatus::kShuttingDown);
+  EXPECT_EQ(server.stats().rejected_shutdown, 1u);
+}
+
+TEST(Server, ShutdownServesRequestsStillQueued) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.start_paused = true;
+  SsspServer server(engine, opts);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    std::future<QueryResponse> fut;
+    ASSERT_EQ(server.submit(p2p(engine, i), fut), SubmitStatus::kAccepted);
+    futures.push_back(std::move(fut));
+  }
+  // No resume: shutdown itself must unpark the batchers and drain the
+  // buffered requests before joining — an accepted request is a promise.
+  server.shutdown();
+  for (std::uint64_t i = 0; i < futures.size(); ++i) {
+    const QueryResponse got = futures[i].get();
+    const QueryResponse want = engine.serve(p2p(engine, i));
+    EXPECT_EQ(got.targets[0].dist, want.targets[0].dist) << "request " << i;
+  }
+  EXPECT_EQ(server.stats().in_flight(), 0u);
+}
+
+TEST(Server, FullQueueRejectsOnlyTheOverflow) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.queue_capacity = 4;
+  opts.start_paused = true;  // nothing is consumed: capacity is exact
+  SsspServer server(engine, opts);
+
+  std::vector<std::future<QueryResponse>> futures(5);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(server.submit(p2p(engine, i), futures[i]),
+              SubmitStatus::kAccepted);
+  }
+  EXPECT_EQ(server.submit(p2p(engine, 4), futures[4]),
+            SubmitStatus::kQueueFull);
+  EXPECT_EQ(server.stats().rejected_full, 1u);
+  EXPECT_EQ(server.stats().accepted, 4u);
+
+  server.resume();
+  server.drain();
+  for (std::uint64_t i = 0; i < 4; ++i) {  // admitted ones are unaffected
+    const QueryResponse got = futures[i].get();
+    const QueryResponse want = engine.serve(p2p(engine, i));
+    EXPECT_EQ(got.targets[0].dist, want.targets[0].dist);
+  }
+}
+
+TEST(Server, InvalidRequestRejectedAtAdmission) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.start_paused = true;
+  SsspServer server(engine, opts);
+
+  QueryRequest bad;
+  bad.source = engine.original_graph().num_vertices();  // out of range
+  std::future<QueryResponse> fut;
+  EXPECT_EQ(server.submit(std::move(bad), fut), SubmitStatus::kInvalid);
+  EXPECT_EQ(server.stats().rejected_invalid, 1u);
+  EXPECT_EQ(server.stats().accepted, 0u);  // nothing entered the queue
+
+  QueryRequest bad_target = p2p(engine, 1);
+  bad_target.targets.push_back(engine.original_graph().num_vertices() + 7);
+  EXPECT_EQ(server.submit(std::move(bad_target), fut),
+            SubmitStatus::kInvalid);
+
+  // A valid request after the rejects is served normally.
+  ASSERT_EQ(server.submit(p2p(engine, 2), fut), SubmitStatus::kAccepted);
+  server.resume();
+  EXPECT_EQ(fut.get().targets[0].dist,
+            engine.serve(p2p(engine, 2)).targets[0].dist);
+}
+
+TEST(Server, TinyRequestsWithinBudgetCoalesceIntoOneBatch) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_batch = 32;
+  // Zero budget: the batcher grabs exactly what is already buffered and
+  // never waits — with everything queued before resume, that is one
+  // deterministic micro-batch.
+  opts.batch_budget = std::chrono::microseconds(0);
+  opts.batchers = 1;
+  SsspServer server(engine, opts);
+
+  constexpr std::uint64_t kRequests = 12;
+  std::vector<std::future<QueryResponse>> futures(kRequests);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(server.submit(p2p(engine, i), futures[i]),
+              SubmitStatus::kAccepted);
+  }
+  server.resume();
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 1u) << "coalescing failed: " << stats.batches
+                               << " serve_batch calls for " << kRequests
+                               << " buffered requests";
+  EXPECT_EQ(stats.max_batch, kRequests);
+  EXPECT_DOUBLE_EQ(stats.mean_batch(), static_cast<double>(kRequests));
+  for (std::uint64_t i = 0; i < kRequests; ++i) {  // coalescing is invisible
+    EXPECT_EQ(futures[i].get().targets[0].dist,
+              engine.serve(p2p(engine, i)).targets[0].dist);
+  }
+}
+
+TEST(Server, MaxBatchBoundsCoalescing) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.start_paused = true;
+  opts.max_batch = 4;
+  opts.batch_budget = std::chrono::microseconds(0);
+  opts.batchers = 1;
+  SsspServer server(engine, opts);
+
+  std::vector<std::future<QueryResponse>> futures(10);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(server.submit(p2p(engine, i), futures[i]),
+              SubmitStatus::kAccepted);
+  }
+  server.resume();
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(stats.batches, 3u);  // 4 + 4 + 2
+}
+
+TEST(Server, ServeSyncThrowsOnRejection) {
+  const SsspEngine engine = small_engine();
+  SsspServer server(engine, {});
+  server.shutdown();
+  EXPECT_THROW(server.serve_sync(p2p(engine, 0)), std::runtime_error);
+}
+
+TEST(Server, ConcurrentClientsAgainstMultipleBatchersStayExact) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.max_batch = 8;
+  opts.batch_budget = std::chrono::microseconds(100);
+  opts.batchers = 3;
+  SsspServer server(engine, opts);
+
+  constexpr int kClients = 8;
+  constexpr std::uint64_t kPerClient = 25;
+  // References computed up front: the client loops must not touch the
+  // engine directly while the daemon is serving.
+  std::vector<Dist> want(kClients * kPerClient);
+  for (std::uint64_t i = 0; i < want.size(); ++i) {
+    want[i] = engine.serve(p2p(engine, i)).targets[0].dist;
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::uint64_t i = 0; i < kPerClient; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(c) * kPerClient + i;
+        const QueryResponse got = server.serve_sync(p2p(engine, id));
+        if (got.targets[0].dist != want[id]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(server.latency().count(), kClients * kPerClient);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(LatencyHistogram, BucketRoundTripBoundsRelativeError) {
+  // Every value lands in a bucket whose upper bound is >= the value and
+  // within the documented 1/32 relative error of it.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 300; ++v) values.push_back(v);
+  for (std::uint64_t v = 300; v < (1ull << 40); v = v * 3 + 1) {
+    values.push_back(v);
+  }
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (const std::uint64_t v : values) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets) << v;
+    const std::uint64_t upper = LatencyHistogram::bucket_upper(idx);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / 32.0 + 1.0)
+        << "value " << v << " bucket " << idx << " upper " << upper;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesMatchSortedSampleOracle) {
+  // Record a deterministic skewed sample, then compare every quantile
+  // against the exact order statistic from the sorted samples.
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Mostly small values with a long tail — the shape of a latency
+    // distribution under micro-batching.
+    const std::uint64_t v =
+        (i % 10 == 0) ? 1000 + x % 100000 : 50 + x % 400;
+    samples.push_back(v);
+    hist.record(v);
+  }
+  ASSERT_EQ(hist.count(), samples.size());
+  std::sort(samples.begin(), samples.end());
+
+  const auto snap = hist.snapshot();
+  for (const double q : {0.0, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const std::uint64_t rank_raw = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const std::uint64_t rank = rank_raw == 0 ? 1 : rank_raw;
+    const std::uint64_t exact = samples[rank - 1];
+    const std::uint64_t est = snap.value_at_quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q;  // bucket upper bound: never under
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(exact) * (1.0 + 1.0 / 32.0) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, EmptyAndResetReportZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.value_at_quantile(0.99), 0u);
+  hist.record(123);
+  EXPECT_EQ(hist.value_at_quantile(0.5), LatencyHistogram::bucket_upper(
+                                             LatencyHistogram::bucket_index(
+                                                 123)));
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.value_at_quantile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace rs
