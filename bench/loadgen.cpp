@@ -9,6 +9,12 @@
 //            blocks on its future, submits the next. Measures the
 //            saturated-throughput regime (qps) and the latency under it;
 //            this is the mode the CI bench-smoke job runs and gates.
+//            Closed mode additionally measures the caching layer: a
+//            second closed loop against a cache-enabled server under a
+//            Zipf(s=1.0) source schedule (`hot_qps`, `hit_rate` — warm
+//            rows answered at submit time), and a top-k closed loop
+//            (`topk_qps`, every reply checked against the sorted
+//            reference prefix).
 //   open   — one dispatcher submits at a fixed offered rate (RS_RATE qps;
 //            default 70% of a quick closed-loop calibration) without
 //            waiting for completions. Measures the latency a NON-saturated
@@ -26,14 +32,18 @@
 // client threads, default 8), RS_TARGETS (targets per request, default 1),
 // RS_RHO (preprocess rho, default 32), RS_QUEUE (queue capacity, 1024),
 // RS_MAX_BATCH (64), RS_BUDGET_US (micro-batch budget, 200),
-// RS_BATCHERS (2), RS_RATE (open-loop offered qps, 0 = auto).
+// RS_BATCHERS (2), RS_RATE (open-loop offered qps, 0 = auto),
+// RS_TOPK (k for the top-k loop, default 8).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -82,20 +92,54 @@ bool verify(const QueryResponse& resp, const QueryResult& ref) {
   return true;
 }
 
+/// Response checker, indexed by the request-pool slot it answered.
+using VerifySlot = std::function<bool(const QueryResponse&, std::size_t)>;
+
+/// Zipf(s=1.0) slot schedule over `pool` request slots: slot j is drawn
+/// with probability proportional to 1/(j+1) — the hot-source skew a
+/// result cache exists for. Deterministic in `seed`.
+std::vector<std::size_t> zipf_schedule(std::uint64_t total, std::size_t pool,
+                                       std::uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < pool; ++j) {
+    acc += 1.0 / static_cast<double>(j + 1);
+    cdf[j] = acc;
+  }
+  const SplitRng rng(seed);
+  std::vector<std::size_t> schedule(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const double u = rng.uniform(9, i) * acc;
+    schedule[i] = static_cast<std::size_t>(
+        std::upper_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (schedule[i] >= pool) schedule[i] = pool - 1;
+  }
+  return schedule;
+}
+
 struct ClosedResult {
   double qps = 0.0;
+  double hit_rate = 0.0;  // timed-window cache hit rate (0 with cache off)
   bool ok = true;
 };
 
 /// Closed loop: `clients` threads race through `total` requests, each
-/// blocking on its own future before submitting the next.
+/// blocking on its own future before submitting the next. Request i maps
+/// to pool slot schedule[i] (round-robin when schedule is null). `warm`
+/// requests are served synchronously before the timer starts — outside
+/// the measured window and the reported hit rate.
 ClosedResult run_closed(const SsspEngine& engine, ServerOptions opts,
                         const std::vector<QueryRequest>& requests,
-                        const std::vector<QueryResult>& ref,
-                        std::uint64_t total, int clients,
-                        LatencyHistogram::Snapshot* latency,
-                        ServerStats* stats) {
+                        const VerifySlot& check, std::uint64_t total,
+                        int clients, LatencyHistogram::Snapshot* latency,
+                        ServerStats* stats,
+                        const std::vector<std::size_t>* schedule = nullptr,
+                        const std::vector<QueryRequest>* warm = nullptr) {
   SsspServer server(engine, opts);
+  if (warm != nullptr) {
+    for (const QueryRequest& req : *warm) (void)server.serve_sync(req);
+  }
+  const ResultCacheStats warm_cache = server.cache_stats();
   std::atomic<std::uint64_t> next{0};
   std::atomic<bool> ok{true};
   Timer timer;
@@ -105,9 +149,11 @@ ClosedResult run_closed(const SsspEngine& engine, ServerOptions opts,
     threads.emplace_back([&] {
       std::uint64_t i;
       while ((i = next.fetch_add(1, std::memory_order_relaxed)) < total) {
-        const std::size_t slot = i % requests.size();
+        const std::size_t slot = schedule != nullptr
+                                     ? (*schedule)[i]
+                                     : i % requests.size();
         const QueryResponse resp = server.serve_sync(requests[slot]);
-        if (!verify(resp, ref[slot])) ok.store(false);
+        if (!check(resp, slot)) ok.store(false);
       }
     });
   }
@@ -116,8 +162,20 @@ ClosedResult run_closed(const SsspEngine& engine, ServerOptions opts,
   server.drain();
   if (latency != nullptr) *latency = server.latency().snapshot();
   if (stats != nullptr) *stats = server.stats();
+  ClosedResult out;
+  out.qps = static_cast<double>(total) / seconds;
+  out.ok = ok.load();
+  const ResultCacheStats cache = server.cache_stats();
+  const std::uint64_t hits = cache.hits - warm_cache.hits;
+  const std::uint64_t lookups =
+      hits + (cache.misses - warm_cache.misses) +
+      (cache.single_flight_waits - warm_cache.single_flight_waits);
+  if (lookups != 0) {
+    out.hit_rate =
+        static_cast<double>(hits) / static_cast<double>(lookups);
+  }
   server.shutdown();
-  return {static_cast<double>(total) / seconds, ok.load()};
+  return out;
 }
 
 struct OpenResult {
@@ -235,11 +293,16 @@ int main() {
       {"max_batch", std::to_string(opts.max_batch)}};
   bool ok = true;
 
+  const VerifySlot check_targets = [&](const QueryResponse& resp,
+                                       std::size_t slot) {
+    return verify(resp, ref[slot]);
+  };
+
   if (mode == "closed" || mode == "both") {
     LatencyHistogram::Snapshot lat;
     ServerStats stats;
-    const ClosedResult r = run_closed(engine, opts, requests, ref, total,
-                                      clients, &lat, &stats);
+    const ClosedResult r = run_closed(engine, opts, requests, check_targets,
+                                      total, clients, &lat, &stats);
     ok = ok && r.ok;
     const auto p50 = lat.value_at_quantile(0.50);
     const auto p99 = lat.value_at_quantile(0.99);
@@ -255,6 +318,68 @@ int main() {
     json.add("p99_us", static_cast<double>(p99), "us", labels);
     json.add("p999_us", static_cast<double>(p999), "us", labels);
     json.add("mean_batch", stats.mean_batch(), "x", labels);
+
+    // Hot-source regime: cache-enabled server, Zipf(s=1.0) source skew,
+    // one warm pass over the pool before the timer. Steady state is all
+    // submit-time cache hits, so hot_qps gates the cache fast path and
+    // hit_rate its effectiveness (both higher-is-better).
+    ServerOptions hot_opts = opts;
+    hot_opts.enable_cache = true;
+    const std::vector<std::size_t> schedule =
+        zipf_schedule(total, requests.size(), /*seed=*/90210);
+    ServerStats hot_stats;
+    const ClosedResult hot =
+        run_closed(engine, hot_opts, requests, check_targets, total, clients,
+                   nullptr, &hot_stats, &schedule, &requests);
+    ok = ok && hot.ok;
+    std::printf("hot closed-loop (zipf s=1.0, cache on): %10.1f qps   "
+                "hit_rate=%.3f (%.1fx uncached)\n",
+                hot.qps, hot.hit_rate, hot.qps / r.qps);
+    json.add("hot_qps", hot.qps, "queries/sec", labels);
+    json.add("hit_rate", hot.hit_rate, "ratio", labels);
+
+    // Top-k closed loop: k-nearest requests over the same source pool,
+    // every reply checked against the sorted reference prefix.
+    const auto k = static_cast<std::size_t>(env_int64("RS_TOPK", 8));
+    std::vector<QueryRequest> topk_requests;
+    std::vector<std::vector<std::pair<Dist, Vertex>>> topk_ref;
+    topk_requests.reserve(sources.size());
+    topk_ref.reserve(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      QueryRequest req;
+      req.source = sources[i];
+      req.kind = RequestKind::kTopK;
+      req.k = k;
+      topk_requests.push_back(std::move(req));
+      std::vector<std::pair<Dist, Vertex>> prefix;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (ref[i].dist[v] < kInfDist) prefix.push_back({ref[i].dist[v], v});
+      }
+      const std::size_t m = std::min(k, prefix.size());
+      std::partial_sort(prefix.begin(),
+                        prefix.begin() + static_cast<std::ptrdiff_t>(m),
+                        prefix.end());
+      prefix.resize(m);
+      topk_ref.push_back(std::move(prefix));
+    }
+    const VerifySlot check_topk = [&](const QueryResponse& resp,
+                                      std::size_t slot) {
+      const auto& want = topk_ref[slot];
+      if (resp.targets.size() != want.size()) return false;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (resp.targets[i].target != want[i].second ||
+            resp.targets[i].dist != want[i].first) {
+          return false;
+        }
+      }
+      return true;
+    };
+    const ClosedResult tk = run_closed(engine, opts, topk_requests,
+                                       check_topk, total, clients, nullptr,
+                                       nullptr);
+    ok = ok && tk.ok;
+    std::printf("topk closed-loop (k=%zu): %10.1f qps\n", k, tk.qps);
+    json.add("topk_qps", tk.qps, "queries/sec", labels);
   }
 
   if (mode == "open" || mode == "both") {
@@ -263,7 +388,7 @@ int main() {
       // Calibrate: a short closed-loop burst, then offer 70% of it — the
       // non-saturated regime open-loop latency is meaningful in.
       const ClosedResult cal =
-          run_closed(engine, opts, requests, ref,
+          run_closed(engine, opts, requests, check_targets,
                      std::max<std::uint64_t>(total / 4, 32), clients,
                      nullptr, nullptr);
       ok = ok && cal.ok;

@@ -1,11 +1,20 @@
 // ALT point-to-point routing (A* + Landmarks + Triangle inequality,
 // Goldberg & Harrelson): the classic downstream consumer of fast
-// multi-source SSSP. Radius-Stepping computes the landmark distance
-// tables through the serving API (full-distances QueryRequests — one run
-// per landmark, amortizing one preprocessing pass, exactly the paper's
-// §5.4 multi-source regime); A* then answers point-to-point queries
-// expanding a fraction of what plain Dijkstra scans. The engine's own
-// targeted serve() is the exact-baseline oracle for each query.
+// multi-source SSSP, now built on the library's own LandmarkOracle
+// (serve/landmark_oracle.hpp). The oracle computes its landmark rows
+// through the serving API — one full-distances run per landmark,
+// amortizing one preprocessing pass, exactly the paper's §5.4
+// multi-source regime — and this example consumes the same rows two ways:
+//
+//  1. as the A* potential pi(v) = lower_bound(v, t), expanding a fraction
+//     of what plain Dijkstra scans;
+//  2. as per-target lower bounds threaded into the engine's targeted
+//     serve (QueryRequest::target_lower_bounds via annotate()), where a
+//     target whose tentative distance reaches its bound is proven final
+//     before the plain step-boundary exit would fire — same distances,
+//     at most the same number of steps.
+//
+// The engine's plain targeted serve() is the exact oracle for each query.
 //
 //   ./alt_routing [side=160] [landmarks=8] [queries=10]
 #include <cstdio>
@@ -18,10 +27,13 @@
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
 #include "pq/binary_heap.hpp"
+#include "serve/landmark_oracle.hpp"
 
 namespace {
 
 using namespace rs;
+using rs::serve::LandmarkOptions;
+using rs::serve::LandmarkOracle;
 
 /// Vertices popped by a plain Dijkstra run that stops at `target`.
 std::size_t dijkstra_to_target(const Graph& g, Vertex s, Vertex t,
@@ -51,24 +63,15 @@ std::size_t dijkstra_to_target(const Graph& g, Vertex s, Vertex t,
   return popped;
 }
 
-/// A* with the landmark potential pi(v) = max_l |d(l,t) - d(l,v)|
-/// (admissible and consistent on undirected graphs).
-std::size_t alt_to_target(const Graph& g,
-                          const std::vector<std::vector<Dist>>& table,
+/// A* with the oracle's bound as the potential: pi(v) = lower_bound(v, t)
+/// (admissible and consistent with assume_symmetric on this undirected
+/// road network).
+std::size_t alt_to_target(const Graph& g, const LandmarkOracle& oracle,
                           Vertex s, Vertex t, Dist* dist_out) {
-  auto pi = [&](Vertex v) {
-    Dist best = 0;
-    for (const auto& row : table) {
-      if (row[v] == kInfDist || row[t] == kInfDist) continue;
-      const Dist gap = row[v] > row[t] ? row[v] - row[t] : row[t] - row[v];
-      if (gap > best) best = gap;
-    }
-    return best;
-  };
   std::vector<Dist> dist(g.num_vertices(), kInfDist);
   IndexedHeap<Dist> heap(g.num_vertices());
   dist[s] = 0;
-  heap.insert_or_decrease(s, pi(s));
+  heap.insert_or_decrease(s, oracle.lower_bound(s, t));
   std::size_t popped = 0;
   while (!heap.empty()) {
     const auto [key, u] = heap.extract_min();
@@ -82,7 +85,7 @@ std::size_t alt_to_target(const Graph& g,
       const Dist nd = dist[u] + g.arc_weight(e);
       if (nd < dist[v]) {
         dist[v] = nd;
-        heap.insert_or_decrease(v, nd + pi(v));
+        heap.insert_or_decrease(v, nd + oracle.lower_bound(v, t));
       }
     }
   }
@@ -110,40 +113,24 @@ int main(int argc, char** argv) {
   std::printf("radius-stepping preprocess: %.2fs (+%.2fx edges)\n",
               prep.seconds(), engine.preprocessing().added_factor);
 
-  // Farthest-point landmark selection: greedily pick the vertex maximizing
-  // distance to the chosen set (a standard ALT heuristic), each pick one
-  // full-distances serve (the landmark table is the rare workload that
-  // needs the whole O(n) vector).
+  // Farthest-point selection + row computation live in the oracle now; the
+  // road network is undirected, so the symmetric (two-sided) bound is
+  // sound and twice as tight.
   Timer tables_timer;
-  QueryContext ctx;  // one warm context across all landmark runs
-  const auto landmark_row = [&](Vertex lm) {
-    QueryRequest req;
-    req.source = lm;
-    req.want_full_distances = true;
-    return engine.serve(req, ctx).dist;
-  };
-  std::vector<std::vector<Dist>> table;
-  std::vector<Vertex> landmarks{0};
-  table.push_back(landmark_row(0));
-  while (static_cast<int>(landmarks.size()) < num_landmarks) {
-    Vertex far = 0;
-    Dist best = 0;
-    for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      Dist closest = kInfDist;
-      for (const auto& row : table) closest = std::min(closest, row[v]);
-      if (closest != kInfDist && closest > best) {
-        best = closest;
-        far = v;
-      }
-    }
-    landmarks.push_back(far);
-    table.push_back(landmark_row(far));
-  }
-  std::printf("%d landmark tables in %.2fs\n", num_landmarks,
-              tables_timer.seconds());
+  LandmarkOptions lopts;
+  lopts.count = static_cast<std::size_t>(num_landmarks);
+  lopts.assume_symmetric = true;
+  const LandmarkOracle oracle(engine, lopts);
+  std::printf("%zu landmark rows in %.2fs (epoch %llu)\n",
+              oracle.landmarks().size(), tables_timer.seconds(),
+              static_cast<unsigned long long>(oracle.graph_epoch()));
 
   const SplitRng rng(5);
+  QueryContext ctx;  // one warm context across all serves
   double total_ratio = 0;
+  std::size_t steps_plain = 0;
+  std::size_t steps_alt = 0;
+  std::size_t lb_exits = 0;
   for (int qi = 0; qi < queries; ++qi) {
     const Vertex s = static_cast<Vertex>(
         rng.bounded(0, static_cast<std::uint64_t>(2 * qi), g.num_vertices()));
@@ -152,13 +139,24 @@ int main(int argc, char** argv) {
     Dist d_ref = 0;
     Dist d_alt = 0;
     const std::size_t pops_dij = dijkstra_to_target(g, s, t, &d_ref);
-    const std::size_t pops_alt = alt_to_target(g, table, s, t, &d_alt);
-    // The engine's targeted serve is the exact oracle for the same pair.
+    const std::size_t pops_alt = alt_to_target(g, oracle, s, t, &d_alt);
+
+    // The engine's plain targeted serve is the exact oracle; the
+    // ALT-annotated serve must return the identical distance in at most
+    // as many steps.
     QueryRequest p2p;
     p2p.source = s;
     p2p.targets = {t};
-    const QueryResponse exact = engine.serve(p2p, ctx);
-    if (d_ref != d_alt || d_ref != exact.targets[0].dist) {
+    const QueryResponse plain = engine.serve(p2p, ctx);
+    oracle.annotate(p2p);
+    const QueryResponse assisted = engine.serve(p2p, ctx);
+    steps_plain += plain.stats.steps;
+    steps_alt += assisted.stats.steps;
+    lb_exits += assisted.lower_bound_exits;
+
+    if (d_ref != d_alt || d_ref != plain.targets[0].dist ||
+        d_ref != assisted.targets[0].dist ||
+        assisted.stats.steps > plain.stats.steps) {
       std::printf("MISMATCH on query %d\n", qi);
       return 1;
     }
@@ -166,10 +164,13 @@ int main(int argc, char** argv) {
         static_cast<double>(pops_dij) / static_cast<double>(pops_alt);
     total_ratio += ratio;
     std::printf("  %u -> %u: d=%llu, dijkstra pops %zu, ALT pops %zu "
-                "(%.1fx fewer)\n",
+                "(%.1fx fewer); serve steps %zu -> %zu\n",
                 s, t, static_cast<unsigned long long>(d_ref), pops_dij,
-                pops_alt, ratio);
+                pops_alt, ratio, plain.stats.steps, assisted.stats.steps);
   }
   std::printf("mean search-space reduction: %.1fx\n", total_ratio / queries);
+  std::printf("targeted serve steps: %zu plain -> %zu ALT-assisted "
+              "(%zu lower-bound exits)\n",
+              steps_plain, steps_alt, lb_exits);
   return 0;
 }

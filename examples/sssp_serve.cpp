@@ -10,17 +10,29 @@
 // Daemon flags: --port P (TCP listener; default stdin), --queue N
 // (admission queue depth, default 1024), --max-batch N (micro-batch cap,
 // default 64), --budget-us N (coalescing window, default 200),
-// --batchers N (batcher threads, default 1), --engine flat|bst|bstflat.
+// --batchers N (batcher threads, default 1), --engine flat|bst|bstflat,
+// --cache 0|1 (hot-source result cache, default 0), --landmarks N (ALT
+// oracle with N landmarks, default 0 = off).
 //
-// Line protocol (one request per line, stdin and TCP alike):
+// Line protocol v2 (one request per line, stdin and TCP alike) —
+// verb-prefixed commands:
 //
-//   <source> <t1>[,<t2>,...]       e.g. "0 143,77,5"
+//   q <source> <t1>[,<t2>,...]     targeted distances, e.g. "q 0 143,77,5"
+//   topk <source> <k>              the k nearest vertices, e.g. "topk 0 5"
+//   stats                          one-line serving counters snapshot
+//   epoch                          the engine's current graph epoch
 //
-// answered with one line per request: the per-target distances in input
-// order, space-separated, `inf` for unreachable — or `error: <reason>`
-// (bad ids and out-of-range vertices are rejected by admission control
-// without touching the engine). EOF (or SIGINT/SIGTERM for TCP) drains
-// in-flight requests and prints the serving stats before exiting.
+// plus the bare legacy form, still accepted verbatim:
+//
+//   <source> <t1>[,<t2>,...]       == "q <source> <t1>[,...]"
+//
+// `q` lines are answered with the per-target distances in input order,
+// space-separated, `inf` for unreachable. `topk` lines are answered with
+// k space-separated `vertex:dist` pairs, nearest first. Any malformed or
+// rejected line gets `error: <reason>` (bad ids and out-of-range vertices
+// are rejected by admission control without touching the engine). EOF (or
+// SIGINT/SIGTERM for TCP) drains in-flight requests and prints the
+// serving stats before exiting.
 //
 // With no arguments, runs a self-contained demo: preprocesses a small
 // road network, fires concurrent clients through the daemon, verifies
@@ -129,15 +141,64 @@ QueryRequest parse_line(const std::string& line, QueryEngine engine) {
   return req;
 }
 
+/// "<source> <k>" -> kTopK request. Throws on any malformed piece.
+QueryRequest parse_topk(const std::string& rest, QueryEngine engine) {
+  const std::size_t space = rest.find(' ');
+  if (space == std::string::npos) {
+    throw std::invalid_argument("expected 'topk <source> <k>'");
+  }
+  QueryRequest req;
+  req.kind = RequestKind::kTopK;
+  req.source = parse_vertex(rest.substr(0, space));
+  // parse_vertex's strict digits-and-range contract fits k as well.
+  req.k = parse_vertex(rest.substr(space + 1));
+  req.engine = engine;
+  return req;
+}
+
+std::string stats_line(const SsspServer& server) {
+  const ServerStats s = server.stats();
+  const auto& lat = server.latency();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "accepted=%llu completed=%llu cache_hits=%llu "
+                "cache_misses=%llu batches=%llu mean_batch=%.2f "
+                "p50_us=%llu p99_us=%llu",
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.batches), s.mean_batch(),
+                static_cast<unsigned long long>(lat.value_at_quantile(0.50)),
+                static_cast<unsigned long long>(lat.value_at_quantile(0.99)));
+  return buf;
+}
+
 /// Serves one protocol line; always returns exactly one response line.
-std::string answer_line(SsspServer& server, const std::string& line,
-                        QueryEngine engine) {
+/// Recognizes the v2 verbs (q / topk / stats / epoch) and falls back to
+/// the bare legacy "<source> <targets>" form for anything else.
+std::string answer_line(SsspServer& server, const SsspEngine& engine,
+                        const std::string& line, QueryEngine qe) {
+  const std::size_t sp = line.find(' ');
+  const std::string verb = line.substr(0, sp);
+  const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+  if (verb == "stats") return stats_line(server);
+  if (verb == "epoch") return std::to_string(engine.graph_epoch());
+
   QueryRequest req;
   try {
-    req = parse_line(line, engine);
+    if (verb == "q") {
+      req = parse_line(rest, qe);
+    } else if (verb == "topk") {
+      req = parse_topk(rest, qe);
+    } else {
+      req = parse_line(line, qe);  // legacy bare form
+    }
   } catch (const std::exception& e) {
     return std::string("error: ") + e.what();
   }
+  const bool topk = req.kind == RequestKind::kTopK;
   std::future<QueryResponse> fut;
   const SubmitStatus status = server.submit(std::move(req), fut);
   if (status != SubmitStatus::kAccepted) {
@@ -147,8 +208,13 @@ std::string answer_line(SsspServer& server, const std::string& line,
   std::string out;
   for (const TargetResult& tr : resp.targets) {
     if (!out.empty()) out += ' ';
+    if (topk) {
+      out += std::to_string(tr.target);
+      out += ':';
+    }
     out += tr.dist == kInfDist ? "inf" : std::to_string(tr.dist);
   }
+  if (out.empty()) out = topk ? "none" : "";
   return out;
 }
 
@@ -186,7 +252,8 @@ void on_signal(int) {
 /// Blocking TCP front-end: line protocol, one thread per connection. All
 /// connections feed the same server, so requests from different clients
 /// coalesce into shared micro-batches.
-int tcp_serve(SsspServer& server, QueryEngine engine, int port) {
+int tcp_serve(SsspServer& server, const SsspEngine& eng, QueryEngine engine,
+              int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("sssp_serve: socket");
@@ -213,7 +280,7 @@ int tcp_serve(SsspServer& server, QueryEngine engine, int port) {
   while (g_stop == 0) {
     const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) break;  // listener closed by the signal handler
-    conns.emplace_back([client, &server, engine] {
+    conns.emplace_back([client, &server, &eng, engine] {
       std::string buf;
       char chunk[4096];
       ssize_t got;
@@ -226,7 +293,7 @@ int tcp_serve(SsspServer& server, QueryEngine engine, int port) {
           buf.erase(0, nl + 1);
           if (line.empty()) continue;
           const std::string reply =
-              answer_line(server, line, engine) + "\n";
+              answer_line(server, eng, line, engine) + "\n";
           if (::write(client, reply.data(), reply.size()) < 0) break;
         }
       }
@@ -239,7 +306,8 @@ int tcp_serve(SsspServer& server, QueryEngine engine, int port) {
 }
 
 /// Stdin front-end: one request line in, one response line out.
-int stdio_serve(SsspServer& server, QueryEngine engine) {
+int stdio_serve(SsspServer& server, const SsspEngine& eng,
+                QueryEngine engine) {
   std::string line;
   char chunk[4096];
   while (std::fgets(chunk, sizeof(chunk), stdin) != nullptr) {
@@ -248,7 +316,7 @@ int stdio_serve(SsspServer& server, QueryEngine engine) {
       line.pop_back();
     }
     if (line.empty()) continue;
-    std::printf("%s\n", answer_line(server, line, engine).c_str());
+    std::printf("%s\n", answer_line(server, eng, line, engine).c_str());
     std::fflush(stdout);
   }
   return 0;
@@ -268,6 +336,7 @@ int demo() {
   opts.max_batch = 16;
   opts.batch_budget = std::chrono::microseconds(500);
   opts.batchers = 2;
+  opts.enable_cache = true;  // demo doubles as a cache-coherence smoke
   SsspServer server(engine, opts);
 
   constexpr int kClients = 4;
@@ -277,10 +346,11 @@ int demo() {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       for (int i = 0; i < kPerClient; ++i) {
+        // Sources cycle through a pool of 8, so the cache both misses
+        // (first touch) and hits (revisits) under concurrency; cached
+        // answers must still match direct engine serves bit for bit.
         QueryRequest req;
-        req.source = static_cast<Vertex>((c * 131 + i * 17) %
-                                         engine.original_graph()
-                                             .num_vertices());
+        req.source = static_cast<Vertex>((c * 131 + i * 17) % 8);
         req.targets = {static_cast<Vertex>((c * 7 + i * 53) %
                                            engine.original_graph()
                                                .num_vertices())};
@@ -288,6 +358,25 @@ int demo() {
         const QueryResponse want = engine.serve(req);
         if (got.targets[0].dist != want.targets[0].dist) {
           mismatches.fetch_add(1);
+        }
+        // Every 8th request doubles as a top-k probe.
+        if (i % 8 == 0) {
+          QueryRequest tk;
+          tk.kind = RequestKind::kTopK;
+          tk.source = req.source;
+          tk.k = 5;
+          const QueryResponse got_k = server.serve_sync(tk);
+          const QueryResponse want_k = engine.serve(tk);
+          if (got_k.targets.size() != want_k.targets.size()) {
+            mismatches.fetch_add(1);
+          } else {
+            for (std::size_t j = 0; j < got_k.targets.size(); ++j) {
+              if (got_k.targets[j].target != want_k.targets[j].target ||
+                  got_k.targets[j].dist != want_k.targets[j].dist) {
+                mismatches.fetch_add(1);
+              }
+            }
+          }
         }
       }
     });
@@ -298,16 +387,23 @@ int demo() {
   server.shutdown();
 
   const ServerStats s = server.stats();
-  const bool counters_ok =
-      s.accepted == kClients * kPerClient && s.in_flight() == 0;
-  if (mismatches.load() != 0 || !counters_ok) {
-    std::fprintf(stderr, "sssp_serve demo: FAILED (%d mismatches)\n",
-                 mismatches.load());
+  constexpr int kTotal =
+      kClients * kPerClient + kClients * (kPerClient / 8);  // + topk probes
+  const bool counters_ok = s.accepted == kTotal && s.in_flight() == 0;
+  // 8 hot sources under 72 eligible-or-probe requests: the cache must
+  // have produced hits (misses alone would mean the keying is broken).
+  const bool cache_ok = s.cache_hits > 0;
+  if (mismatches.load() != 0 || !counters_ok || !cache_ok) {
+    std::fprintf(stderr,
+                 "sssp_serve demo: FAILED (%d mismatches, hits=%llu)\n",
+                 mismatches.load(),
+                 static_cast<unsigned long long>(s.cache_hits));
     return 1;
   }
   std::printf("sssp_serve demo: %d requests across %d clients, all "
-              "verified\n",
-              kClients * kPerClient, kClients);
+              "verified (%llu cache hits)\n",
+              kTotal, kClients,
+              static_cast<unsigned long long>(s.cache_hits));
   return 0;
 }
 
@@ -343,6 +439,12 @@ int main(int argc, char** argv) {
     opts.batch_budget =
         std::chrono::microseconds(args.get_int("--budget-us", 200));
     opts.batchers = static_cast<int>(args.get_int("--batchers", 1));
+    opts.enable_cache = args.get_int("--cache", 0) != 0;
+    const long landmarks = args.get_int("--landmarks", 0);
+    if (landmarks > 0) {
+      opts.enable_landmarks = true;
+      opts.landmarks.count = static_cast<std::size_t>(landmarks);
+    }
 
     const std::string which = args.get("--engine", "flat");
     const QueryEngine qe = which == "bst"       ? QueryEngine::kBst
@@ -351,8 +453,8 @@ int main(int argc, char** argv) {
 
     SsspServer server(engine, opts);
     const int port = static_cast<int>(args.get_int("--port", 0));
-    const int rc = port > 0 ? tcp_serve(server, qe, port)
-                            : stdio_serve(server, qe);
+    const int rc = port > 0 ? tcp_serve(server, engine, qe, port)
+                            : stdio_serve(server, engine, qe);
     server.drain();
     print_stats(server);
     server.shutdown();

@@ -14,8 +14,9 @@ gate viable on noisy shared runners).
 
 Metrics are matched by (bench, metric name, sorted labels) and compared
 when the unit has a known direction: rates (queries/sec, vertices/sec,
-balls/sec), where lower = slower = regression, and latencies (us, ms),
-where HIGHER is the regression — this is how the serving daemon's
+balls/sec) and ratios (e.g. the serving cache's hit_rate), where lower =
+slower = regression, and latencies (us, ms), where HIGHER is the
+regression — this is how the serving daemon's
 p50/p99/p999 tail latencies are gated. Two bands:
 
   * a move-for-the-worse beyond --threshold (default 20%) prints a
@@ -34,7 +35,7 @@ import statistics
 import sys
 
 # Higher is better: a drop is a regression.
-RATE_UNITS = {"queries/sec", "vertices/sec", "balls/sec"}
+RATE_UNITS = {"queries/sec", "vertices/sec", "balls/sec", "ratio"}
 # Lower is better (latencies): a rise is a regression.
 LATENCY_UNITS = {"us", "ms"}
 

@@ -29,16 +29,31 @@ SsspEngine::SsspEngine(Graph original, PreprocessResult pre)
 }
 
 SsspEngine::SsspEngine(const SsspEngine& other)
-    : original_(other.original_), pre_(other.pre_) {}
+    : original_(other.original_),
+      pre_(other.pre_),
+      graph_epoch_(other.graph_epoch_) {}
 
 SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
   if (this != &other) {
     original_ = other.original_;
     pre_ = other.pre_;
+    graph_epoch_ = other.graph_epoch_;
     batch_pools_ = std::make_unique<BatchPools>();
     transpose_ = std::make_unique<TransposeCache>();
   }
   return *this;
+}
+
+void SsspEngine::replace(Graph original, PreprocessResult pre) {
+  if (pre.graph.num_vertices() != original.num_vertices() ||
+      pre.radius.size() != original.num_vertices()) {
+    throw std::invalid_argument(
+        "SsspEngine::replace: preprocessing/graph mismatch");
+  }
+  original_ = std::move(original);
+  pre_ = std::move(pre);
+  transpose_ = std::make_unique<TransposeCache>();
+  ++graph_epoch_;
 }
 
 void SsspEngine::check_engine(QueryEngine engine) const {
@@ -56,8 +71,26 @@ void SsspEngine::validate(const QueryRequest& req) const {
   if (req.source >= n) {
     throw std::invalid_argument("SsspEngine: bad source");
   }
+  if (req.kind == RequestKind::kTopK) {
+    if (req.k == 0) {
+      throw std::invalid_argument("SsspEngine: kTopK needs k >= 1");
+    }
+    if (!req.targets.empty()) {
+      throw std::invalid_argument("SsspEngine: kTopK takes no targets");
+    }
+    if (!req.target_lower_bounds.empty()) {
+      throw std::invalid_argument("SsspEngine: kTopK takes no lower bounds");
+    }
+    return;
+  }
   for (const Vertex t : req.targets) {
     if (t >= n) throw std::invalid_argument("SsspEngine: bad target");
+  }
+  if (!req.target_lower_bounds.empty() &&
+      req.target_lower_bounds.size() != req.targets.size()) {
+    throw std::invalid_argument(
+        "SsspEngine: target_lower_bounds must be empty or parallel to "
+        "targets");
   }
 }
 
@@ -80,13 +113,19 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
   resp.dist.clear();
 
   // Early termination only when it cannot change what the caller sees: a
-  // full distance vector needs the exhaustive run, and an untargeted
-  // request has no settled-set to wait for.
-  const bool early = !req.targets.empty() && !req.want_full_distances;
+  // full distance vector needs the exhaustive run, an untargeted kTargets
+  // request has no settled-set to wait for, and a kTopK run may stop at
+  // the first step boundary with k vertices settled.
+  const bool topk = req.kind == RequestKind::kTopK;
+  const bool early = !topk && !req.targets.empty() && !req.want_full_distances;
   if (early) {
-    ctx.set_targets(n, req.targets.data(), req.targets.size());
+    const Dist* lb = req.target_lower_bounds.empty()
+                         ? nullptr
+                         : req.target_lower_bounds.data();
+    ctx.set_targets(n, req.targets.data(), req.targets.size(), lb);
   } else {
     ctx.clear_targets();
+    if (topk && !req.want_full_distances) ctx.set_k_goal(req.k);
   }
 
   switch (req.engine) {
@@ -108,16 +147,46 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
       break;
   }
 
-  // Per-target answers, read straight out of the context's working array
-  // (zero-copy: the O(n) vector is never materialized for targeted
-  // requests). Every target is exact here: either the run was exhaustive,
-  // or it stopped only once all of them settled.
-  resp.targets.resize(req.targets.size());
-  for (std::size_t i = 0; i < req.targets.size(); ++i) {
-    TargetResult& tr = resp.targets[i];
-    tr.target = req.targets[i];
-    tr.dist = ctx.read_dist(tr.target);
-    tr.path.clear();
+  if (topk) {
+    // k-nearest extraction from the first-touch records: at the exit
+    // boundary every SETTLED touched vertex carries its final distance and
+    // every unsettled vertex is strictly farther (Theorem 3.1), so the k
+    // smallest settled (dist, vertex) pairs are exactly the k nearest. The
+    // unweighted engine claims whole levels and never marks settled
+    // stamps; all its touched vertices are final. All buffers come from
+    // the context, so a warm top-k serve allocates nothing.
+    auto& buf = ctx.topk_buffer();
+    const bool all_final = req.engine == QueryEngine::kUnweighted;
+    for (const auto& bucket : ctx.touched_lists()) {
+      for (const Vertex v : bucket) {
+        if (all_final || ctx.is_settled(v)) {
+          buf.push_back({ctx.read_dist(v), v});
+        }
+      }
+    }
+    const std::size_t m = std::min<std::size_t>(req.k, buf.size());
+    std::partial_sort(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(m), buf.end());
+    resp.targets.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      TargetResult& tr = resp.targets[i];
+      tr.target = buf[i].second;
+      tr.dist = buf[i].first;
+      tr.path.clear();
+    }
+  } else {
+    // Per-target answers, read straight out of the context's working array
+    // (zero-copy: the O(n) vector is never materialized for targeted
+    // requests). Every target is exact here: either the run was
+    // exhaustive, or it stopped only once all of them settled — by
+    // distance order or by lower-bound proof.
+    resp.targets.resize(req.targets.size());
+    for (std::size_t i = 0; i < req.targets.size(); ++i) {
+      TargetResult& tr = resp.targets[i];
+      tr.target = req.targets[i];
+      tr.dist = ctx.read_dist(tr.target);
+      tr.path.clear();
+    }
   }
   if (req.want_paths && transpose != nullptr) {
     const auto dist_of = [&ctx](Vertex v) { return ctx.read_dist(v); };
@@ -140,6 +209,11 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
   } else {
     ctx.reset_touched();
   }
+  // Provenance: which preprocessing generation answered, and how. The
+  // lower-bound exit count must be read before the stamps are cleared.
+  resp.graph_epoch = graph_epoch_;
+  resp.served_from_cache = false;
+  resp.lower_bound_exits = ctx.lower_bound_exits();
   ctx.clear_targets();
 }
 
@@ -159,8 +233,9 @@ void SsspEngine::serve(const QueryRequest& req, QueryContext& ctx,
                        QueryResponse& resp) const {
   validate(req);
   Graph local;
-  // The transpose is only ever dereferenced for an actual target's path.
-  const bool paths = req.want_paths && !req.targets.empty();
+  // The transpose is only ever dereferenced for an actual result's path.
+  const bool paths = req.want_paths && (req.kind == RequestKind::kTopK ||
+                                        !req.targets.empty());
   const Graph* tp = paths ? &transpose(local) : nullptr;
   run_serve(req, ctx, tp, resp);
 }
@@ -176,7 +251,9 @@ std::vector<QueryResponse> SsspEngine::serve_batch(
   bool any_paths = false;
   for (const QueryRequest& req : requests) {
     validate(req);
-    any_paths = any_paths || (req.want_paths && !req.targets.empty());
+    any_paths = any_paths ||
+                (req.want_paths && (req.kind == RequestKind::kTopK ||
+                                    !req.targets.empty()));
   }
   // All workers share the one cached transpose; build it before they run.
   Graph local;

@@ -135,6 +135,23 @@ class SsspEngine {
   const Graph& preprocessed_graph() const { return pre_.graph; }
   const PreprocessResult& preprocessing() const { return pre_; }
 
+  /// Preprocessing generation this engine is serving. Starts at 1 and is
+  /// bumped by every replace(); responses are stamped with it
+  /// (QueryResponse::graph_epoch), and the caching layer
+  /// (serve/result_cache.hpp, serve/landmark_oracle.hpp) keys on it so a
+  /// graph swap implicitly invalidates every cached row. Copies keep the
+  /// epoch: they serve the same preprocessing, so their answers are
+  /// interchangeable with the original's.
+  std::uint64_t graph_epoch() const { return graph_epoch_; }
+
+  /// Swaps in a new graph + preprocessing (same validation as the wrapping
+  /// constructor) and bumps graph_epoch(), instantly staling every cached
+  /// answer derived from the old preprocessing. Warm context pools are
+  /// kept (contexts grow on demand and never shrink); the transpose cache
+  /// is rebuilt lazily. NOT thread-safe against concurrent serves — stop
+  /// serving, swap, resume (the serving daemon does exactly that).
+  void replace(Graph original, PreprocessResult pre);
+
  private:
   /// Request execution into `resp`. Validation must have happened already
   /// — this is the noexcept-in-practice body run inside parallel regions.
@@ -153,6 +170,10 @@ class SsspEngine {
 
   Graph original_;
   PreprocessResult pre_;
+  // Plain (not atomic) by design: replace() is documented as mutually
+  // exclusive with serving, and an atomic member would forfeit the
+  // defaulted move operations.
+  std::uint64_t graph_epoch_ = 1;
 
   // Reusable per-worker context pools for serve_batch, boxed so the
   // engine stays movable despite the mutexes. Each concurrent batch

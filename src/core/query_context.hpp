@@ -86,10 +86,21 @@ class QueryContext {
   // zero (Theorem 3.1 makes step-boundary distances final, so the exit is
   // exact). Settle sites are single-writer in every twin — the counter is
   // plain. clear_targets() is O(1); stamps are epoch-invalidated.
-  void set_targets(Vertex n, const Vertex* targets, std::size_t count);
+  //
+  // Optionally each target carries an admissible LOWER BOUND on its true
+  // distance (ALT landmark bounds — serve/landmark_oracle.hpp). Engines
+  // then call note_bound_checks() on updated target vertices in their
+  // sequential sections: a target whose tentative distance has reached its
+  // bound is provably final (tentative >= true >= bound) and counts as
+  // settled immediately, steps before it would settle by distance order.
+  void set_targets(Vertex n, const Vertex* targets, std::size_t count,
+                   const Dist* lower_bounds = nullptr);
   void clear_targets() {
     targeted_ = false;
+    target_bounds_ = false;
     targets_remaining_ = 0;
+    k_goal_ = 0;
+    lb_exits_ = 0;
   }
   bool has_targets() const { return targeted_; }
   std::size_t targets_remaining() const { return targets_remaining_; }
@@ -100,6 +111,45 @@ class QueryContext {
       target_gen_[v] = target_epoch_ - 1;  // un-stamp: exactly-once
       --targets_remaining_;
     }
+  }
+  /// True when the current target set carries lower bounds worth checking.
+  bool has_target_bounds() const { return target_bounds_; }
+  /// Lower-bound proof site: if `v` is a still-pending target whose
+  /// tentative distance `dv` has reached its admissible floor, count it
+  /// settled. Sequential sections only (same discipline as
+  /// note_target_settled). Engines call this on every vertex whose
+  /// distance they just lowered.
+  void note_bound_check(Vertex v, Dist dv) {
+    if (target_gen_[v] == target_epoch_ && dv <= target_lb_[v]) {
+      target_gen_[v] = target_epoch_ - 1;
+      --targets_remaining_;
+      ++lb_exits_;
+    }
+  }
+  /// Targets settled by lower-bound proof in the current query.
+  std::size_t lower_bound_exits() const { return lb_exits_; }
+
+  // --- k-nearest queries (top-k early termination) -------------------------
+  // The kTopK request kind: engines stop at the first step boundary with
+  // at least `k` vertices settled (exact for the same Theorem 3.1 reason
+  // as the targeted exit — see core/request.hpp). Cleared with
+  // clear_targets(); zero means no goal.
+  void set_k_goal(std::size_t k) { k_goal_ = k; }
+  std::size_t k_goal() const { return k_goal_; }
+
+  /// Read-only view of the per-worker first-touch records of the last run
+  /// (valid until reset_touched()/finish_query()). The serve layer derives
+  /// top-k answers from it: settled touched vertices carry final
+  /// distances.
+  const std::vector<std::vector<Vertex>>& touched_lists() const {
+    return touched_;
+  }
+
+  /// Reusable (dist, vertex) staging buffer for top-k extraction; keeps
+  /// its capacity across queries like every other context buffer.
+  std::vector<std::pair<Dist, Vertex>>& topk_buffer() {
+    topk_buffer_.clear();
+    return topk_buffer_;
   }
 
   // --- first-touch tracking (O(touched) reset) -----------------------------
@@ -233,7 +283,10 @@ class QueryContext {
   Vertex n_ = 0;
   bool sequential_ = false;
   bool targeted_ = false;
+  bool target_bounds_ = false;
   std::size_t targets_remaining_ = 0;
+  std::size_t k_goal_ = 0;
+  std::size_t lb_exits_ = 0;
 
   std::uint64_t query_gen_ = 0;
   std::uint64_t claim_epoch_ = 0;
@@ -245,6 +298,8 @@ class QueryContext {
   std::vector<std::uint64_t> mark_gen_;       // == mark_epoch_ => marked
   std::vector<std::uint64_t> target_gen_;     // == target_epoch_ => wanted,
                                               // unsettled (lazily sized)
+  std::vector<Dist> target_lb_;               // admissible floor per stamped
+                                              // target (lazily sized)
   std::vector<std::atomic<std::uint64_t>> claim_;  // == claim_epoch_ => claimed
 
   std::vector<Vertex> frontier_;
@@ -260,6 +315,7 @@ class QueryContext {
   KeyBuffers key_buffers_;
   TreapArena<SetKey> tree_arena_;
   std::vector<Dist> old_dist_;
+  std::vector<std::pair<Dist, Vertex>> topk_buffer_;
 };
 
 }  // namespace rs

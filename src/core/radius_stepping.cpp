@@ -45,11 +45,21 @@ void radius_stepping_run(const Graph& g, Vertex source,
     return true;
   };
   const bool targeted = ctx.has_targets();
+  const bool bounds = targeted && ctx.has_target_bounds();
+  const std::size_t k_goal = ctx.k_goal();
   // All settle sites run in sequential sections (both twins), so the
   // target bookkeeping needs no atomics.
   const auto settle = [&](Vertex v) {
     ctx.mark_settled(v);
     if (targeted) ctx.note_target_settled(v);
+  };
+  // Exactness of both exits holds only at STEP boundaries (Theorem 3.1):
+  // targets all settled (by distance order or by lower-bound proof), or —
+  // for kTopK — at least k vertices settled, which makes the k smallest
+  // settled (dist, vertex) pairs exactly the k nearest.
+  const auto goals_met = [&](std::size_t settled_count) {
+    if (targeted && ctx.targets_remaining() == 0) return true;
+    return k_goal != 0 && settled_count >= k_goal;
   };
 
   // First-touch records feeding the O(touched) reset epilogue: sequential
@@ -85,6 +95,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
     if (lowered) {
       ++local.relaxations;
       if (dv == kInfDist) touch[0].push_back(v);
+      if (bounds) ctx.note_bound_check(v, w);
     }
     if (!ctx.is_settled(v) && ctx.mark(v)) frontier.push_back(v);
   }
@@ -112,7 +123,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
   // The entry check covers requests whose targets are already settled
   // (source-only target sets); the per-step check is at the bottom.
   while (!frontier.empty()) {
-    if (targeted && ctx.targets_remaining() == 0) {
+    if (goals_met(local.settled)) {
       local.early_exit = true;
       break;
     }
@@ -219,7 +230,12 @@ void radius_stepping_run(const Graph& g, Vertex source,
       }
       active.clear();
       for (const Vertex v : updated) {
-        if (load(v) <= di) {
+        const Dist dv = load(v);
+        // Lower-bound proof site (sequential partition pass, both twins):
+        // a pending target whose tentative distance reached its admissible
+        // floor is provably final even though it lies beyond d_i.
+        if (bounds) ctx.note_bound_check(v, dv);
+        if (dv <= di) {
           active.push_back(v);
           if (!ctx.is_settled(v)) {
             settle(v);
@@ -241,9 +257,9 @@ void radius_stepping_run(const Graph& g, Vertex source,
     local.relaxations += relaxed_this_step;
 
     // Step boundary: every settled vertex is now final (Theorem 3.1), so a
-    // targeted run that has settled all its targets is done — skip the
-    // frontier rebuild entirely.
-    if (targeted && ctx.targets_remaining() == 0) {
+    // run that has met its goal — all targets settled, or k vertices for a
+    // top-k request — is done; skip the frontier rebuild entirely.
+    if (goals_met(local.settled)) {
       local.early_exit = true;
       break;
     }

@@ -44,18 +44,54 @@ enum class QueryEngine : std::uint8_t {
                 // and preprocessing added no shortcut edges
 };
 
+/// What a request asks for.
+enum class RequestKind : std::uint8_t {
+  /// Distances (and optionally paths) to the listed `targets`, or the full
+  /// distance vector when `want_full_distances` — the classic regime.
+  kTargets,
+  /// The `k` vertices nearest to `source` (POI workloads). Served by the
+  /// same step-boundary machinery: the run stops at the first boundary
+  /// with at least k vertices settled; Theorem 3.1 makes every settled
+  /// distance final and every unsettled true distance larger than the
+  /// boundary radius, so the k smallest settled (dist, vertex) pairs are
+  /// exactly the k nearest. Results arrive in nondecreasing (dist, vertex)
+  /// order; fewer than k when fewer vertices are reachable.
+  kTopK,
+};
+
 /// One serving request: distances (and optionally paths) from `source` to
-/// `targets`, or the full distance vector when `want_full_distances`.
+/// `targets`, the `k` nearest vertices (kTopK), or the full distance
+/// vector when `want_full_distances`.
 struct QueryRequest {
   Vertex source = kNoVertex;
 
-  /// Vertices whose distances the caller wants. Order is preserved in the
-  /// response (duplicates allowed; each occurrence is answered). Empty
-  /// with `want_full_distances` unset still runs the query — useful only
-  /// for its RunStats — but the natural targeted request lists 1..k
-  /// targets and leaves `want_full_distances` off to get early
-  /// termination.
+  /// What is being asked: targeted distances (default) or k-nearest.
+  RequestKind kind = RequestKind::kTargets;
+
+  /// Vertices whose distances the caller wants (kTargets only; must be
+  /// empty for kTopK). Order is preserved in the response (duplicates
+  /// allowed; each occurrence is answered). Empty with
+  /// `want_full_distances` unset still runs the query — useful only for
+  /// its RunStats — but the natural targeted request lists 1..k targets
+  /// and leaves `want_full_distances` off to get early termination.
   std::vector<Vertex> targets;
+
+  /// kTopK: how many nearest vertices to return (>= 1). The source itself
+  /// counts (it is the nearest vertex, at distance 0). Ignored for
+  /// kTargets.
+  std::uint32_t k = 0;
+
+  /// Optional admissible per-target lower bounds on d(source, target),
+  /// parallel to `targets` (empty = none; otherwise exactly one entry per
+  /// target). A landmark oracle (serve/landmark_oracle.hpp) fills these
+  /// with ALT bounds max_L(d(L,t) - d(L,s)); the engines then declare a
+  /// target settled the moment its tentative distance reaches its bound
+  /// (tentative >= true >= bound forces equality), which can prove distant
+  /// targets done steps before the plain step-boundary exit would.
+  /// Bounds must be true lower bounds — an inadmissible bound silently
+  /// yields wrong distances. Only consulted for early-terminating
+  /// targeted requests; ignored by kUnweighted (claimed == final already).
+  std::vector<Dist> target_lower_bounds;
 
   /// Expand the shortest path for every reachable target (vertices of the
   /// ORIGINAL graph; shortcut edges never appear).
@@ -68,7 +104,10 @@ struct QueryRequest {
   QueryEngine engine = QueryEngine::kFlat;
 };
 
-/// Per-target slice of a response.
+/// Per-result slice of a response — one layout for both request kinds:
+/// kTargets fills one entry per requested target (request order);
+/// kTopK fills the k nearest vertices in nondecreasing (dist, vertex)
+/// order, `target` being the ranked vertex itself.
 struct TargetResult {
   Vertex target = kNoVertex;
   Dist dist = kInfDist;  // kInfDist == unreachable
@@ -79,11 +118,25 @@ struct TargetResult {
 
 struct QueryResponse {
   Vertex source = kNoVertex;
-  /// Parallel to QueryRequest::targets (same order, same multiplicity).
+  /// kTargets: parallel to QueryRequest::targets (same order, same
+  /// multiplicity). kTopK: the k nearest vertices, nearest first.
   std::vector<TargetResult> targets;
   /// Full distance vector; filled iff want_full_distances, else empty.
   std::vector<Dist> dist;
   RunStats stats;
+
+  // Provenance: where and when this answer came from.
+  /// SsspEngine::graph_epoch() at serve time — the preprocessing
+  /// generation the distances belong to. A consumer holding responses
+  /// across a graph swap can tell stale answers apart.
+  std::uint64_t graph_epoch = 0;
+  /// True when the answer was read from a cached full-distance row
+  /// (serve/result_cache.hpp) instead of running an engine.
+  bool served_from_cache = false;
+  /// How many targets were declared settled by a lower-bound proof
+  /// (target_lower_bounds) rather than by actually settling — the ALT
+  /// assist's contribution to this request's early exit.
+  std::size_t lower_bound_exits = 0;
 };
 
 }  // namespace rs

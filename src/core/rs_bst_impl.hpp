@@ -50,6 +50,8 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
   constexpr bool kArena = std::is_same_v<OrderedSet, Treap<Key>>;
   const Vertex n = g.num_vertices();
   const bool targeted = ctx.has_targets();
+  const bool bounds = targeted && ctx.has_target_bounds();
+  const std::size_t k_goal = ctx.k_goal();
   // Settle sites are all in the sequential spine, so the target counter
   // needs no atomics. Like the flat engine, the early exit only fires at
   // step boundaries: vertices settled mid-step can still improve while
@@ -57,6 +59,13 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
   const auto settle = [&ctx, targeted](Vertex v) {
     ctx.mark_settled(v);
     if (targeted) ctx.note_target_settled(v);
+  };
+  // Goal checks fire at step boundaries only, where Theorem 3.1 makes
+  // every settled distance final: all targets settled (by order or by
+  // lower-bound proof), or — kTopK — at least k vertices settled.
+  const auto goals_met = [&](std::size_t settled_count) {
+    if (targeted && ctx.targets_remaining() == 0) return true;
+    return k_goal != 0 && settled_count >= k_goal;
   };
 
   std::atomic<Dist>* dist = ctx.dist();
@@ -114,6 +123,7 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
       q.insert({nd, v});
       r.insert({nd + radius[v], v});
       ++local.relaxations;
+      if (bounds) ctx.note_bound_check(v, nd);
     }
   }
 
@@ -133,9 +143,10 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
       ctx.pair_buckets(nw);
 
   while (!q.empty()) {
-    // Step boundary: all settled distances are final, so a targeted run
-    // with no targets remaining is done (also covers source-only sets).
-    if (targeted && ctx.targets_remaining() == 0) {
+    // Step boundary: all settled distances are final, so a run that has
+    // met its goal — all targets settled, or k vertices for a top-k
+    // request — is done (also covers source-only sets).
+    if (goals_met(local.settled)) {
       local.early_exit = true;
       break;
     }
@@ -236,6 +247,8 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
       for (const Vertex v : touched) {
         const Dist nd = load(v);
         const Dist od = old_dist[v];
+        // Lower-bound proof site (sequential classify pass, both twins).
+        if (bounds) ctx.note_bound_check(v, nd);
         if (ctx.is_settled(v)) {
           // Already in A_i: improved again within the annulus; re-relax.
           next_active.push_back(v);

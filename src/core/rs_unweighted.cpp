@@ -93,8 +93,17 @@ void rs_unweighted_run(const Graph& g, Vertex source,
     }
     local.relaxations += into.size();
   };
+  // Goal check: all stamped targets claimed, or — kTopK — at least k
+  // vertices claimed. Claims only ever complete whole BFS levels, so every
+  // claimed vertex is final AND every unclaimed vertex is strictly farther
+  // than every claimed one; the exits (including the mid-step one) stay
+  // exact. Claimed count = settled-so-far + the current uncounted
+  // frontier. Lower bounds are ignored here: claimed == final already, so
+  // a bound can never prove a target earlier than its claim does.
+  const std::size_t k_goal = ctx.k_goal();
   const auto targets_done = [&] {
-    return targeted && ctx.targets_remaining() == 0;
+    if (targeted && ctx.targets_remaining() == 0) return true;
+    return k_goal != 0 && local.settled + frontier.size() >= k_goal;
   };
 
   // Seed: one expansion from the source (reuses the active list as a

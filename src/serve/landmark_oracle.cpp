@@ -1,0 +1,107 @@
+#include "serve/landmark_oracle.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rs::serve {
+
+namespace {
+
+/// Per-landmark contribution to the bound on d(s, t). Unreachability is
+/// informative, not just skippable: d(L,t) == inf with d(L,s) finite
+/// proves t unreachable from s (a path s -> t would extend L -> s into
+/// L -> t), so the bound is itself kInfDist. All arithmetic stays off the
+/// sentinel.
+Dist bound_term(Dist ds, Dist dt, bool symmetric) {
+  Dist b = 0;
+  if (ds != kInfDist) {
+    if (dt == kInfDist) return kInfDist;
+    if (dt > ds) b = dt - ds;
+  }
+  if (symmetric && dt != kInfDist) {
+    if (ds == kInfDist) return kInfDist;  // mirrored unreachability proof
+    if (ds > dt) b = std::max(b, ds - dt);
+  }
+  return b;
+}
+
+}  // namespace
+
+LandmarkOracle::LandmarkOracle(const SsspEngine& engine, LandmarkOptions opts)
+    : opts_(opts) {
+  rebuild(engine);
+}
+
+void LandmarkOracle::rebuild(const SsspEngine& engine) {
+  const Vertex n = engine.original_graph().num_vertices();
+  n_ = n;
+  graph_epoch_ = engine.graph_epoch();
+  landmarks_.clear();
+  rows_.clear();
+  if (n == 0 || opts_.count == 0) return;
+
+  const std::size_t count = std::min<std::size_t>(opts_.count, n);
+  landmarks_.reserve(count);
+  rows_.reserve(count);
+
+  QueryContext ctx(n);
+  QueryRequest req;
+  req.engine = opts_.engine;
+  req.want_full_distances = true;
+
+  // min_dist[v] = min over chosen landmarks of d(L, v); the farthest-point
+  // rule picks the vertex maximizing it (reachable vertices only, ties to
+  // the smallest id so selection is deterministic).
+  std::vector<Dist> min_dist(n, kInfDist);
+  Vertex pick = opts_.seed % n;
+  for (std::size_t i = 0; i < count; ++i) {
+    landmarks_.push_back(pick);
+    req.source = pick;
+    QueryResponse resp = engine.serve(req, ctx);
+    rows_.push_back(std::move(resp.dist));
+    const std::vector<Dist>& row = rows_.back();
+
+    Vertex best = kNoVertex;
+    Dist best_d = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      min_dist[v] = std::min(min_dist[v], row[v]);
+      if (min_dist[v] != kInfDist && min_dist[v] > best_d) {
+        best_d = min_dist[v];
+        best = v;
+      }
+    }
+    // best_d == 0 (or no reachable candidate) means every reachable
+    // vertex IS a landmark already; further landmarks add nothing.
+    if (best == kNoVertex || best_d == 0) break;
+    pick = best;
+  }
+}
+
+Dist LandmarkOracle::lower_bound(Vertex s, Vertex t) const {
+  if (s == t) return 0;
+  Dist best = 0;
+  for (const std::vector<Dist>& row : rows_) {
+    best = std::max(best, bound_term(row[s], row[t], opts_.assume_symmetric));
+    if (best == kInfDist) break;
+  }
+  return best;
+}
+
+void LandmarkOracle::lower_bounds(Vertex s,
+                                  const std::vector<Vertex>& targets,
+                                  std::vector<Dist>& out) const {
+  out.resize(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out[i] = lower_bound(s, targets[i]);
+  }
+}
+
+void LandmarkOracle::annotate(QueryRequest& req) const {
+  if (req.kind != RequestKind::kTargets || req.targets.empty() ||
+      req.want_full_distances) {
+    return;
+  }
+  lower_bounds(req.source, req.targets, req.target_lower_bounds);
+}
+
+}  // namespace rs::serve

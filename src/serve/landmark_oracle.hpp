@@ -1,0 +1,99 @@
+// LandmarkOracle: precomputed landmark distance rows feeding ALT-style
+// admissible lower bounds into the targeted early-termination machinery.
+//
+// ALT (A* + Landmarks + Triangle inequality): with exact distances from a
+// landmark L, the triangle inequality d(L,t) <= d(L,s) + d(s,t) gives the
+// admissible lower bound
+//
+//     d(s,t) >= d(L,t) - d(L,s),
+//
+// valid on ANY directed graph because both rows are distances FROM L. On a
+// symmetric graph (every arc paired with its reverse at equal weight) the
+// mirrored term d(L,s) - d(L,t) is admissible too — opting in via
+// LandmarkOptions::assume_symmetric doubles the bound's power, but on a
+// directed graph it is WRONG and silently produces wrong distances, so the
+// default is the safe one-sided form.
+//
+// The serving engines consume the bounds through
+// QueryRequest::target_lower_bounds (annotate() fills them): a target
+// whose tentative distance reaches its bound is provably final
+// (tentative >= true >= bound forces equality), so a goal-directed request
+// can exit steps before the plain step-boundary check would fire — the
+// win is largest for far targets whose bound is tight, and zero for
+// landmarks that "see" source and target at similar distances. The exit
+// stays exact either way; a bound only ever ADDS early-exit opportunities.
+//
+// Landmark selection is the standard farthest-point heuristic: the first
+// landmark is seeded, each next one maximizes the minimum distance to the
+// chosen set — pushing landmarks toward the periphery, where the triangle
+// inequality is tightest. Rows are full-distance engine runs, so building
+// costs `count` SSSP computations; valid_for()/rebuild() tie the rows to
+// SsspEngine::graph_epoch() so a graph swap invalidates them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/request.hpp"
+#include "graph/types.hpp"
+
+namespace rs::serve {
+
+struct LandmarkOptions {
+  /// Landmarks to select (each costs one full SSSP at build time and one
+  /// O(n) distance row of memory).
+  std::size_t count = 8;
+  /// Vertex the farthest-point selection starts from (mod n).
+  Vertex seed = 0;
+  /// Engine used for the row computations.
+  QueryEngine engine = QueryEngine::kFlat;
+  /// Enable the mirrored bound term |d(L,s) - d(L,t)|. ONLY sound when
+  /// the graph is symmetric (undirected); on directed inputs leave this
+  /// false or distances will be silently wrong.
+  bool assume_symmetric = false;
+};
+
+class LandmarkOracle {
+ public:
+  LandmarkOracle() = default;
+  /// Builds rows immediately (count full SSSP runs).
+  explicit LandmarkOracle(const SsspEngine& engine, LandmarkOptions opts = {});
+
+  /// Recomputes landmarks + rows against the engine's CURRENT graph and
+  /// stamps the oracle with its graph_epoch().
+  void rebuild(const SsspEngine& engine);
+
+  /// True when the rows were built against this engine's current
+  /// preprocessing generation (epoch and vertex count both match).
+  bool valid_for(const SsspEngine& engine) const {
+    return !rows_.empty() && graph_epoch_ == engine.graph_epoch() &&
+           n_ == engine.original_graph().num_vertices();
+  }
+
+  std::uint64_t graph_epoch() const { return graph_epoch_; }
+  const std::vector<Vertex>& landmarks() const { return landmarks_; }
+
+  /// Admissible lower bound on d(s, t); 0 when no landmark helps.
+  Dist lower_bound(Vertex s, Vertex t) const;
+
+  /// One bound per target into `out` (capacity reused; warm calls do not
+  /// allocate beyond `out`'s growth).
+  void lower_bounds(Vertex s, const std::vector<Vertex>& targets,
+                    std::vector<Dist>& out) const;
+
+  /// Fills req.target_lower_bounds for an early-terminating targeted
+  /// request (kTargets, non-empty targets, no full distances); leaves any
+  /// other request untouched.
+  void annotate(QueryRequest& req) const;
+
+ private:
+  LandmarkOptions opts_;
+  std::uint64_t graph_epoch_ = 0;
+  Vertex n_ = 0;
+  std::vector<Vertex> landmarks_;
+  std::vector<std::vector<Dist>> rows_;  // rows_[i][v] == d(landmarks_[i], v)
+};
+
+}  // namespace rs::serve

@@ -23,6 +23,15 @@ const char* to_string(SubmitStatus status) {
 
 SsspServer::SsspServer(const SsspEngine& engine, ServerOptions opts)
     : engine_(engine), opts_(opts), queue_(opts.queue_capacity) {
+  if (opts_.enable_cache) {
+    cache_ = std::make_unique<ResultCache>(opts_.cache);
+  }
+  if (opts_.enable_landmarks) {
+    // Built before the batchers start, so the rows never race a serve.
+    oracle_ = std::make_unique<LandmarkOracle>(engine_, opts_.landmarks);
+    oracle_valid_.store(oracle_->valid_for(engine_),
+                        std::memory_order_release);
+  }
   paused_ = opts_.start_paused;
   const int n = opts_.batchers < 1 ? 1 : opts_.batchers;
   batchers_.reserve(static_cast<std::size_t>(n));
@@ -53,7 +62,44 @@ SubmitStatus SsspServer::submit(QueryRequest req,
   pending.accepted_at = std::chrono::steady_clock::now();
   std::future<QueryResponse> fut = pending.promise.get_future();
 
+  // Cache fast path: a hit is answered HERE, on the client thread —
+  // O(|targets|) straight off the cached row, skipping the queue, the
+  // batching budget, and the engine entirely. Misses enter the queue
+  // carrying their single-flight role.
+  if (cache_ != nullptr && cache_eligible(pending.request)) {
+    const CacheKey key = key_for(engine_, pending.request);
+    RowPtr row;
+    std::shared_future<RowPtr> pending_row;
+    switch (cache_->acquire(key, row, pending_row)) {
+      case CacheAcquire::kHit: {
+        accepted_.fetch_add(1, std::memory_order_release);
+        QueryResponse resp;
+        answer_from_row(pending.request, *row, resp);
+        complete(pending, std::move(resp));
+        result = std::move(fut);
+        return SubmitStatus::kAccepted;
+      }
+      case CacheAcquire::kOwner:
+        pending.role = CacheRole::kOwner;
+        pending.key = key;
+        break;
+      case CacheAcquire::kWaiter:
+        pending.role = CacheRole::kWaiter;
+        pending.key = key;
+        pending.pending_row = std::move(pending_row);
+        break;
+    }
+  }
+
+  const CacheRole role = pending.role;
+  const CacheKey key = pending.key;
   if (!queue_.try_push(std::move(pending))) {
+    // An owner that never enters the queue would park its waiters
+    // forever; release the in-flight entry before rejecting.
+    if (role == CacheRole::kOwner) {
+      cache_->fail(key, std::make_exception_ptr(std::runtime_error(
+                            "SsspServer: owning request rejected")));
+    }
     // A closed queue and a full queue both fail the push; report the one
     // the caller can act on.
     if (stopping_.load(std::memory_order_acquire)) {
@@ -121,7 +167,25 @@ ServerStats SsspServer::stats() const {
   s.completed = completed_.load(std::memory_order_acquire);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const ResultCacheStats cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses + cs.single_flight_waits;
+  }
   return s;
+}
+
+ResultCacheStats SsspServer::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
+}
+
+void SsspServer::on_graph_replaced() {
+  if (cache_ != nullptr) cache_->purge_stale(engine_.graph_epoch());
+  if (oracle_ != nullptr) {
+    oracle_->rebuild(engine_);
+    oracle_valid_.store(oracle_->valid_for(engine_),
+                        std::memory_order_release);
+  }
 }
 
 bool SsspServer::wait_not_paused() {
@@ -162,48 +226,134 @@ void SsspServer::batcher_loop() {
   }
 }
 
-void SsspServer::execute(std::vector<Pending>& batch) {
-  std::vector<QueryRequest> requests;
-  requests.reserve(batch.size());
-  for (Pending& p : batch) requests.push_back(std::move(p.request));
-
-  std::vector<QueryResponse> responses;
-  bool failed = false;
-  try {
-    responses = engine_.serve_batch(requests);
-  } catch (...) {
-    // Requests were validated at admission, so this is unexpected (e.g.
-    // bad_alloc) — but every promise must still be completed.
-    failed = true;
-    const std::exception_ptr err = std::current_exception();
-    for (Pending& p : batch) p.promise.set_exception(err);
-  }
-
-  if (!failed) {
-    const auto now = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-          now - batch[i].accepted_at);
-      latency_.record(static_cast<std::uint64_t>(us.count()));
-      batch[i].promise.set_value(std::move(responses[i]));
-    }
-  }
-
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t width = batch.size();
-  std::uint64_t cur = max_batch_.load(std::memory_order_relaxed);
-  while (width > cur &&
-         !max_batch_.compare_exchange_weak(cur, width,
-                                           std::memory_order_relaxed)) {
-  }
-
+void SsspServer::complete(Pending& p, QueryResponse&& resp) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      now - p.accepted_at);
+  latency_.record(static_cast<std::uint64_t>(us.count()));
+  p.promise.set_value(std::move(resp));
   // Advance completed_ under the drain mutex so a drainer that just
   // checked the counters cannot go to sleep and miss this notification.
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
-    completed_.fetch_add(batch.size(), std::memory_order_release);
+    completed_.fetch_add(1, std::memory_order_release);
   }
   drain_cv_.notify_all();
+}
+
+void SsspServer::execute(std::vector<Pending>& batch) {
+  // Assemble the engine batch: direct requests as-is (ALT-annotated when
+  // the oracle matches the current epoch), cache OWNERS upgraded to
+  // full-distance runs so their row can be published for every waiter.
+  // Waiters run nothing — their row is coming from an owner.
+  const bool use_oracle =
+      oracle_ != nullptr && oracle_valid_.load(std::memory_order_acquire);
+  std::vector<QueryRequest> requests;
+  std::vector<std::size_t> exec_idx;  // batch index per engine request
+  requests.reserve(batch.size());
+  exec_idx.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    switch (p.role) {
+      case CacheRole::kWaiter:
+        break;
+      case CacheRole::kOwner: {
+        QueryRequest full;
+        full.source = p.request.source;
+        full.engine = p.request.engine;
+        full.want_full_distances = true;
+        exec_idx.push_back(i);
+        requests.push_back(std::move(full));
+        break;
+      }
+      case CacheRole::kDirect: {
+        if (use_oracle) oracle_->annotate(p.request);
+        exec_idx.push_back(i);
+        requests.push_back(std::move(p.request));
+        break;
+      }
+    }
+  }
+
+  const auto finish_error = [&](Pending& p, std::exception_ptr err) {
+    if (p.role == CacheRole::kOwner) cache_->fail(p.key, err);
+    p.promise.set_exception(err);
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+    drain_cv_.notify_all();
+  };
+
+  std::vector<QueryResponse> responses;
+  bool failed = false;
+  if (!requests.empty()) {
+    try {
+      responses = engine_.serve_batch(requests);
+    } catch (...) {
+      // Requests were validated at admission, so this is unexpected (e.g.
+      // bad_alloc) — but every promise must still be completed, and every
+      // owned in-flight cache entry released (its waiters — here or in
+      // other batches — inherit the failure through the shared future).
+      failed = true;
+      const std::exception_ptr err = std::current_exception();
+      for (const std::size_t i : exec_idx) finish_error(batch[i], err);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t width = requests.size();
+    std::uint64_t cur = max_batch_.load(std::memory_order_relaxed);
+    while (width > cur &&
+           !max_batch_.compare_exchange_weak(cur, width,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  if (!failed) {
+    for (std::size_t j = 0; j < exec_idx.size(); ++j) {
+      Pending& p = batch[exec_idx[j]];
+      QueryResponse& r = responses[j];
+      if (p.role == CacheRole::kOwner) {
+        // Publish the row FIRST (waiters in this very batch read it just
+        // below), then answer the owner's original targeted request from
+        // it — the owner computed, so served_from_cache stays false.
+        auto row = std::make_shared<CachedRow>();
+        row->source = p.request.source;
+        row->graph_epoch = r.graph_epoch;
+        row->dist = std::move(r.dist);
+        row->stats = r.stats;
+        cache_->fulfill(p.key, row);
+        QueryResponse resp;
+        answer_from_row(p.request, *row, resp);
+        resp.served_from_cache = false;
+        complete(p, std::move(resp));
+      } else {
+        complete(p, std::move(r));
+      }
+    }
+  }
+
+  // Waiters last: their owner was either fulfilled above or lives in
+  // another micro-batch. A ready future is the single-flight win; a
+  // non-ready one means the owner is still queued — possibly behind THIS
+  // batcher — so blocking could deadlock: serve directly instead (the
+  // duplicated computation is the price of never stalling the pipeline).
+  for (Pending& p : batch) {
+    if (p.role != CacheRole::kWaiter) continue;
+    try {
+      if (p.pending_row.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const RowPtr row = p.pending_row.get();  // rethrows owner failure
+        QueryResponse resp;
+        answer_from_row(p.request, *row, resp);
+        complete(p, std::move(resp));
+      } else {
+        QueryResponse resp = engine_.serve(p.request);
+        complete(p, std::move(resp));
+      }
+    } catch (...) {
+      finish_error(p, std::current_exception());
+    }
+  }
 }
 
 }  // namespace rs::serve

@@ -43,19 +43,23 @@
 // actually experiences) into an allocation-free LatencyHistogram.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/request.hpp"
+#include "serve/landmark_oracle.hpp"
 #include "serve/latency_histogram.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/result_cache.hpp"
 
 namespace rs::serve {
 
@@ -91,6 +95,24 @@ struct ServerOptions {
   /// served until resume() — how tests set up deterministic queue-full
   /// and coalescing scenarios.
   bool start_paused = false;
+
+  /// Hot-source result cache (serve/result_cache.hpp). Cache-eligible
+  /// requests (kTargets, no paths) that hit a cached full-distance row
+  /// are answered synchronously AT SUBMIT TIME — no queue, no batching,
+  /// no engine run: O(|targets|) per hit. Misses are computed once per
+  /// (source, engine, graph_epoch) and shared single-flight: the first
+  /// miss is upgraded to a full-distance run whose row every concurrent
+  /// duplicate reuses.
+  bool enable_cache = false;
+  ResultCacheOptions cache;
+
+  /// Landmark (ALT) oracle: built at server construction (count full SSSP
+  /// runs) and used to annotate targeted requests with admissible
+  /// per-target lower bounds, letting the engines prove far targets
+  /// settled early. Only annotates while the oracle matches the engine's
+  /// graph_epoch — see on_graph_replaced().
+  bool enable_landmarks = false;
+  LandmarkOptions landmarks;
 };
 
 /// Monotonic counters, readable at any time without stopping the server.
@@ -102,6 +124,9 @@ struct ServerStats {
   std::uint64_t completed = 0;          // promises fulfilled
   std::uint64_t batches = 0;            // serve_batch calls issued
   std::uint64_t max_batch = 0;          // widest micro-batch so far
+  std::uint64_t cache_hits = 0;         // answered from a cached row
+  std::uint64_t cache_misses = 0;       // owner + single-flight-waiter
+                                        // acquisitions (0 with cache off)
 
   /// Requests admitted but not yet completed (queued or being served).
   std::uint64_t in_flight() const { return accepted - completed; }
@@ -159,11 +184,31 @@ class SsspServer {
 
   const ServerOptions& options() const { return opts_; }
 
+  /// Cache counters (all-zero when the cache is disabled).
+  ResultCacheStats cache_stats() const;
+
+  /// The landmark oracle, or null when disabled.
+  const LandmarkOracle* oracle() const { return oracle_.get(); }
+
+  /// Post-SsspEngine::replace() hook: purges cache rows of older epochs
+  /// (they can never match again — this frees their memory eagerly) and
+  /// rebuilds the landmark rows against the new preprocessing. Call at a
+  /// quiescent point (paused or drained), like replace() itself.
+  void on_graph_replaced();
+
  private:
+  /// How a request's answer is produced. Cache hits never reach the
+  /// queue; owners and waiters carry their single-flight obligations
+  /// through the batcher.
+  enum class CacheRole : std::uint8_t { kDirect, kOwner, kWaiter };
+
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point accepted_at;
+    CacheRole role = CacheRole::kDirect;
+    CacheKey key;                              // kOwner/kWaiter
+    std::shared_future<RowPtr> pending_row;    // kWaiter
   };
 
   void batcher_loop();
@@ -172,8 +217,18 @@ class SsspServer {
   /// Blocks while paused. Returns false when the server is stopping.
   bool wait_not_paused();
 
+  /// Completes one request (latency record + promise + drain counters).
+  void complete(Pending& p, QueryResponse&& resp);
+
   const SsspEngine& engine_;
   const ServerOptions opts_;
+
+  // Caching/oracle layer (null when disabled).
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<LandmarkOracle> oracle_;
+  // Oracle validity flag refreshed by on_graph_replaced(); checked by the
+  // batchers without touching the engine's epoch counter mid-serve.
+  std::atomic<bool> oracle_valid_{false};
 
   BoundedQueue<Pending> queue_;
   std::vector<std::thread> batchers_;

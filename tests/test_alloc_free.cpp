@@ -25,6 +25,7 @@
 #include "core/rs_unweighted.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
+#include "serve/result_cache.hpp"
 #include "shortcut/ball_search.hpp"
 #include "shortcut/kradius.hpp"
 #include "shortcut/preprocess_context.hpp"
@@ -182,6 +183,45 @@ TEST(AllocFree, WarmTargetedServeAllocatesNothing) {
       ASSERT_EQ(tr.dist, full.dist[tr.target]);  // still exact when warm
       ASSERT_EQ(tr.path.back(), tr.target);
     }
+  }
+}
+
+TEST(AllocFree, WarmCachedTargetedServeAllocatesNothing) {
+  // The PR 7 acceptance pin: a warm CACHED targeted serve — the row
+  // resident, the response reused — performs ZERO heap allocations. The
+  // hit path is a shard-map find plus an LRU list splice, and
+  // answer_from_row projects the targets into the response's existing
+  // capacity.
+  const Graph g = test_graph();
+  PreprocessOptions opts;
+  opts.rho = 10;
+  opts.k = 2;
+  const SsspEngine engine(g, opts);
+  serve::ResultCache cache;
+
+  QueryRequest req;
+  req.source = 3;
+  req.targets = {37, 220, 338};
+
+  QueryContext ctx;
+  ctx.set_sequential(true);
+  QueryResponse resp;
+  serve::cached_serve(engine, cache, req, ctx, resp);  // owner: builds row
+  serve::cached_serve(engine, cache, req, ctx, resp);  // warms the hit path
+  ASSERT_TRUE(resp.served_from_cache);
+
+  std::uint64_t measured;
+  {
+    AllocationWindow window;
+    serve::cached_serve(engine, cache, req, ctx, resp);
+    measured = window.count();
+  }
+  EXPECT_EQ(measured, 0u);
+
+  const QueryResult full = engine.query(3);
+  ASSERT_EQ(resp.targets.size(), req.targets.size());
+  for (const TargetResult& tr : resp.targets) {
+    ASSERT_EQ(tr.dist, full.dist[tr.target]);  // still exact when warm
   }
 }
 

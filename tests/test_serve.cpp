@@ -10,7 +10,10 @@
 //  * serve_batch == per-request serve, in input order, for mixed requests;
 //  * expanded paths are genuine shortest paths of the ORIGINAL graph;
 //  * every entry point bounds-checks its inputs (the PR 5 bugfix:
-//    query(Vertex) historically validated only in query_batch).
+//    query(Vertex) historically validated only in query_batch);
+//  * responses carry provenance — graph_epoch stamping across replace(),
+//    which swaps answers to the new graph in place — and the kTopK /
+//    lower-bound request shapes are validated at the edge.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -25,6 +28,7 @@
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "parallel/primitives.hpp"
+#include "shortcut/shortcut.hpp"
 #include "test_util.hpp"
 
 namespace rs {
@@ -614,6 +618,80 @@ TEST(Serve, ConcurrentServeBatchesStayExact) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Serve, ResponsesAreEpochStampedAndReplaceBumps) {
+  const Graph g1 =
+      assign_uniform_weights(gen::road_network(10, 10, 4), 5, 1, 100);
+  PreprocessOptions opts;
+  opts.rho = 12;
+  opts.k = 2;
+  SsspEngine engine(g1, opts);
+  ASSERT_EQ(engine.graph_epoch(), 1u);
+
+  QueryRequest req;
+  req.source = 3;
+  req.targets = spread_targets(g1, 3);
+  const QueryResponse before = engine.serve(req);
+  EXPECT_EQ(before.graph_epoch, 1u);
+  EXPECT_FALSE(before.served_from_cache);  // the engine never serves rows
+  EXPECT_EQ(before.lower_bound_exits, 0u);  // no bounds were attached
+
+  // replace(): same vertex set, different weights — the epoch bumps and
+  // answers flip to the new graph's distances in place.
+  const Graph g2 =
+      assign_uniform_weights(gen::road_network(10, 10, 4), 9, 1, 100);
+  engine.replace(g2, preprocess(g2, opts));
+  EXPECT_EQ(engine.graph_epoch(), 2u);
+
+  const QueryResponse after = engine.serve(req);
+  EXPECT_EQ(after.graph_epoch, 2u);
+  const std::vector<Dist> truth = dijkstra(g2, req.source);
+  for (const TargetResult& tr : after.targets) {
+    EXPECT_EQ(tr.dist, truth[tr.target]);
+  }
+
+  // Copies serve the same preprocessing, so they keep the epoch.
+  const SsspEngine copy(engine);
+  EXPECT_EQ(copy.graph_epoch(), 2u);
+}
+
+TEST(Serve, TopKRequestsAreValidated) {
+  const SsspEngine engine =
+      raw_engine(assign_uniform_weights(gen::chain(30), 3, 1, 10));
+
+  QueryRequest req;
+  req.kind = RequestKind::kTopK;
+  req.source = 0;
+  req.k = 0;  // k >= 1 required
+  EXPECT_THROW(engine.serve(req), std::invalid_argument);
+
+  req.k = 3;
+  req.targets = {5};  // top-k takes no target list
+  EXPECT_THROW(engine.serve(req), std::invalid_argument);
+
+  req.targets.clear();
+  req.target_lower_bounds = {1};  // ...and no lower bounds
+  EXPECT_THROW(engine.serve(req), std::invalid_argument);
+
+  req.target_lower_bounds.clear();
+  const QueryResponse resp = engine.serve(req);
+  EXPECT_EQ(resp.targets.size(), 3u);
+  EXPECT_EQ(resp.targets[0].target, 0u);  // the source is its own nearest
+  EXPECT_EQ(resp.targets[0].dist, 0u);
+}
+
+TEST(Serve, MismatchedLowerBoundsAreRejected) {
+  const SsspEngine engine =
+      raw_engine(assign_uniform_weights(gen::chain(30), 3, 1, 10));
+  QueryRequest req;
+  req.source = 0;
+  req.targets = {5, 9};
+  req.target_lower_bounds = {1};  // must be empty or parallel to targets
+  EXPECT_THROW(engine.serve(req), std::invalid_argument);
+  req.target_lower_bounds = {1, 2};
+  const QueryResponse resp = engine.serve(req);
+  EXPECT_EQ(resp.targets.size(), 2u);
 }
 
 }  // namespace

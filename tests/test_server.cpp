@@ -14,7 +14,12 @@
 //  * histogram — quantiles match a sorted-sample oracle within the
 //    documented 1/32 relative error, across magnitudes;
 //  * concurrency — many closed-loop clients against multiple batchers
-//    produce exact answers and consistent counters.
+//    produce exact answers and consistent counters;
+//  * caching layer — repeats of a cache-eligible request are answered at
+//    submit time from the result cache, a parked burst of identical
+//    misses resolves to ONE owner plus single-flight waiters, and
+//    on_graph_replaced() re-keys cache and oracle after an engine
+//    replace().
 //
 // The pause/resume hook makes the queue-full and coalescing scenarios
 // deterministic: with batchers parked, submissions buffer instead of
@@ -37,6 +42,7 @@
 #include "serve/latency_histogram.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/server.hpp"
+#include "shortcut/shortcut.hpp"
 
 namespace rs {
 namespace {
@@ -314,6 +320,112 @@ TEST(Server, ConcurrentClientsAgainstMultipleBatchersStayExact) {
   EXPECT_EQ(stats.completed, kClients * kPerClient);
   EXPECT_EQ(server.latency().count(), kClients * kPerClient);
   EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(Server, CacheAnswersRepeatsAtSubmitTime) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.enable_cache = true;
+  SsspServer server(engine, opts);
+
+  QueryRequest req = p2p(engine, 5);
+  const QueryResponse first = server.serve_sync(req);
+  EXPECT_FALSE(first.served_from_cache);
+  const QueryResponse second = server.serve_sync(req);
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_EQ(second.targets[0].dist, first.targets[0].dist);
+  EXPECT_EQ(second.graph_epoch, first.graph_epoch);
+
+  // serve_sync returns on promise fulfillment, which can race ahead of
+  // the completion counter by an instant; drain() closes the gap.
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);  // hits still count as completions
+
+  // Path requests bypass the cache entirely (expansion needs the engine).
+  QueryRequest paths = req;
+  paths.want_paths = true;
+  const QueryResponse third = server.serve_sync(paths);
+  EXPECT_FALSE(third.served_from_cache);
+  EXPECT_EQ(third.targets[0].dist, first.targets[0].dist);
+  const ServerStats after = server.stats();
+  EXPECT_EQ(after.cache_hits, 1u);
+  EXPECT_EQ(after.cache_misses, 1u);
+}
+
+TEST(Server, CacheSingleFlightDeduplicatesABurstOfMisses) {
+  // With the batchers parked, 8 identical requests are admitted before
+  // any serving happens: the first must become the sole cache OWNER and
+  // the other 7 single-flight WAITERS — one engine computation total.
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.enable_cache = true;
+  opts.start_paused = true;
+  SsspServer server(engine, opts);
+
+  const QueryRequest req = p2p(engine, 11);
+  const QueryResponse want = engine.serve(req);
+  std::vector<std::future<QueryResponse>> futures(8);
+  for (auto& fut : futures) {
+    ASSERT_EQ(server.submit(req, fut), SubmitStatus::kAccepted);
+  }
+  const auto flight = server.cache_stats();
+  EXPECT_EQ(flight.misses, 1u);
+  EXPECT_EQ(flight.single_flight_waits, 7u);
+  EXPECT_EQ(flight.hits, 0u);
+
+  server.resume();
+  for (auto& fut : futures) {
+    const QueryResponse got = fut.get();
+    EXPECT_EQ(got.targets[0].dist, want.targets[0].dist);
+  }
+  server.drain();
+  EXPECT_EQ(server.stats().completed, 8u);
+
+  // The row is resident now: a ninth request is a submit-time hit.
+  const QueryResponse ninth = server.serve_sync(req);
+  EXPECT_TRUE(ninth.served_from_cache);
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+}
+
+TEST(Server, OnGraphReplacedRefreshesCacheAndOracle) {
+  const Graph g1 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 7, 1, 100);
+  PreprocessOptions popts;
+  popts.rho = 12;
+  popts.k = 2;
+  SsspEngine engine(g1, popts);
+  ServerOptions opts;
+  opts.enable_cache = true;
+  opts.enable_landmarks = true;
+  SsspServer server(engine, opts);
+  ASSERT_NE(server.oracle(), nullptr);
+  EXPECT_EQ(server.oracle()->graph_epoch(), 1u);
+
+  const QueryRequest req = p2p(engine, 3);
+  (void)server.serve_sync(req);
+  EXPECT_TRUE(server.serve_sync(req).served_from_cache);
+
+  // Quiesce, swap the graph, notify the caching layer — the documented
+  // replace choreography (engine replace() is not serve-concurrent).
+  const Graph g2 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 8, 1, 100);
+  server.pause();
+  server.drain();
+  engine.replace(g2, preprocess(g2, popts));
+  server.on_graph_replaced();
+  server.resume();
+  EXPECT_EQ(server.oracle()->graph_epoch(), 2u);
+
+  // The old row no longer matches: fresh compute, stamped with the new
+  // epoch, equal to a direct engine serve on the new graph.
+  const QueryResponse after = server.serve_sync(req);
+  EXPECT_FALSE(after.served_from_cache);
+  EXPECT_EQ(after.graph_epoch, 2u);
+  EXPECT_EQ(after.targets[0].dist, engine.serve(req).targets[0].dist);
+  EXPECT_TRUE(server.serve_sync(req).served_from_cache);
 }
 
 TEST(LatencyHistogram, BucketRoundTripBoundsRelativeError) {
