@@ -239,6 +239,42 @@ int main() {
       json.add(p + "p2p8_qps", p2p_qps[1], "queries/sec", labels);
       json.add(p + "p2p64_qps", p2p_qps[2], "queries/sec", labels);
     }
+
+    // Fragment-count sweep: the fragment-parallel engine over the
+    // partitioned substrate at F = 1, 2, 4, 8, warm-context loop (the
+    // ctx_qps regime), distances checked against the flat reference —
+    // frag{F}_qps regression-locks the new path per fragment count.
+    for (const std::size_t fc : {1, 2, 4, 8}) {
+      SsspEngine frag_engine = engine;  // shares the preprocessed graph
+      frag_engine.enable_fragments(fc);
+      QueryContext fctx(g.num_vertices());
+      std::vector<QueryResult> frag_results;
+      const auto run_frag = [&] {
+        frag_results.clear();
+        frag_results.reserve(sources.size());
+        for (const Vertex src : sources) {
+          frag_results.push_back(
+              frag_engine.query(src, QueryEngine::kFragment, fctx));
+        }
+      };
+      run_frag();  // warm-up + equality check
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (frag_results[i].dist != flat_ref[i].dist) {
+          std::fprintf(stderr, "MISMATCH on %s fragments=%zu source %u\n",
+                       name.c_str(), fc, sources[i]);
+          ok = false;
+        }
+      }
+      const double t_frag = best_seconds(reps, run_frag);
+      const double frag_qps = static_cast<double>(batch) / t_frag;
+      std::printf("  %-8s  frag%-4zu  %10s  %10.1f\n", name.c_str(), fc, "-",
+                  frag_qps);
+      const BenchJson::Labels labels{{"graph", name},
+                                     {"batch", std::to_string(batch)},
+                                     {"rho", std::to_string(rho)}};
+      json.add("frag" + std::to_string(fc) + "_qps", frag_qps, "queries/sec",
+               labels);
+    }
   }
 
   const std::string path = json.write();

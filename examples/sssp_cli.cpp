@@ -231,11 +231,11 @@ int cmd_query(const Args& args) {
     std::fprintf(stderr,
                  "usage: sssp_cli query <graph> <pre> --source S "
                  "[--targets A,B,C | --target T] [--paths 0|1] "
-                 "[--engine flat|bst|bstflat]\n");
+                 "[--engine flat|bst|bstflat|fragment] [--fragments F]\n");
     return 1;
   }
   const Graph g = load_graph(args.positional()[0]);
-  const SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
+  SsspEngine engine(g, load_preprocessing_file(args.positional()[1]));
 
   constexpr long kMaxVertex =
       static_cast<long>(std::numeric_limits<Vertex>::max());
@@ -251,9 +251,21 @@ int cmd_query(const Args& args) {
   // long enough to report). With targets the response is O(|targets|).
   req.want_full_distances = req.targets.empty();
   const std::string which = args.get("--engine", "flat");
-  req.engine = which == "bst"       ? QueryEngine::kBst
-               : which == "bstflat" ? QueryEngine::kBstFlat
-                                    : QueryEngine::kFlat;
+  if (which == "bst") {
+    req.engine = QueryEngine::kBst;
+  } else if (which == "bstflat") {
+    req.engine = QueryEngine::kBstFlat;
+  } else if (which == "fragment") {
+    req.engine = QueryEngine::kFragment;
+    // 0 = the RS_FRAGMENTS env default (falls back to the worker count).
+    engine.enable_fragments(static_cast<std::size_t>(
+        get_checked(args, "--fragments", 0, 0, 1 << 20)));
+  } else if (which == "flat") {
+    req.engine = QueryEngine::kFlat;
+  } else {
+    throw std::invalid_argument("unknown --engine " + which +
+                                " (flat|bst|bstflat|fragment)");
+  }
 
   Timer t;
   const QueryResponse resp = engine.serve(req);

@@ -7,6 +7,7 @@
 
 #include "core/radius_stepping.hpp"
 #include "core/rs_bst.hpp"
+#include "core/rs_fragment.hpp"
 #include "core/rs_unweighted.hpp"
 #include "core/sp_tree.hpp"
 #include "parallel/primitives.hpp"
@@ -31,6 +32,9 @@ SsspEngine::SsspEngine(Graph original, PreprocessResult pre)
 SsspEngine::SsspEngine(const SsspEngine& other)
     : original_(other.original_),
       pre_(other.pre_),
+      // The fragment substrate is immutable once built: share it.
+      fragments_(other.fragments_),
+      fragment_mode_(other.fragment_mode_),
       graph_epoch_(other.graph_epoch_) {}
 
 SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
@@ -38,10 +42,17 @@ SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
     original_ = other.original_;
     pre_ = other.pre_;
     graph_epoch_ = other.graph_epoch_;
+    fragments_ = other.fragments_;
+    fragment_mode_ = other.fragment_mode_;
     batch_pools_ = std::make_unique<BatchPools>();
     transpose_ = std::make_unique<TransposeCache>();
   }
   return *this;
+}
+
+void SsspEngine::enable_fragments(std::size_t count, PartitionMode mode) {
+  fragments_ = std::make_shared<const FragmentedGraph>(pre_.graph, count, mode);
+  fragment_mode_ = mode;
 }
 
 void SsspEngine::replace(Graph original, PreprocessResult pre) {
@@ -52,6 +63,12 @@ void SsspEngine::replace(Graph original, PreprocessResult pre) {
   }
   original_ = std::move(original);
   pre_ = std::move(pre);
+  if (fragments_ != nullptr) {
+    // Re-partition the new graph the same way (resolved count, same mode),
+    // so kFragment keeps working across the swap.
+    fragments_ = std::make_shared<const FragmentedGraph>(
+        pre_.graph, fragments_->num_fragments(), fragment_mode_);
+  }
   transpose_ = std::make_unique<TransposeCache>();
   ++graph_epoch_;
 }
@@ -62,6 +79,10 @@ void SsspEngine::check_engine(QueryEngine engine) const {
     throw std::invalid_argument(
         "SsspEngine: unweighted engine needs a unit-weight graph with no "
         "shortcut edges (use ShortcutHeuristic::kNone)");
+  }
+  if (engine == QueryEngine::kFragment && fragments_ == nullptr) {
+    throw std::invalid_argument(
+        "SsspEngine: fragment engine needs enable_fragments() first");
   }
 }
 
@@ -144,6 +165,10 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
     case QueryEngine::kUnweighted:
       radius_stepping_unweighted_partial(pre_.graph, req.source, pre_.radius,
                                          ctx, &resp.stats);
+      break;
+    case QueryEngine::kFragment:
+      radius_stepping_fragment_partial(*fragments_, req.source, pre_.radius,
+                                       ctx, &resp.stats);
       break;
   }
 

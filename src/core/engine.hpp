@@ -28,6 +28,7 @@
 #include "core/query_context.hpp"
 #include "core/request.hpp"
 #include "core/stats.hpp"
+#include "graph/fragment.hpp"
 #include "graph/graph.hpp"
 #include "parallel/context_pool.hpp"
 #include "shortcut/preprocess_context.hpp"
@@ -144,6 +145,21 @@ class SsspEngine {
   /// interchangeable with the original's.
   std::uint64_t graph_epoch() const { return graph_epoch_; }
 
+  // --- fragment-partitioned substrate (QueryEngine::kFragment) -------------
+  /// Builds the fragment-partitioned view of the preprocessed graph so
+  /// kFragment requests can be served. `count` == 0 means
+  /// default_num_fragments() (the RS_FRAGMENTS env var, else a
+  /// worker-count-derived default). Idempotent in effect: calling again
+  /// rebuilds with the new count/mode. replace() re-partitions the new
+  /// graph with the same resolved count and mode automatically.
+  void enable_fragments(std::size_t count = 0,
+                        PartitionMode mode = PartitionMode::kContiguous);
+  /// True once enable_fragments() has built the substrate; kFragment
+  /// requests are rejected by validate() until then.
+  bool fragments_enabled() const { return fragments_ != nullptr; }
+  /// The fragmented view (requires fragments_enabled()).
+  const FragmentedGraph& fragments() const { return *fragments_; }
+
   /// Swaps in a new graph + preprocessing (same validation as the wrapping
   /// constructor) and bumps graph_epoch(), instantly staling every cached
   /// answer derived from the old preprocessing. Warm context pools are
@@ -170,6 +186,13 @@ class SsspEngine {
 
   Graph original_;
   PreprocessResult pre_;
+  // Fragment substrate for kFragment requests. Immutable once built, so
+  // copies SHARE it (shared_ptr) — a copied engine serves identical
+  // answers from the identical partition without re-partitioning. Null
+  // until enable_fragments(). The resolved count/mode are kept so
+  // replace() can re-partition the new graph the same way.
+  std::shared_ptr<const FragmentedGraph> fragments_;
+  PartitionMode fragment_mode_ = PartitionMode::kContiguous;
   // Plain (not atomic) by design: replace() is documented as mutually
   // exclusive with serving, and an atomic member would forfeit the
   // defaulted move operations.

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "parallel/message_buffer.hpp"
 #include "pq/binary_heap.hpp"
 #include "pset/treap.hpp"
 
@@ -265,11 +266,23 @@ class QueryContext {
   };
   KeyBuffers& key_buffers() { return key_buffers_; }
 
-  /// Freelist-backed node pool for the treap substrate: Q/R nodes are
+  /// Freelist-backed node pools for the treap substrate: Q/R nodes are
   /// recycled across substeps AND across queries, so a warm context runs
-  /// kBst without per-key-move heap traffic. Single-owner, like the rest
-  /// of the context.
-  TreapArena<SetKey>& tree_arena() { return tree_arena_; }
+  /// kBst without per-key-move heap traffic. The pool holds one arena per
+  /// worker — the parallel kBst twin hands the whole pool to its treaps
+  /// (each OpenMP thread recycles through its own arena, keeping the
+  /// bulk-op task recursion), while the sequential twin uses arena 0 alone
+  /// (tree_arena()), never opening a region. `workers` must cover the
+  /// largest team the caller's treap operations can run with.
+  TreapArenaPool<SetKey>& tree_arenas(std::size_t workers) {
+    tree_arenas_.ensure(workers);
+    return tree_arenas_;
+  }
+  /// The sequential twin's single arena (arena 0 of the pool).
+  TreapArena<SetKey>& tree_arena() {
+    tree_arenas_.ensure(1);
+    return tree_arenas_.arena(0);
+  }
 
   /// Pre-substep distance snapshot array for touched vertices, grown to
   /// cover `n` vertices (values unspecified; the engine writes before it
@@ -278,6 +291,32 @@ class QueryContext {
     if (old_dist_.size() < n) old_dist_.resize(n);
     return old_dist_;
   }
+
+  // --- fragment-parallel engine state (core/rs_fragment.hpp) ---------------
+  /// Per-fragment scratch: the list families the fragment engine keeps one
+  /// of per fragment (mirroring the flat engine's frontier/next/active/
+  /// updated/scratch roles, plus the settled hand-off to the coordinator),
+  /// per-fragment reduction slots, and the boundary message buffer. All of
+  /// it keeps capacity across queries — a warm fragment serve allocates
+  /// nothing.
+  struct FragmentScratch {
+    std::vector<std::vector<Vertex>> frontier;        // local inner ids
+    std::vector<std::vector<Vertex>> rebuilt;         // frontier rebuild out
+    std::vector<std::vector<Vertex>> active;          // current substep
+    std::vector<std::vector<Vertex>> next_active;     // partition pass out
+    std::vector<std::vector<Vertex>> updated;         // claimed this substep
+    std::vector<std::vector<Vertex>> newly_frontier;  // beyond-d_i arrivals
+    std::vector<std::vector<Vertex>> newly_settled;   // GLOBAL ids, drained
+                                                      // by the coordinator
+    std::vector<Dist> frontier_min;     // per-fragment d_i candidate
+    std::vector<std::size_t> relaxed;   // per-fragment relaxation count
+    MessageBuffer<DistMessage> messages;
+  };
+
+  /// Hands out the fragment scratch sized for `fragments` fragments: every
+  /// list family has one empty entry per fragment (capacities kept), the
+  /// reduction slots are sized, and the message buffer is reset.
+  FragmentScratch& fragment_scratch(std::size_t fragments);
 
  private:
   Vertex n_ = 0;
@@ -313,9 +352,10 @@ class QueryContext {
   std::vector<std::vector<Vertex>> touched_{1};  // per-worker first-touches
   IndexedHeap<Dist> heap_{0};
   KeyBuffers key_buffers_;
-  TreapArena<SetKey> tree_arena_;
+  TreapArenaPool<SetKey> tree_arenas_;
   std::vector<Dist> old_dist_;
   std::vector<std::pair<Dist, Vertex>> topk_buffer_;
+  FragmentScratch fragment_scratch_;
 };
 
 }  // namespace rs

@@ -42,6 +42,10 @@ enum class QueryEngine : std::uint8_t {
   kBstFlat,     // Algorithm 2 on the flat sorted-array substrate
   kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
                 // and preprocessing added no shortcut edges
+  kFragment,    // fragment-parallel engine over the partitioned substrate
+                // (core/rs_fragment.hpp); only valid after
+                // SsspEngine::enable_fragments(); distances bit-identical
+                // to kFlat
 };
 
 /// What a request asks for.

@@ -40,13 +40,15 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
                                  const std::vector<Dist>& radius,
                                  QueryContext& ctx, RunStats& local) {
   using Key = std::pair<Dist, Vertex>;
-  // Trade-off: arena-backed treaps run their bulk set ops sequentially in
-  // BOTH twins (the freelist is single-owner). The Par twin keeps its
-  // parallelism where this engine actually spends time — the edge-map
-  // proposal gathering below — and gains node recycling; the paper's
-  // parallel set-op depth bound is forfeited until the arena grows
-  // per-worker pools (ROADMAP). The batch application was always the
-  // sequential spine of this engine either way.
+  // Treap node recycling: the Par twin hands its treaps the context's
+  // per-worker arena POOL — every acquire/release goes to the executing
+  // thread's own freelist, so the bulk set ops keep the paper's task-
+  // parallel recursion AND recycle nodes across queries. The Seq twin
+  // pins arena 0 of the same pool (single-owner freelist, which also
+  // keeps the bulk ops strictly sequential — no regions to nest inside
+  // the batch scheduler's). The pool must cover the largest team the
+  // treap regions can open: they use the default team size, not
+  // num_workers(), so size for whichever is larger.
   constexpr bool kArena = std::is_same_v<OrderedSet, Treap<Key>>;
   const Vertex n = g.num_vertices();
   const bool targeted = ctx.has_targets();
@@ -75,21 +77,29 @@ void radius_stepping_ordered_run(const Graph& g, Vertex source,
   const auto store = [&](Vertex v, Dist d) {
     dist[v].store(d, std::memory_order_relaxed);
   };
-  // Substrate construction: the treap draws nodes from the context arena
-  // (recycled across queries); the flat set owns plain vectors.
-  const auto make_set = [&ctx]() {
-    if constexpr (kArena) {
-      return OrderedSet(&ctx.tree_arena());
+  // Substrate construction: the treap draws nodes from the context's
+  // arena pool (recycled across queries); the flat set owns plain vectors.
+  [[maybe_unused]] TreapArenaPool<Key>* pool = nullptr;
+  if constexpr (kArena) {
+    const std::size_t team = static_cast<std::size_t>(
+        Par ? std::max(num_workers(), omp_get_max_threads()) : 1);
+    pool = &ctx.tree_arenas(team);
+  }
+  const auto make_set = [&]() {
+    if constexpr (kArena && Par) {
+      return OrderedSet(pool);
+    } else if constexpr (kArena) {
+      return OrderedSet(&pool->arena(0));
     } else {
-      (void)ctx;
       return OrderedSet();
     }
   };
-  const auto from_sorted = [&ctx](const std::vector<Key>& keys) {
-    if constexpr (kArena) {
-      return OrderedSet::from_sorted(keys, &ctx.tree_arena());
+  const auto from_sorted = [&](const std::vector<Key>& keys) {
+    if constexpr (kArena && Par) {
+      return OrderedSet::from_sorted(keys, pool);
+    } else if constexpr (kArena) {
+      return OrderedSet::from_sorted(keys, &pool->arena(0));
     } else {
-      (void)ctx;
       return OrderedSet::from_sorted(keys);
     }
   };

@@ -1,0 +1,361 @@
+#include "core/rs_fragment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+namespace {
+
+/// Runs `fn(f)` for every fragment — one OpenMP task per fragment in the
+/// Par twin, a plain ordered loop in the Seq twin (no regions: the batch
+/// scheduler nests the Seq twin inside its own parallel region).
+template <bool Par, typename Fn>
+void for_each_fragment(std::size_t nf, Fn&& fn) {
+  if constexpr (Par) {
+    const int team = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(num_workers()), nf));
+    if (team > 1) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(team)
+      for (std::int64_t f = 0; f < static_cast<std::int64_t>(nf); ++f) {
+        fn(static_cast<std::size_t>(f));
+      }
+      return;
+    }
+  }
+  for (std::size_t f = 0; f < nf; ++f) fn(f);
+}
+
+/// The fragment-parallel Algorithm 1. Ownership discipline: every
+/// per-vertex slot (distance, settled/mark stamp, claim word, touch
+/// record) is written only by the vertex's owner fragment inside parallel
+/// phases, so the non-atomic stamp families are safe; the only
+/// cross-fragment reads are relaxed atomic loads of foreign distances in
+/// the ghost prefilter, where staleness is harmless (the owner re-checks
+/// on apply). Shared bookkeeping — target counters, bound proofs, stats —
+/// runs in the sequential coordinator sections between phases.
+template <bool Par>
+void radius_stepping_fragment_run(const FragmentedGraph& fg, Vertex source,
+                                  const std::vector<Dist>& radius,
+                                  QueryContext& ctx, RunStats& local) {
+  const std::size_t nf = fg.num_fragments();
+  const Partition& part = fg.partition();
+  QueryContext::FragmentScratch& fs = ctx.fragment_scratch(nf);
+  MessageBuffer<DistMessage>& messages = fs.messages;
+
+  std::atomic<Dist>* dist = ctx.dist();
+  const auto load = [&](Vertex v) {
+    return dist[v].load(std::memory_order_relaxed);
+  };
+  const bool targeted = ctx.has_targets();
+  const bool bounds = targeted && ctx.has_target_bounds();
+  const std::size_t k_goal = ctx.k_goal();
+  const auto goals_met = [&](std::size_t settled_count) {
+    if (targeted && ctx.targets_remaining() == 0) return true;
+    return k_goal != 0 && settled_count >= k_goal;
+  };
+  // Coordinator-side settle bookkeeping: fragments hand the vertices they
+  // settled over in newly_settled; the coordinator drains them here (the
+  // target counter is not thread-safe).
+  const auto drain_settled = [&] {
+    for (std::size_t f = 0; f < nf; ++f) {
+      auto& list = fs.newly_settled[f];
+      local.settled += list.size();
+      if (targeted) {
+        for (const Vertex v : list) ctx.note_target_settled(v);
+      }
+      list.clear();
+    }
+  };
+
+  std::vector<std::vector<Vertex>>& touch =
+      ctx.touch_buckets(static_cast<int>(nf));
+
+  // Seed (sequential; same single-threaded pass as the flat engine): the
+  // source settles at 0 and relaxes its out-arcs from its owner's CSR row.
+  const std::size_t sf = part.owner(source);
+  dist[source].store(0, std::memory_order_relaxed);
+  touch[sf].push_back(source);
+  ctx.mark_settled(source);
+  if (targeted) ctx.note_target_settled(source);
+  local.settled = 1;
+
+  ctx.next_mark_epoch();  // one frontier-dedup epoch for the whole query
+  const FragmentedGraph::Fragment& sfrag = fg.fragment(sf);
+  const Vertex slu = part.local_id(source);
+  for (EdgeId e = sfrag.first_arc(slu); e < sfrag.last_arc(slu); ++e) {
+    const Vertex v = sfrag.to_global(sfrag.heads[e]);
+    if (v == source) continue;
+    const auto w = static_cast<Dist>(sfrag.weights[e]);
+    const Dist dv = load(v);
+    if (w < dv) {
+      dist[v].store(w, std::memory_order_relaxed);
+      ++local.relaxations;
+      const std::uint32_t fo = part.owner(v);
+      if (dv == kInfDist) touch[fo].push_back(v);
+      if (bounds) ctx.note_bound_check(v, w);
+    }
+    if (!ctx.is_settled(v) && ctx.mark(v)) {
+      fs.frontier[part.owner(v)].push_back(part.local_id(v));
+    }
+  }
+
+  const auto any_nonempty = [&](const std::vector<std::vector<Vertex>>& ll) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!ll[f].empty()) return true;
+    }
+    return false;
+  };
+
+  Dist prev_di = 0;
+  while (any_nonempty(fs.frontier)) {
+    if (goals_met(local.settled)) {
+      local.early_exit = true;
+      break;
+    }
+    ++local.steps;
+
+    // Line 4: d_i = min over the frontier of delta(v) + r(v). Per-fragment
+    // minima in parallel (each fragment reads only its own vertices),
+    // folded by the coordinator.
+    for_each_fragment<Par>(nf, [&](std::size_t f) {
+      const auto& inner = fg.fragment(f).inner_global;
+      Dist m = kInfDist;
+      for (const Vertex lu : fs.frontier[f]) {
+        const Vertex v = inner[lu];
+        m = std::min(m, load(v) + radius[v]);
+      }
+      fs.frontier_min[f] = m;
+    });
+    Dist di = kInfDist;
+    for (std::size_t f = 0; f < nf; ++f) {
+      di = std::min(di, fs.frontier_min[f]);
+    }
+
+    // First substep's active set: every frontier vertex with delta <= d_i,
+    // settled the moment it appears (owner-fragment stamp writes).
+    for_each_fragment<Par>(nf, [&](std::size_t f) {
+      const auto& inner = fg.fragment(f).inner_global;
+      auto& active = fs.active[f];
+      active.clear();
+      for (const Vertex lu : fs.frontier[f]) {
+        const Vertex v = inner[lu];
+        if (load(v) <= di) {
+          active.push_back(lu);
+          ctx.mark_settled(v);
+          fs.newly_settled[f].push_back(v);
+        }
+      }
+      fs.newly_frontier[f].clear();
+    });
+    drain_settled();
+    {
+      std::size_t total_active = 0;
+      for (std::size_t f = 0; f < nf; ++f) total_active += fs.active[f].size();
+      local.max_active = std::max(local.max_active, total_active);
+    }
+
+    // Substeps: local-relax per fragment, then ghost exchange — repeated
+    // until no fragment has active vertices (the Line 9 fixed point).
+    std::size_t substeps_this_step = 0;
+    while (any_nonempty(fs.active)) {
+      ++substeps_this_step;
+      // One claim epoch per substep: a vertex updated by local relaxation
+      // AND by an incoming message still lands in `updated` once.
+      ctx.next_claim_epoch();
+
+      // Phase 1 — local relax: each fragment walks its active rows. Inner
+      // heads relax in place; ghost heads stage a message to the owner
+      // (the foreign-distance load is a prefilter only).
+      for_each_fragment<Par>(nf, [&](std::size_t f) {
+        const FragmentedGraph::Fragment& frag = fg.fragment(f);
+        const Vertex ni = frag.num_inner();
+        auto& updated = fs.updated[f];
+        auto& my_touch = touch[f];
+        updated.clear();
+        std::size_t relaxed = 0;
+        for (const Vertex lu : fs.active[f]) {
+          const Dist du = load(frag.inner_global[lu]);
+          for (EdgeId e = frag.first_arc(lu); e < frag.last_arc(lu); ++e) {
+            const Vertex h = frag.heads[e];
+            const auto w = static_cast<Dist>(frag.weights[e]);
+            if (h < ni) {
+              const Vertex v = frag.inner_global[h];
+              const Dist dv = load(v);
+              if (dv <= prev_di) continue;  // v in S_{i-1}: final
+              const Dist nd = du + w;
+              if (nd < dv) {
+                if (dv == kInfDist) my_touch.push_back(v);
+                dist[v].store(nd, std::memory_order_relaxed);
+                ++relaxed;
+                if (ctx.claim_sequential(v)) updated.push_back(h);
+              }
+            } else {
+              const Vertex gi = h - ni;
+              const Vertex v = frag.ghost_global[gi];
+              const Dist dv = load(v);  // possibly stale: prefilter only
+              if (dv <= prev_di) continue;
+              const Dist nd = du + w;
+              if (nd < dv) {
+                messages.outbox(f, frag.ghost_owner[gi]).push_back({v, nd});
+              }
+            }
+          }
+        }
+        fs.relaxed[f] = relaxed;
+      });
+
+      // Substep boundary: staged out-lanes become in-lanes.
+      messages.swap_epoch();
+
+      // Phase 2 — ghost exchange + partition: each OWNER drains its
+      // incoming lanes and applies the relaxations to its own vertices,
+      // then partitions everything it updated this substep: inside d_i ->
+      // next substep's active set (and settled); beyond d_i -> frontier
+      // candidate. A message to a vertex final since an earlier step can
+      // never win (nd >= its final distance), so no prev_di check is
+      // needed on apply.
+      for_each_fragment<Par>(nf, [&](std::size_t f) {
+        const FragmentedGraph::Fragment& frag = fg.fragment(f);
+        auto& updated = fs.updated[f];
+        auto& my_touch = touch[f];
+        std::size_t relaxed = 0;
+        for (std::size_t s = 0; s < nf; ++s) {
+          auto& in = messages.inbox(s, f);
+          for (const DistMessage& msg : in) {
+            const Dist dv = load(msg.vertex);
+            if (msg.dist < dv) {
+              if (dv == kInfDist) my_touch.push_back(msg.vertex);
+              dist[msg.vertex].store(msg.dist, std::memory_order_relaxed);
+              ++relaxed;
+              if (ctx.claim_sequential(msg.vertex)) {
+                updated.push_back(part.local_id(msg.vertex));
+              }
+            }
+          }
+          in.clear();
+        }
+        fs.relaxed[f] += relaxed;
+
+        auto& next_active = fs.next_active[f];
+        next_active.clear();
+        for (const Vertex lv : updated) {
+          const Vertex v = frag.inner_global[lv];
+          const Dist dv = load(v);
+          if (dv <= di) {
+            next_active.push_back(lv);
+            if (!ctx.is_settled(v)) {
+              ctx.mark_settled(v);
+              fs.newly_settled[f].push_back(v);
+            }
+          } else if (!ctx.is_settled(v) && ctx.mark(v)) {
+            fs.newly_frontier[f].push_back(lv);
+          }
+        }
+      });
+
+      // Coordinator: aggregate stats, settle/bound bookkeeping, promote
+      // the next active sets.
+      std::size_t total_active = 0;
+      for (std::size_t f = 0; f < nf; ++f) {
+        local.relaxations += fs.relaxed[f];
+        fs.relaxed[f] = 0;
+        if (bounds) {
+          // Lower-bound proof site (sequential, like the flat engine's
+          // partition pass): every vertex updated this substep.
+          const auto& inner = fg.fragment(f).inner_global;
+          for (const Vertex lv : fs.updated[f]) {
+            const Vertex v = inner[lv];
+            ctx.note_bound_check(v, load(v));
+          }
+        }
+        fs.active[f].swap(fs.next_active[f]);
+        total_active += fs.active[f].size();
+      }
+      drain_settled();
+      local.max_active = std::max(local.max_active, total_active);
+    }
+    local.substeps += substeps_this_step;
+    local.max_substeps_in_step =
+        std::max(local.max_substeps_in_step, substeps_this_step);
+
+    // Step boundary: every settled distance is final (Theorem 3.1) — the
+    // exact exit point, shared with the flat engine.
+    if (goals_met(local.settled)) {
+      local.early_exit = true;
+      break;
+    }
+
+    // Frontier rebuild per fragment: drop settled members, append the
+    // step's new arrivals (both lists are duplicate-free and disjoint by
+    // the mark discipline).
+    for_each_fragment<Par>(nf, [&](std::size_t f) {
+      const auto& inner = fg.fragment(f).inner_global;
+      auto& rebuilt = fs.rebuilt[f];
+      rebuilt.clear();
+      for (const Vertex lv : fs.frontier[f]) {
+        if (!ctx.is_settled(inner[lv])) rebuilt.push_back(lv);
+      }
+      for (const Vertex lv : fs.newly_frontier[f]) {
+        if (!ctx.is_settled(inner[lv])) rebuilt.push_back(lv);
+      }
+      fs.frontier[f].swap(rebuilt);
+    });
+    prev_di = di;
+  }
+}
+
+}  // namespace
+
+void radius_stepping_fragment_partial(const FragmentedGraph& fg,
+                                      Vertex source,
+                                      const std::vector<Dist>& radius,
+                                      QueryContext& ctx, RunStats* stats) {
+  const Vertex n = fg.num_vertices();
+  if (fg.num_fragments() == 0) {
+    throw std::invalid_argument("radius_stepping_fragment: empty substrate");
+  }
+  if (radius.size() != n) {
+    throw std::invalid_argument(
+        "radius_stepping_fragment: radius size mismatch");
+  }
+  if (source >= n) {
+    throw std::invalid_argument("radius_stepping_fragment: bad source");
+  }
+
+  ctx.begin_query(n);
+  RunStats local;
+  if (ctx.sequential()) {
+    radius_stepping_fragment_run<false>(fg, source, radius, ctx, local);
+  } else {
+    radius_stepping_fragment_run<true>(fg, source, radius, ctx, local);
+  }
+  local.touched = ctx.touched_count();
+  if (stats != nullptr) *stats = local;
+}
+
+void radius_stepping_fragment(const FragmentedGraph& fg, Vertex source,
+                              const std::vector<Dist>& radius,
+                              QueryContext& ctx, std::vector<Dist>& out,
+                              RunStats* stats) {
+  ctx.clear_targets();  // full output == exhaustive run, always
+  radius_stepping_fragment_partial(fg, source, radius, ctx, stats);
+  ctx.finish_query(fg.num_vertices(), out);
+}
+
+std::vector<Dist> radius_stepping_fragment(const FragmentedGraph& fg,
+                                           Vertex source,
+                                           const std::vector<Dist>& radius,
+                                           RunStats* stats) {
+  QueryContext ctx(fg.num_vertices());
+  std::vector<Dist> out;
+  radius_stepping_fragment(fg, source, radius, ctx, out, stats);
+  return out;
+}
+
+}  // namespace rs

@@ -1,0 +1,67 @@
+// Radius-Stepping over the fragment-partitioned substrate
+// (graph/fragment.hpp): the bulk-synchronous twin of the flat engine.
+//
+// Each step computes the same global d_i as the flat engine, then runs
+// Bellman-Ford substeps where every substep is "local-relax, then ghost
+// exchange": fragments relax the arcs of their active inner vertices in
+// parallel (one task per fragment), staging relaxations that cross a
+// fragment boundary as (ghost vertex, tentative distance) messages in the
+// per-fragment-pair MessageBuffer; after a barrier, each OWNER drains its
+// incoming lanes and applies the minima to its own vertices. A vertex's
+// distance / settled stamp / claim / touch record is only ever written by
+// its owner fragment, so the whole substep needs no atomics beyond relaxed
+// loads of foreign distances (used purely as a staging prefilter — the
+// owner re-checks on apply, so stale reads cost messages, never
+// correctness).
+//
+// Distances are BIT-IDENTICAL to the flat engine on every input: the
+// substep loop converges each step to the same fixed point (by the end of
+// step i every vertex with delta <= d_i holds its final distance —
+// Theorem 3.1 — regardless of the relaxation schedule), both engines exit
+// at the same STEP boundaries, and step-boundary distances are
+// schedule-independent. Substep counts and relaxation totals may differ
+// (chaotic relaxation converges at schedule-dependent speed); the step
+// sequence, settled sets, and every distance do not. This holds for any
+// fragment count, both partition modes, and both twins — the Par twin runs
+// fragments on an OpenMP team, the strictly sequential twin loops them in
+// order (no regions: it is the form the batch scheduler nests inside its
+// own parallel region).
+//
+// Targeted early termination, kTopK goals, ALT lower-bound proofs, and the
+// O(touched) reset all work unchanged: target/bound bookkeeping runs in
+// the sequential coordinator sections between parallel phases (the shared
+// counters are not thread-safe), and fragment f records first-touches into
+// touch bucket f (single-writer per bucket).
+#pragma once
+
+#include <vector>
+
+#include "core/query_context.hpp"
+#include "core/stats.hpp"
+#include "graph/fragment.hpp"
+
+namespace rs {
+
+/// Serving primitive: distances stay in `ctx` (read via ctx.read_dist(),
+/// then finish_query() or the O(touched) reset_touched()); honors
+/// ctx.has_targets() / k-goal step-boundary early termination.
+void radius_stepping_fragment_partial(const FragmentedGraph& fg,
+                                      Vertex source,
+                                      const std::vector<Dist>& radius,
+                                      QueryContext& ctx,
+                                      RunStats* stats = nullptr);
+
+/// Full-output form: distances land in `out` (resized to n), context
+/// invariant restored.
+void radius_stepping_fragment(const FragmentedGraph& fg, Vertex source,
+                              const std::vector<Dist>& radius,
+                              QueryContext& ctx, std::vector<Dist>& out,
+                              RunStats* stats = nullptr);
+
+/// Convenience form: fresh context per call.
+std::vector<Dist> radius_stepping_fragment(const FragmentedGraph& fg,
+                                           Vertex source,
+                                           const std::vector<Dist>& radius,
+                                           RunStats* stats = nullptr);
+
+}  // namespace rs

@@ -1,0 +1,133 @@
+#include "graph/fragment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+FragmentedGraph::FragmentedGraph(const Graph& g, std::size_t fragments,
+                                 PartitionMode mode)
+    : partition_(Partition::make(
+          g.num_vertices(),
+          fragments == 0 ? static_cast<std::size_t>(default_num_fragments())
+                         : fragments,
+          mode)) {
+  build(g);
+}
+
+FragmentedGraph::FragmentedGraph(const Graph& g, Partition partition)
+    : partition_(std::move(partition)) {
+  if (partition_.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "FragmentedGraph: partition does not cover the graph");
+  }
+  build(g);
+}
+
+void FragmentedGraph::build(const Graph& g) {
+  const std::size_t nf = partition_.num_fragments();
+  const Vertex n = g.num_vertices();
+  fragments_.resize(nf);
+  num_edges_ = g.num_edges();
+
+  // Build fragments independently (one worker each): every pass below only
+  // reads the shared flat CSR and writes fragment f's own tables.
+  const auto build_one = [&](std::size_t f) {
+    Fragment& frag = fragments_[f];
+    frag.inner_global = partition_.inner(f);
+    const Vertex ni = frag.num_inner();
+
+    // Pass 1: per-row arc counts and ghost discovery. `slot` maps a global
+    // id to its universe index within this fragment; kNoVertex = unseen
+    // ghost. O(n) scratch per fragment, build-time only.
+    std::vector<Vertex> slot(n, kNoVertex);
+    for (Vertex lu = 0; lu < ni; ++lu) slot[frag.inner_global[lu]] = lu;
+
+    EdgeId arcs = 0;
+    for (Vertex lu = 0; lu < ni; ++lu) {
+      const Vertex u = frag.inner_global[lu];
+      arcs += g.last_arc(u) - g.first_arc(u);
+      for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+        const Vertex v = g.arc_target(e);
+        if (slot[v] == kNoVertex) {
+          frag.ghost_global.push_back(v);
+          slot[v] = 0;  // seen; the final index is assigned after sorting
+        }
+      }
+    }
+    // Ghost tables sorted by global id, then final universe indices.
+    std::sort(frag.ghost_global.begin(), frag.ghost_global.end());
+    frag.ghost_owner.resize(frag.ghost_global.size());
+    for (Vertex i = 0; i < frag.num_ghosts(); ++i) {
+      const Vertex v = frag.ghost_global[i];
+      frag.ghost_owner[i] = partition_.owner(v);
+      slot[v] = ni + i;
+    }
+
+    // Pass 2: fill the local CSR in flat-graph arc order per row.
+    frag.offsets.assign(static_cast<std::size_t>(ni) + 1, 0);
+    frag.heads.resize(arcs);
+    frag.weights.resize(arcs);
+    EdgeId out = 0;
+    for (Vertex lu = 0; lu < ni; ++lu) {
+      frag.offsets[lu] = out;
+      const Vertex u = frag.inner_global[lu];
+      for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+        frag.heads[out] = slot[g.arc_target(e)];
+        frag.weights[out] = g.arc_weight(e);
+        ++out;
+      }
+    }
+    frag.offsets[ni] = out;
+    if (out != arcs) {
+      throw std::logic_error("FragmentedGraph: arc count drifted");
+    }
+  };
+  if (num_workers() > 1 && nf > 1) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t f = 0; f < static_cast<std::int64_t>(nf); ++f) {
+      build_one(static_cast<std::size_t>(f));
+    }
+  } else {
+    for (std::size_t f = 0; f < nf; ++f) build_one(f);
+  }
+
+  // Coverage verification: every vertex inner exactly once is the
+  // Partition's invariant; every ARC exactly once is checked here — each
+  // inner row must match the flat row's degree, and the fragment totals
+  // must sum to the flat arc count.
+  EdgeId total = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    const Fragment& frag = fragments_[f];
+    for (Vertex lu = 0; lu < frag.num_inner(); ++lu) {
+      const Vertex u = frag.inner_global[lu];
+      if (frag.last_arc(lu) - frag.first_arc(lu) !=
+          g.last_arc(u) - g.first_arc(u)) {
+        throw std::logic_error("FragmentedGraph: row degree mismatch");
+      }
+    }
+    total += frag.offsets[frag.num_inner()];
+  }
+  if (total != g.num_edges()) {
+    throw std::logic_error("FragmentedGraph: arc coverage mismatch");
+  }
+}
+
+std::vector<EdgeTriple> FragmentedGraph::to_triples() const {
+  std::vector<EdgeTriple> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (const Fragment& frag : fragments_) {
+    for (Vertex lu = 0; lu < frag.num_inner(); ++lu) {
+      const Vertex u = frag.inner_global[lu];
+      for (EdgeId e = frag.first_arc(lu); e < frag.last_arc(lu); ++e) {
+        out.push_back(EdgeTriple{u, frag.to_global(frag.heads[e]),
+                                 frag.weights[e]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rs

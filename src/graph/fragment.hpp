@@ -1,0 +1,96 @@
+// FragmentedGraph: the partition-aware view of a flat Graph that the
+// fragment-parallel engine (core/rs_fragment.hpp) executes over.
+//
+// The model is the libgrape-lite inner/outer split: every vertex is INNER
+// in exactly one fragment (its owner, per the Partition); a fragment
+// additionally knows, as GHOSTS, the foreign vertices its arcs point at.
+// Each fragment holds a local CSR over its inner vertices — every arc of
+// the flat graph appears in exactly one fragment, the one owning its
+// SOURCE — whose arc heads are "universe indices":
+//
+//   head <  num_inner()  : an inner vertex, == its local id
+//   head >= num_inner()  : ghost index (head - num_inner()) into the
+//                          ghost_global()/ghost_owner() tables
+//
+// so the relax loop branches once per arc to decide "relax locally" vs
+// "stage a boundary message", with no hashing anywhere on the hot path.
+// Ghost tables are sorted by global id, built once at construction.
+//
+// Construction verifies arc coverage (per-row degrees match the flat
+// graph) and throws std::logic_error on any mismatch, so a FragmentedGraph
+// that exists is known to cover every arc exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace rs {
+
+class FragmentedGraph {
+ public:
+  /// One fragment's local CSR plus its ghost tables.
+  struct Fragment {
+    /// Inner vertices, ascending global id; local id == index.
+    /// (Shared view: == partition().inner(f).)
+    std::vector<Vertex> inner_global;
+    /// Local CSR over the inner vertices: row `lu` holds the out-arcs of
+    /// inner_global[lu]; heads are universe indices (see file comment).
+    std::vector<EdgeId> offsets;   // num_inner + 1 entries
+    std::vector<Vertex> heads;     // universe indices
+    std::vector<Weight> weights;   // parallel to heads
+    /// Ghost tables: global id and owner fragment of each ghost, indexed
+    /// by (universe index - num_inner). Sorted by global id.
+    std::vector<Vertex> ghost_global;
+    std::vector<std::uint32_t> ghost_owner;
+
+    Vertex num_inner() const {
+      return static_cast<Vertex>(inner_global.size());
+    }
+    Vertex num_ghosts() const {
+      return static_cast<Vertex>(ghost_global.size());
+    }
+    EdgeId first_arc(Vertex lu) const { return offsets[lu]; }
+    EdgeId last_arc(Vertex lu) const { return offsets[lu + 1]; }
+    bool is_inner_head(Vertex head) const { return head < num_inner(); }
+    /// Global id of any universe index (inner or ghost head).
+    Vertex to_global(Vertex head) const {
+      return head < num_inner() ? inner_global[head]
+                                : ghost_global[head - num_inner()];
+    }
+  };
+
+  FragmentedGraph() = default;
+
+  /// Partitions `g` with `fragments` fragments in `mode` and builds the
+  /// per-fragment CSRs. `fragments` == 0 means default_num_fragments().
+  FragmentedGraph(const Graph& g, std::size_t fragments,
+                  PartitionMode mode = PartitionMode::kContiguous);
+
+  /// Builds over a caller-supplied partition (must cover g's vertices).
+  FragmentedGraph(const Graph& g, Partition partition);
+
+  std::size_t num_fragments() const { return fragments_.size(); }
+  Vertex num_vertices() const { return partition_.num_vertices(); }
+  EdgeId num_edges() const { return num_edges_; }
+
+  const Partition& partition() const { return partition_; }
+  const Fragment& fragment(std::size_t f) const { return fragments_[f]; }
+
+  /// Every arc as a global (source, target, weight) triple, grouped by
+  /// fragment then by local row. Order differs from Graph::to_triples();
+  /// compare as multisets. (Test/debug aid, not a hot path.)
+  std::vector<EdgeTriple> to_triples() const;
+
+ private:
+  void build(const Graph& g);
+
+  Partition partition_;
+  std::vector<Fragment> fragments_;
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace rs

@@ -1,0 +1,69 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "parallel/primitives.hpp"
+#include "parallel/rng.hpp"
+
+namespace rs {
+
+Partition::Partition(Vertex n, std::size_t fragments, PartitionMode mode)
+    : mode_(mode),
+      n_(n),
+      owner_(n),
+      local_(n),
+      inner_(fragments < 1 ? 1 : fragments) {}
+
+Partition Partition::contiguous(Vertex n, std::size_t fragments) {
+  if (fragments < 1) fragments = 1;
+  Partition p(n, fragments, PartitionMode::kContiguous);
+  const auto f32 = static_cast<Vertex>(fragments);
+  const Vertex base = n / f32;
+  const Vertex extra = n % f32;  // the first `extra` ranges get one more
+  Vertex next = 0;
+  for (std::size_t f = 0; f < fragments; ++f) {
+    const Vertex len = base + (static_cast<Vertex>(f) < extra ? 1 : 0);
+    auto& list = p.inner_[f];
+    list.reserve(len);
+    for (Vertex i = 0; i < len; ++i) {
+      const Vertex v = next + i;
+      p.owner_[v] = static_cast<std::uint32_t>(f);
+      p.local_[v] = i;
+      list.push_back(v);
+    }
+    next += len;
+  }
+  return p;
+}
+
+Partition Partition::by_hash(Vertex n, std::size_t fragments) {
+  if (fragments < 1) fragments = 1;
+  Partition p(n, fragments, PartitionMode::kHash);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto f = static_cast<std::uint32_t>(
+        hash64(static_cast<std::uint64_t>(v)) %
+        static_cast<std::uint64_t>(fragments));
+    p.owner_[v] = f;
+    p.local_[v] = static_cast<Vertex>(p.inner_[f].size());
+    p.inner_[f].push_back(v);  // ascending v => ascending global order
+  }
+  return p;
+}
+
+Partition Partition::make(Vertex n, std::size_t fragments,
+                          PartitionMode mode) {
+  return mode == PartitionMode::kHash ? by_hash(n, fragments)
+                                      : contiguous(n, fragments);
+}
+
+int parse_fragment_count(const char* value, int fallback) {
+  return parse_count_env("RS_FRAGMENTS", value, fallback);
+}
+
+int default_num_fragments() {
+  const int fallback = std::min(8, std::max(1, num_workers()));
+  return parse_fragment_count(std::getenv("RS_FRAGMENTS"), fallback);
+}
+
+}  // namespace rs

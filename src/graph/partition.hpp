@@ -1,0 +1,92 @@
+// Vertex partitioner for the fragment-partitioned graph substrate.
+//
+// A Partition assigns every vertex of a flat Graph to exactly one of F
+// fragments (its OWNER) and gives each vertex a dense LOCAL id within its
+// fragment. Two assignment modes cover the workloads we care about:
+//
+//  * kContiguous — fragment f owns a contiguous global-id range (sizes
+//    differ by at most one). Generators emit locality-friendly ids (grid
+//    rows, BFS orders), so contiguous ranges keep most arcs inner; this is
+//    the default and the mode NUMA placement wants.
+//  * kHash — owner(v) = hash64(v) mod F. Destroys locality on purpose:
+//    the adversarial mode for tests (maximal ghost traffic) and the
+//    balanced mode for graphs whose id order is pathological.
+//
+// The maps are plain arrays both ways — owner()/local_id() are O(1) loads,
+// global_id() is an indexed read of the fragment's sorted inner list — so
+// engines translate ids in their hot loops without hashing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+/// How vertices are assigned to fragments.
+enum class PartitionMode : std::uint8_t {
+  kContiguous,  // fragment f owns one contiguous global-id range
+  kHash,        // owner(v) = hash64(v) mod F (locality-free, balanced)
+};
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Contiguous-range partition of [0, n) into `fragments` ranges whose
+  /// sizes differ by at most one (the first n % F ranges get the extra
+  /// vertex). `fragments` is clamped to >= 1; fragments beyond n are empty.
+  static Partition contiguous(Vertex n, std::size_t fragments);
+
+  /// Hash partition: owner(v) = hash64(v) mod F. Same clamping.
+  static Partition by_hash(Vertex n, std::size_t fragments);
+
+  /// Dispatch on `mode`.
+  static Partition make(Vertex n, std::size_t fragments, PartitionMode mode);
+
+  PartitionMode mode() const { return mode_; }
+  std::size_t num_fragments() const { return inner_.size(); }
+  Vertex num_vertices() const { return n_; }
+
+  /// Fragment owning global vertex `v`.
+  std::uint32_t owner(Vertex v) const { return owner_[v]; }
+
+  /// Dense id of `v` within its owner fragment (== its rank among the
+  /// owner's inner vertices in ascending global order).
+  Vertex local_id(Vertex v) const { return local_[v]; }
+
+  /// Global id of local vertex `local` of fragment `f`.
+  Vertex global_id(std::size_t f, Vertex local) const {
+    return inner_[f][local];
+  }
+
+  /// The inner vertices of fragment `f`, ascending global ids. local_id()
+  /// indexes into exactly this list.
+  const std::vector<Vertex>& inner(std::size_t f) const { return inner_[f]; }
+
+  Vertex fragment_size(std::size_t f) const {
+    return static_cast<Vertex>(inner_[f].size());
+  }
+
+ private:
+  Partition(Vertex n, std::size_t fragments, PartitionMode mode);
+
+  PartitionMode mode_ = PartitionMode::kContiguous;
+  Vertex n_ = 0;
+  std::vector<std::uint32_t> owner_;       // global id -> fragment
+  std::vector<Vertex> local_;              // global id -> local id
+  std::vector<std::vector<Vertex>> inner_;  // fragment -> sorted global ids
+};
+
+/// Default in-process fragment count: RS_FRAGMENTS if set and valid
+/// (parsed with the same discipline as RS_THREADS — garbage warns and
+/// falls back), otherwise the worker count clamped to [1, 8].
+int default_num_fragments();
+
+/// Parses an RS_FRAGMENTS-style value; exposed for tests. Unset/empty
+/// returns `fallback` silently; garbage or out-of-range warns on stderr
+/// and returns `fallback`.
+int parse_fragment_count(const char* value, int fallback);
+
+}  // namespace rs

@@ -1,0 +1,74 @@
+// MessageBuffer: per-fragment-pair staging for boundary messages, the
+// exchange half of the bulk-synchronous substep (local-relax, then ghost
+// exchange) the fragment engine runs.
+//
+// Layout is an F x F grid of lanes, double-buffered. During a relax phase
+// each fragment appends to its OUT lanes — outbox(from, to) is written
+// only by fragment `from`'s worker, so no lane is ever contended. At the
+// substep boundary the (sequential) coordinator flips the epoch; the relax
+// phase's out-lanes become the exchange phase's in-lanes, and each
+// destination fragment drains inbox(from, to) for every `from` — again
+// single-reader per lane. Lanes keep their capacity across substeps AND
+// across queries, so a warm engine stages messages without allocating.
+//
+// The payload is a template parameter; the fragment engine's messages are
+// DistMessage — (global ghost vertex, tentative distance) relaxations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rs {
+
+/// A staged boundary relaxation: "owner of `vertex`: your vertex may be
+/// reachable at distance `dist`".
+struct DistMessage {
+  Vertex vertex;
+  Dist dist;
+};
+
+template <typename Msg>
+class MessageBuffer {
+ public:
+  /// Sizes the grid for `fragments` fragments and clears every lane in
+  /// both epochs (capacities kept). Engines call this once per run.
+  void reset(std::size_t fragments) {
+    fragments_ = fragments;
+    const std::size_t lanes = fragments * fragments;
+    for (auto& epoch : lanes_) {
+      if (epoch.size() < lanes) epoch.resize(lanes);
+      for (auto& lane : epoch) lane.clear();
+    }
+    cur_ = 0;
+  }
+
+  std::size_t num_fragments() const { return fragments_; }
+
+  /// Staging lane for messages from fragment `from` to fragment `to` in
+  /// the current epoch. Single-writer: only `from`'s worker may append.
+  std::vector<Msg>& outbox(std::size_t from, std::size_t to) {
+    return lanes_[cur_][from * fragments_ + to];
+  }
+
+  /// Flips the epoch at the substep boundary: what was staged becomes
+  /// readable via inbox(), and outbox() lanes start empty for the next
+  /// phase (the previous exchange drained and cleared them). Sequential
+  /// coordinator only.
+  void swap_epoch() { cur_ ^= 1; }
+
+  /// The previous epoch's staging lane from `from` to `to`. The draining
+  /// fragment (`to`'s worker) must clear() it after consuming — that is
+  /// what empties the lane for its next life as an outbox.
+  std::vector<Msg>& inbox(std::size_t from, std::size_t to) {
+    return lanes_[cur_ ^ 1][from * fragments_ + to];
+  }
+
+ private:
+  std::size_t fragments_ = 0;
+  std::size_t cur_ = 0;
+  std::vector<std::vector<Msg>> lanes_[2];  // [epoch][from * F + to]
+};
+
+}  // namespace rs

@@ -8,7 +8,7 @@
 
 namespace rs {
 
-int parse_worker_count(const char* value, int fallback) {
+int parse_count_env(const char* name, const char* value, int fallback) {
   // Unset / empty behaves exactly like an absent variable (CI's
   // default-thread matrix leg sets RS_THREADS=""), silently.
   if (value == nullptr || *value == '\0') return fallback;
@@ -20,15 +20,19 @@ int parse_worker_count(const char* value, int fallback) {
       v > kMaxWorkers) {
     // Garbage, trailing junk, non-positive, or overflow: warn once per
     // occurrence and keep the default instead of silently misconfiguring
-    // the worker count. (Don't print `fallback` — some callers pass a
-    // sentinel meaning "leave the current setting alone".)
+    // the count. (Don't print `fallback` — some callers pass a sentinel
+    // meaning "leave the current setting alone".)
     std::fprintf(stderr,
-                 "[rs] warning: RS_THREADS=\"%s\" is not a worker count in "
-                 "[1, %d]; falling back to the default\n",
-                 value, kMaxWorkers);
+                 "[rs] warning: %s=\"%s\" is not a count in [1, %d]; "
+                 "falling back to the default\n",
+                 name, value, kMaxWorkers);
     return fallback;
   }
   return static_cast<int>(v);
+}
+
+int parse_worker_count(const char* value, int fallback) {
+  return parse_count_env("RS_THREADS", value, fallback);
 }
 
 namespace {

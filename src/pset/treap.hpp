@@ -13,20 +13,30 @@
 // matches how Algorithm 2 uses them: batches are built, merged into Q/R,
 // and never reused.
 //
-// Allocation: a Treap either owns its nodes individually (new/delete, the
-// default) or draws them from a TreapArena — a freelist-backed pool that
-// recycles nodes across treaps and across queries. The serving hot path
-// (core/rs_bst_impl.hpp) keeps one arena per QueryContext, so a warm
+// Allocation: a Treap owns its nodes individually (new/delete, the
+// default), draws them from a single TreapArena — a freelist-backed pool
+// that recycles nodes across treaps and across queries — or draws them
+// from a TreapArenaPool of per-worker arenas. The serving hot path
+// (core/rs_bst_impl.hpp) keeps one pool per QueryContext, so a warm
 // context answers kBst queries without touching the heap: every erase,
 // split-discard, and subtract-consumed skeleton splices straight back onto
-// the freelist instead of running delete. Arena-backed treaps run their
-// bulk operations sequentially (the pool is single-owner, not thread-safe);
-// arena-less treaps keep the parallel task recursion.
+// a freelist instead of running delete.
+//
+// Parallelism rules: single-arena treaps run their bulk operations
+// sequentially (one freelist, single-owner — the mode the strictly
+// sequential engine twin uses, since it must not open OpenMP regions).
+// Arena-less AND pool-backed treaps keep the parallel task recursion: in a
+// pool, OpenMP thread t only ever touches arena t (tasks are tied, so the
+// executing thread is stable across an acquire/release site), which keeps
+// every freelist single-owner while split/union/difference recurse in
+// parallel — restoring the paper's set-op depth bound for the recycling
+// path.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -162,6 +172,46 @@ class TreapArena {
   std::size_t free_count_ = 0;
 };
 
+/// Per-worker arena set for parallel bulk operations over recycled nodes.
+/// arena(t) is only ever touched by OpenMP thread t of the team running
+/// the operation (current() indexes by omp_get_thread_num()), so each
+/// freelist stays single-owner without locks. Nodes migrate freely between
+/// the per-worker freelists as releases land on whichever thread ran the
+/// subtask — total_nodes() aggregates the high-water mark across arenas.
+/// ensure() must cover the largest team any operation will run with
+/// BEFORE that operation starts (growth is not thread-safe).
+template <typename Key>
+class TreapArenaPool {
+ public:
+  /// Grows the pool to at least `workers` arenas. Not thread-safe; call
+  /// from sequential sections only.
+  void ensure(std::size_t workers) {
+    while (arenas_.size() < workers) arenas_.emplace_back();
+  }
+  std::size_t size() const { return arenas_.size(); }
+  TreapArena<Key>& arena(std::size_t w) { return arenas_[w]; }
+  /// The calling OpenMP thread's arena.
+  TreapArena<Key>& current() {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    assert(tid < arenas_.size());
+    return arenas_[tid];
+  }
+  /// Aggregates across arenas (tests pin recycling with these).
+  std::size_t total_nodes() const {
+    std::size_t sum = 0;
+    for (const auto& a : arenas_) sum += a.total_nodes();
+    return sum;
+  }
+  std::size_t free_nodes() const {
+    std::size_t sum = 0;
+    for (const auto& a : arenas_) sum += a.free_nodes();
+    return sum;
+  }
+
+ private:
+  std::deque<TreapArena<Key>> arenas_;  // deque: growth never moves arenas
+};
+
 /// Ordered set of unique keys with join-based split/union/difference.
 template <typename Key>
 class Treap {
@@ -171,15 +221,23 @@ class Treap {
   /// treaps an operation touches must share one arena (or be arena-less):
   /// union/subtract splice nodes between operands. nullptr = own nodes.
   explicit Treap(TreapArena<Key>* arena) : arena_(arena) {}
+  /// Pool-backed treap: nodes come from (and return to) the per-worker
+  /// arenas of `pool` — acquire/release always hit the executing thread's
+  /// arena. Same sharing rule: all operands of one operation must use the
+  /// same pool.
+  explicit Treap(TreapArenaPool<Key>* pool) : pool_(pool) {}
   ~Treap() { destroy(root_); }
 
   Treap(Treap&& other) noexcept
-      : root_(std::exchange(other.root_, nullptr)), arena_(other.arena_) {}
+      : root_(std::exchange(other.root_, nullptr)),
+        arena_(other.arena_),
+        pool_(other.pool_) {}
   Treap& operator=(Treap&& other) noexcept {
     if (this != &other) {
       destroy(root_);
       root_ = std::exchange(other.root_, nullptr);
       arena_ = other.arena_;
+      pool_ = other.pool_;
     }
     return *this;
   }
@@ -235,22 +293,25 @@ class Treap {
   }
 
   /// Splits off and returns all keys <= pivot; this treap keeps keys > pivot.
-  /// O(log n). The result shares this treap's arena.
+  /// O(log n). The result shares this treap's allocation source.
   Treap split_leq(const Key& pivot) {
     auto [lo, hi] = split_raw(root_, pivot, /*leq=*/true);
     root_ = hi;
-    Treap out(arena_);
+    Treap out;
+    out.arena_ = arena_;
+    out.pool_ = pool_;
     out.root_ = lo;
     return out;
   }
 
   /// Destructive union: this := this U other, other becomes empty.
   /// O(p log(q/p + 1)) work, polylog depth (parallel tasks on large
-  /// arena-less inputs; arena-backed treaps merge sequentially).
+  /// arena-less or pool-backed inputs; single-arena treaps merge
+  /// sequentially).
   void union_with(Treap&& other) {
-    assert(arena_ == other.arena_);
+    assert(arena_ == other.arena_ && pool_ == other.pool_);
     Node* b = std::exchange(other.root_, nullptr);
-    if (arena_ == nullptr &&
+    if (parallel_ok() &&
         size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
 #pragma omp parallel
 #pragma omp single
@@ -262,9 +323,9 @@ class Treap {
 
   /// Destructive difference: this := this \ other, other becomes empty.
   void subtract(Treap&& other) {
-    assert(arena_ == other.arena_);
+    assert(arena_ == other.arena_ && pool_ == other.pool_);
     Node* b = std::exchange(other.root_, nullptr);
-    if (arena_ == nullptr &&
+    if (parallel_ok() &&
         size_of(root_) + size_of(b) >= treap_detail::kParallelCutoff) {
 #pragma omp parallel
 #pragma omp single
@@ -276,17 +337,20 @@ class Treap {
   }
 
   /// Builds from strictly-increasing sorted keys in O(n) work, O(log n)
-  /// depth (arena-less; arena builds are sequential).
+  /// depth (arena-less; single-arena builds are sequential).
   static Treap from_sorted(const std::vector<Key>& sorted,
                            TreapArena<Key>* arena = nullptr) {
     Treap t(arena);
-    if (arena == nullptr && sorted.size() >= treap_detail::kParallelCutoff) {
-#pragma omp parallel
-#pragma omp single
-      t.root_ = t.build_rec(sorted, 0, sorted.size());
-    } else {
-      t.root_ = t.build_rec(sorted, 0, sorted.size());
-    }
+    t.build_from_sorted(sorted);
+    return t;
+  }
+
+  /// Pool-backed build: parallel task recursion with per-worker node
+  /// acquisition.
+  static Treap from_sorted(const std::vector<Key>& sorted,
+                           TreapArenaPool<Key>* pool) {
+    Treap t(pool);
+    t.build_from_sorted(sorted);
     return t;
   }
 
@@ -317,13 +381,22 @@ class Treap {
     t->size = 1 + size_of(t->left) + size_of(t->right);
   }
 
+  /// Bulk ops may open OpenMP regions / spawn tasks unless the nodes live
+  /// in a single-owner arena (whose one freelist forbids concurrent
+  /// release). Pool-backed treaps are safe: every acquire/release goes to
+  /// the executing thread's own arena.
+  bool parallel_ok() const { return arena_ == nullptr; }
+
   Node* make_node(const Key& key) {
+    if (pool_ != nullptr) return pool_->current().acquire(key);
     if (arena_ != nullptr) return arena_->acquire(key);
     return new Node(key);
   }
 
   void release_node(Node* t) {
-    if (arena_ != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->current().release(t);
+    } else if (arena_ != nullptr) {
       arena_->release(t);
     } else {
       delete t;
@@ -338,7 +411,17 @@ class Treap {
     }
     destroy(t->left);
     destroy(t->right);
-    delete t;
+    release_node(t);
+  }
+
+  void build_from_sorted(const std::vector<Key>& sorted) {
+    if (parallel_ok() && sorted.size() >= treap_detail::kParallelCutoff) {
+#pragma omp parallel
+#pragma omp single
+      root_ = build_rec(sorted, 0, sorted.size());
+    } else {
+      root_ = build_rec(sorted, 0, sorted.size());
+    }
   }
 
   /// Joins two treaps where all keys in `lo` < all keys in `hi`.
@@ -402,7 +485,7 @@ class Treap {
     Node* left = nullptr;
     Node* right = nullptr;
     const bool parallel =
-        arena_ == nullptr &&
+        parallel_ok() &&
         size_of(a) + size_of(lo) + size_of(hi) >= treap_detail::kParallelCutoff;
     if (parallel) {
 #pragma omp task shared(left)
@@ -432,7 +515,7 @@ class Treap {
     Node* left = nullptr;
     Node* right = nullptr;
     const bool parallel =
-        arena_ == nullptr &&
+        parallel_ok() &&
         size_of(lo) + size_of(hi) + size_of(b) >= treap_detail::kParallelCutoff;
     if (parallel) {
 #pragma omp task shared(left)
@@ -457,7 +540,7 @@ class Treap {
     Node* root = make_node(sorted[mid]);
     Node* left = nullptr;
     Node* right = nullptr;
-    if (arena_ == nullptr && hi - lo >= treap_detail::kParallelCutoff) {
+    if (parallel_ok() && hi - lo >= treap_detail::kParallelCutoff) {
 #pragma omp task shared(left, sorted)
       left = build_rec(sorted, lo, mid);
       right = build_rec(sorted, mid + 1, hi);
@@ -493,6 +576,7 @@ class Treap {
 
   Node* root_ = nullptr;
   TreapArena<Key>* arena_ = nullptr;
+  TreapArenaPool<Key>* pool_ = nullptr;
 };
 
 }  // namespace rs

@@ -1,11 +1,62 @@
 #include "serve/landmark_oracle.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 namespace rs::serve {
 
 namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'L', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("LandmarkOracle::load: truncated input");
+  return value;
+}
+
+template <typename T>
+std::vector<T> get_vec(std::istream& in, std::size_t count) {
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("LandmarkOracle::load: truncated input");
+  return v;
+}
+
+/// Bytes left in `in` from the current position, or nullopt when the
+/// stream is not seekable. Restores the read position.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (!in || end == std::istream::pos_type(-1) || end < cur) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - cur);
+}
 
 /// Per-landmark contribution to the bound on d(s, t). Unreachability is
 /// informative, not just skippable: d(L,t) == inf with d(L,s) finite
@@ -94,6 +145,90 @@ void LandmarkOracle::lower_bounds(Vertex s,
   for (std::size_t i = 0; i < targets.size(); ++i) {
     out[i] = lower_bound(s, targets[i]);
   }
+}
+
+void LandmarkOracle::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  put(out, graph_epoch_);
+  put(out, n_);
+  put(out, static_cast<std::uint64_t>(landmarks_.size()));
+  put(out, static_cast<std::uint8_t>(opts_.assume_symmetric));
+  put_vec(out, landmarks_);
+  for (const std::vector<Dist>& row : rows_) put_vec(out, row);
+  if (!out) throw std::runtime_error("LandmarkOracle::save: write failed");
+}
+
+void LandmarkOracle::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("LandmarkOracle::save: cannot open " + path);
+  }
+  save(out);
+}
+
+LandmarkOracle LandmarkOracle::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("LandmarkOracle::load: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("LandmarkOracle::load: unsupported version");
+  }
+  LandmarkOracle oracle;
+  oracle.graph_epoch_ = get<std::uint64_t>(in);
+  oracle.n_ = get<Vertex>(in);
+  const std::uint64_t count = get<std::uint64_t>(in);
+  oracle.opts_.assume_symmetric = get<std::uint8_t>(in) != 0;
+  // Untrusted counts: bound them BEFORE allocating (same discipline as
+  // load_preprocessing — a corrupt header must fail as a clean parse
+  // error, not a memory bomb). Landmarks are vertices, so count can
+  // never legitimately exceed n.
+  if (oracle.n_ >= kNoVertex) {
+    throw std::runtime_error("LandmarkOracle::load: corrupt vertex count");
+  }
+  if (count > oracle.n_) {
+    throw std::runtime_error("LandmarkOracle::load: corrupt landmark count");
+  }
+  if (const auto remaining = remaining_bytes(in)) {
+    // Checked term by term so the running sum cannot overflow; count <= n
+    // < kNoVertex keeps each product well inside 64 bits.
+    std::uint64_t budget = *remaining;
+    const auto take = [&budget](std::uint64_t bytes) {
+      if (bytes > budget) {
+        throw std::runtime_error(
+            "LandmarkOracle::load: header counts exceed input size");
+      }
+      budget -= bytes;
+    };
+    take(count * sizeof(Vertex));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      take(static_cast<std::uint64_t>(oracle.n_) * sizeof(Dist));
+    }
+  }
+  oracle.landmarks_ = get_vec<Vertex>(in, count);
+  for (const Vertex l : oracle.landmarks_) {
+    if (l >= oracle.n_) {
+      throw std::runtime_error("LandmarkOracle::load: landmark out of range");
+    }
+  }
+  oracle.rows_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    oracle.rows_.push_back(get_vec<Dist>(in, oracle.n_));
+  }
+  // Keep opts_ coherent with the loaded state so a later rebuild() against
+  // a changed graph selects the same number of landmarks.
+  oracle.opts_.count = count;
+  return oracle;
+}
+
+LandmarkOracle LandmarkOracle::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("LandmarkOracle::load: cannot open " + path);
+  }
+  return load(in);
 }
 
 void LandmarkOracle::annotate(QueryRequest& req) const {

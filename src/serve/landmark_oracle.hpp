@@ -33,6 +33,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -74,6 +76,21 @@ class LandmarkOracle {
 
   std::uint64_t graph_epoch() const { return graph_epoch_; }
   const std::vector<Vertex>& landmarks() const { return landmarks_; }
+  const std::vector<std::vector<Dist>>& rows() const { return rows_; }
+
+  /// Serializes epoch + landmark rows ("RSLM" header). Rows cost `count`
+  /// full SSSP runs to build, so a serving daemon persists them next to
+  /// the `.pre` file and a restart skips the rebuild entirely.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Inverse of save(). Header counts are untrusted and bounds-checked
+  /// against the input size before any allocation; throws
+  /// std::runtime_error on a bad magic/version, truncation, or counts
+  /// that do not fit the stream. Pair with valid_for() after loading —
+  /// a stale epoch means the graph changed since the rows were built.
+  static LandmarkOracle load(std::istream& in);
+  static LandmarkOracle load_file(const std::string& path);
 
   /// Admissible lower bound on d(s, t); 0 when no landmark helps.
   Dist lower_bound(Vertex s, Vertex t) const;

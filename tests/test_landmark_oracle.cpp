@@ -16,10 +16,18 @@
 //  * epoch discipline — replace() invalidates the oracle; rebuild()
 //    revalidates it; annotate() touches only early-terminating targeted
 //    requests.
+//  * persistence — save()/load() round-trips landmarks + rows (a restart
+//    skips `count` full SSSP rebuilds); corrupt or truncated input fails
+//    as a clean parse error behind bounds-checked header counts, never
+//    as an allocation bomb.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -283,6 +291,139 @@ TEST(LandmarkOracle, AnnotateOnlyTouchesEarlyTerminatingTargetedRequests) {
   targeted.targets = {5, 29};
   oracle.annotate(targeted);
   EXPECT_EQ(targeted.target_lower_bounds.size(), 2u);
+}
+
+TEST(LandmarkOracleSerialize, RoundTripPreservesRowsAndServing) {
+  const Graph g = assign_uniform_weights(gen::road_network(12, 12, 2), 17,
+                                         1, 100);
+  PreprocessOptions popts;
+  popts.rho = 12;
+  const SsspEngine engine(g, popts);
+  LandmarkOptions lopts;
+  lopts.count = 5;
+  lopts.assume_symmetric = true;  // restored by load(): bounds must match
+  const LandmarkOracle oracle(engine, lopts);
+  ASSERT_TRUE(oracle.valid_for(engine));
+
+  std::stringstream buf;
+  oracle.save(buf);
+  const LandmarkOracle loaded = LandmarkOracle::load(buf);
+
+  EXPECT_EQ(loaded.graph_epoch(), oracle.graph_epoch());
+  EXPECT_EQ(loaded.landmarks(), oracle.landmarks());
+  EXPECT_EQ(loaded.rows(), oracle.rows());
+  EXPECT_TRUE(loaded.valid_for(engine));
+
+  // Bounds (including the mirrored term toggled by the persisted
+  // symmetric flag) and assisted serving must be indistinguishable from
+  // the freshly built oracle.
+  const Vertex n = g.num_vertices();
+  QueryContext ctx;
+  for (const Vertex s : spread_sources(g, 4)) {
+    const Vertex t = static_cast<Vertex>((s + n / 2) % n);
+    EXPECT_EQ(loaded.lower_bound(s, t), oracle.lower_bound(s, t));
+
+    QueryRequest plain;
+    plain.source = s;
+    plain.targets = {t};
+    QueryRequest assisted = plain;
+    loaded.annotate(assisted);
+    const QueryResponse want = engine.serve(plain, ctx);
+    const QueryResponse got = engine.serve(assisted, ctx);
+    ASSERT_EQ(got.targets[0].dist, want.targets[0].dist);
+    EXPECT_LE(got.stats.steps, want.stats.steps);
+  }
+
+  // Epoch discipline survives the round trip: a graph swap after saving
+  // makes the LOADED rows stale too.
+  SsspEngine swapped = engine;
+  swapped.replace(g, preprocess(g, popts));
+  EXPECT_FALSE(loaded.valid_for(swapped));
+}
+
+// Byte offsets of the untrusted header counts in the RSLM format:
+// magic(4) + version(4) + graph_epoch(8) => n at 16, count at 20.
+constexpr std::size_t kOracleVertexCountOffset = 16;
+constexpr std::size_t kOracleLandmarkCountOffset = 20;
+constexpr std::size_t kOracleLandmarksOffset = 29;  // + count(8) + flag(1)
+
+std::string valid_oracle_bytes() {
+  const Graph g = assign_uniform_weights(gen::grid2d(6, 6), 3);
+  const SsspEngine engine = raw_engine(g);
+  LandmarkOptions opts;
+  opts.count = 3;
+  const LandmarkOracle oracle(engine, opts);
+  std::stringstream buf;
+  oracle.save(buf);
+  return buf.str();
+}
+
+TEST(LandmarkOracleSerialize, RejectsGarbageAndTruncationAtEveryBoundary) {
+  std::stringstream garbage;
+  garbage << "not a landmark file";
+  EXPECT_THROW(LandmarkOracle::load(garbage), std::runtime_error);
+
+  const std::string full = valid_oracle_bytes();
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10},
+        kOracleVertexCountOffset + 2, kOracleLandmarkCountOffset + 8,
+        kOracleLandmarksOffset + 5, full.size() / 2, full.size() - 1}) {
+    std::stringstream in(full.substr(0, cut));
+    EXPECT_THROW(LandmarkOracle::load(in), std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(LandmarkOracleSerialize, RejectsCorruptCountsBeforeAllocating) {
+  // A multi-billion-landmark claim must fail as a clean parse error
+  // (count is bounded by n, then by the stream size), not as a giant
+  // allocation attempt.
+  std::string bytes = valid_oracle_bytes();
+  const std::uint64_t huge_count = 1ull << 40;
+  std::memcpy(&bytes[kOracleLandmarkCountOffset], &huge_count,
+              sizeof(huge_count));
+  std::stringstream in(bytes);
+  EXPECT_THROW(LandmarkOracle::load(in), std::runtime_error);
+
+  // n = 0xFFFFFFFF is the kNoVertex sentinel; rejected outright.
+  std::string bytes2 = valid_oracle_bytes();
+  const std::uint32_t bad_n = 0xFFFFFFFFu;
+  std::memcpy(&bytes2[kOracleVertexCountOffset], &bad_n, sizeof(bad_n));
+  std::stringstream in2(bytes2);
+  EXPECT_THROW(LandmarkOracle::load(in2), std::runtime_error);
+
+  // A large-but-not-sentinel n must still be bounded by the bytes the
+  // stream actually has (rows are count * n distances).
+  std::string bytes3 = valid_oracle_bytes();
+  const std::uint32_t big_n = 0x7FFFFFFFu;
+  std::memcpy(&bytes3[kOracleVertexCountOffset], &big_n, sizeof(big_n));
+  std::stringstream in3(bytes3);
+  EXPECT_THROW(LandmarkOracle::load(in3), std::runtime_error);
+}
+
+TEST(LandmarkOracleSerialize, RejectsOutOfRangeLandmark) {
+  std::string bytes = valid_oracle_bytes();
+  const std::uint32_t bogus = 1u << 20;  // far beyond the 36-vertex grid
+  std::memcpy(&bytes[kOracleLandmarksOffset], &bogus, sizeof(bogus));
+  std::stringstream in(bytes);
+  EXPECT_THROW(LandmarkOracle::load(in), std::runtime_error);
+}
+
+TEST(LandmarkOracleSerialize, FileRoundTrip) {
+  const Graph g = assign_uniform_weights(gen::grid2d(7, 7), 5);
+  const SsspEngine engine = raw_engine(g);
+  LandmarkOptions opts;
+  opts.count = 4;
+  const LandmarkOracle oracle(engine, opts);
+
+  const std::string path = ::testing::TempDir() + "/rs_landmarks_test.bin";
+  oracle.save_file(path);
+  const LandmarkOracle loaded = LandmarkOracle::load_file(path);
+  EXPECT_EQ(loaded.landmarks(), oracle.landmarks());
+  EXPECT_EQ(loaded.rows(), oracle.rows());
+  EXPECT_TRUE(loaded.valid_for(engine));
+  EXPECT_THROW(LandmarkOracle::load_file("/nonexistent/rs_landmarks.bin"),
+               std::runtime_error);
 }
 
 }  // namespace

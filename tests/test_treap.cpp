@@ -274,6 +274,50 @@ TEST(TreapArena, EraseAndSubtractSpliceSkeletonsBack) {
   EXPECT_EQ(arena.total_nodes(), carved);
 }
 
+TEST(TreapArenaPool, ParallelBulkOpsRecycleThroughWorkerArenas) {
+  // Pool-backed treaps keep the task-parallel bulk-op recursion (unlike
+  // single-arena treaps, which force it sequential): sets well past
+  // kParallelCutoff exercise the parallel union/subtract/build paths with
+  // every acquire/release going to the executing thread's own freelist.
+  // Results must match the arena-less treap, and every node must come
+  // home after release.
+  TreapArenaPool<std::uint64_t> pool;
+  pool.ensure(static_cast<std::size_t>(omp_get_max_threads()));
+  std::vector<std::uint64_t> evens, odds, all;
+  const std::size_t n = 20'000;  // ~5x the parallel cutoff
+  for (std::uint64_t k = 0; k < n; ++k) {
+    (k % 2 == 0 ? evens : odds).push_back(k);
+    all.push_back(k);
+  }
+  for (int round = 0; round < 4; ++round) {
+    IntTreap a = IntTreap::from_sorted(evens, &pool);
+    IntTreap b = IntTreap::from_sorted(odds, &pool);
+    a.union_with(std::move(b));
+    ASSERT_EQ(a.size(), n);
+    ASSERT_EQ(a.to_vector(), all);
+    a.subtract(IntTreap::from_sorted(odds, &pool));
+    ASSERT_EQ(a.to_vector(), evens);
+    IntTreap lo = a.split_leq(evens[evens.size() / 2]);
+    ASSERT_EQ(lo.size() + a.size(), evens.size());
+  }
+  // Every carved node was released back to some worker's freelist.
+  EXPECT_EQ(pool.free_nodes(), pool.total_nodes());
+  EXPECT_GE(pool.total_nodes(), n);
+}
+
+TEST(TreapArenaPool, SingleArenaViewStaysSequentialAndCompatible) {
+  // The sequential kBst twin uses arena 0 of the same pool: plain
+  // arena-backed treaps over pool.arena(0) interoperate and recycle.
+  TreapArenaPool<std::uint64_t> pool;
+  pool.ensure(1);
+  IntTreap a(&pool.arena(0));
+  for (std::uint64_t k = 0; k < 100; ++k) a.insert(k);
+  a.subtract(IntTreap::from_sorted({10, 11, 12}, &pool.arena(0)));
+  EXPECT_EQ(a.size(), 97u);
+  a = IntTreap(&pool.arena(0));
+  EXPECT_EQ(pool.free_nodes(), pool.total_nodes());
+}
+
 TEST(Treap, StressMixedOperationsAgainstStdSet) {
   SplitRng rng(99);
   std::set<std::uint64_t> ref;
