@@ -6,13 +6,15 @@
 //   sssp_serve g.gr g.pre                        # stdin line protocol
 //   sssp_serve g.gr g.pre --port 7447            # TCP line protocol
 //   sssp_serve g.gr --rho 64 --k 3               # preprocess in-process
+//   sssp_serve g.gr --rho 64 --k 3 --dynamic 1   # + live weight updates
 //
 // Daemon flags: --port P (TCP listener; default stdin), --queue N
 // (admission queue depth, default 1024), --max-batch N (micro-batch cap,
 // default 64), --budget-us N (coalescing window, default 200),
 // --batchers N (batcher threads, default 1), --engine flat|bst|bstflat,
 // --cache 0|1 (hot-source result cache, default 0), --landmarks N (ALT
-// oracle with N landmarks, default 0 = off).
+// oracle with N landmarks, default 0 = off), --dynamic 0|1 (live weight
+// updates; requires in-process preprocessing, default 0).
 //
 // Line protocol v2 (one request per line, stdin and TCP alike) —
 // verb-prefixed commands:
@@ -22,13 +24,22 @@
 //   stats                          one-line serving counters snapshot
 //   epoch                          the engine's current graph epoch
 //
+// and, with --dynamic 1, the live-update verbs:
+//
+//   update <u> <v> <w>[;<u> <v> <w>...]   apply + re-preprocess + swap
+//   stage <u> <v> <w>[;<u> <v> <w>...]    buffer updates, no swap yet
+//   flush                                 re-preprocess staged, swap epoch
+//   qc <source> <t1>[,<t2>,...]           query corrected for staged edits
+//
 // plus the bare legacy form, still accepted verbatim:
 //
 //   <source> <t1>[,<t2>,...]       == "q <source> <t1>[,...]"
 //
-// `q` lines are answered with the per-target distances in input order,
-// space-separated, `inf` for unreachable. `topk` lines are answered with
-// k space-separated `vertex:dist` pairs, nearest first. Any malformed or
+// `q`/`qc` lines are answered with the per-target distances in input
+// order, space-separated, `inf` for unreachable. `topk` lines are
+// answered with k space-separated `vertex:dist` pairs, nearest first.
+// `update`/`flush` answer "ok epoch=E updated=A dirty=D/T ms=X"; `stage`
+// answers "staged epoch=E updated=A pending=N". Any malformed or
 // rejected line gets `error: <reason>` (bad ids and out-of-range vertices
 // are rejected by admission control without touching the engine). EOF (or
 // SIGINT/SIGTERM for TCP) drains in-flight requests and prints the
@@ -36,8 +47,10 @@
 //
 // With no arguments, runs a self-contained demo: preprocesses a small
 // road network, fires concurrent clients through the daemon, verifies
-// every answer against direct engine.serve() calls, and exits non-zero
-// on any mismatch — which is exactly what the CTest smoke run executes.
+// every answer against direct engine.serve() calls, then churns weights
+// through the dynamic service verifying against Dijkstra, and exits
+// non-zero on any mismatch — which is exactly what the CTest smoke run
+// executes.
 #include <arpa/inet.h>
 #include <csignal>
 #include <cstdio>
@@ -51,15 +64,20 @@
 #include <chrono>
 #include <limits>
 #include <map>
+#include <memory>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baseline/dijkstra.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/update.hpp"
 #include "graph/weights.hpp"
+#include "serve/dynamic.hpp"
 #include "serve/server.hpp"
 #include "shortcut/serialize.hpp"
 
@@ -156,35 +174,102 @@ QueryRequest parse_topk(const std::string& rest, QueryEngine engine) {
   return req;
 }
 
-std::string stats_line(const SsspServer& server) {
-  const ServerStats s = server.stats();
-  const auto& lat = server.latency();
-  char buf[256];
+/// "<u> <v> <w>[;<u> <v> <w>...]" -> weight updates. Throws on any
+/// malformed piece; weights share parse_vertex's strict digits contract.
+std::vector<WeightUpdate> parse_updates(const std::string& rest) {
+  std::vector<WeightUpdate> updates;
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    std::size_t semi = rest.find(';', pos);
+    if (semi == std::string::npos) semi = rest.size();
+    const std::string item = rest.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (item.empty()) continue;
+    const std::size_t s1 = item.find(' ');
+    const std::size_t s2 =
+        s1 == std::string::npos ? std::string::npos : item.find(' ', s1 + 1);
+    if (s2 == std::string::npos) {
+      throw std::invalid_argument("expected '<u> <v> <w>[;...]'");
+    }
+    WeightUpdate up;
+    up.u = parse_vertex(item.substr(0, s1));
+    up.v = parse_vertex(item.substr(s1 + 1, s2 - s1 - 1));
+    up.w = static_cast<Weight>(parse_vertex(item.substr(s2 + 1)));
+    updates.push_back(up);
+  }
+  if (updates.empty()) {
+    throw std::invalid_argument("expected '<u> <v> <w>[;...]'");
+  }
+  return updates;
+}
+
+std::string format_update_report(const rs::serve::UpdateReport& r) {
+  char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "accepted=%llu completed=%llu cache_hits=%llu "
-                "cache_misses=%llu batches=%llu mean_batch=%.2f "
-                "p50_us=%llu p99_us=%llu",
-                static_cast<unsigned long long>(s.accepted),
-                static_cast<unsigned long long>(s.completed),
-                static_cast<unsigned long long>(s.cache_hits),
-                static_cast<unsigned long long>(s.cache_misses),
-                static_cast<unsigned long long>(s.batches), s.mean_batch(),
-                static_cast<unsigned long long>(lat.value_at_quantile(0.50)),
-                static_cast<unsigned long long>(lat.value_at_quantile(0.99)));
+                "ok epoch=%llu updated=%llu dirty=%llu/%llu ms=%.2f",
+                static_cast<unsigned long long>(r.epoch),
+                static_cast<unsigned long long>(r.updated_arcs),
+                static_cast<unsigned long long>(r.dirty_balls),
+                static_cast<unsigned long long>(r.total_balls),
+                r.incremental_ms);
   return buf;
 }
 
+std::string format_targets(const QueryResponse& resp, bool topk) {
+  std::string out;
+  for (const TargetResult& tr : resp.targets) {
+    if (!out.empty()) out += ' ';
+    if (topk) {
+      out += std::to_string(tr.target);
+      out += ':';
+    }
+    out += tr.dist == kInfDist ? "inf" : std::to_string(tr.dist);
+  }
+  if (out.empty()) out = topk ? "none" : "";
+  return out;
+}
+
 /// Serves one protocol line; always returns exactly one response line.
-/// Recognizes the v2 verbs (q / topk / stats / epoch) and falls back to
+/// Recognizes the v2 verbs (q / topk / stats / epoch, plus the dynamic
+/// update / stage / flush / qc when `dyn` is non-null) and falls back to
 /// the bare legacy "<source> <targets>" form for anything else.
-std::string answer_line(SsspServer& server, const SsspEngine& engine,
+std::string answer_line(SsspServer& server, rs::serve::DynamicSsspService* dyn,
                         const std::string& line, QueryEngine qe) {
   const std::size_t sp = line.find(' ');
   const std::string verb = line.substr(0, sp);
   const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
 
-  if (verb == "stats") return stats_line(server);
-  if (verb == "epoch") return std::to_string(engine.graph_epoch());
+  if (verb == "stats") return format_stats_line(server);
+  if (verb == "epoch") {
+    return std::to_string(server.engine_snapshot()->graph_epoch());
+  }
+  if (verb == "update" || verb == "stage" || verb == "flush" ||
+      verb == "qc") {
+    if (dyn == nullptr) {
+      return "error: dynamic verbs need --dynamic 1 (in-process "
+             "preprocessing)";
+    }
+    try {
+      if (verb == "update") {
+        return format_update_report(dyn->apply_updates(parse_updates(rest)));
+      }
+      if (verb == "stage") {
+        const rs::serve::UpdateReport r = dyn->stage(parse_updates(rest));
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "staged epoch=%llu updated=%llu pending=%llu",
+                      static_cast<unsigned long long>(r.epoch),
+                      static_cast<unsigned long long>(r.updated_arcs),
+                      static_cast<unsigned long long>(r.staged));
+        return buf;
+      }
+      if (verb == "flush") return format_update_report(dyn->flush());
+      return format_targets(dyn->serve_corrected(parse_line(rest, qe)),
+                            /*topk=*/false);
+    } catch (const std::exception& e) {
+      return std::string("error: ") + e.what();
+    }
+  }
 
   QueryRequest req;
   try {
@@ -204,18 +289,7 @@ std::string answer_line(SsspServer& server, const SsspEngine& engine,
   if (status != SubmitStatus::kAccepted) {
     return std::string("error: ") + to_string(status);
   }
-  const QueryResponse resp = fut.get();
-  std::string out;
-  for (const TargetResult& tr : resp.targets) {
-    if (!out.empty()) out += ' ';
-    if (topk) {
-      out += std::to_string(tr.target);
-      out += ':';
-    }
-    out += tr.dist == kInfDist ? "inf" : std::to_string(tr.dist);
-  }
-  if (out.empty()) out = topk ? "none" : "";
-  return out;
+  return format_targets(fut.get(), topk);
 }
 
 void print_stats(const SsspServer& server) {
@@ -252,8 +326,8 @@ void on_signal(int) {
 /// Blocking TCP front-end: line protocol, one thread per connection. All
 /// connections feed the same server, so requests from different clients
 /// coalesce into shared micro-batches.
-int tcp_serve(SsspServer& server, const SsspEngine& eng, QueryEngine engine,
-              int port) {
+int tcp_serve(SsspServer& server, rs::serve::DynamicSsspService* dyn,
+              QueryEngine engine, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("sssp_serve: socket");
@@ -280,7 +354,7 @@ int tcp_serve(SsspServer& server, const SsspEngine& eng, QueryEngine engine,
   while (g_stop == 0) {
     const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) break;  // listener closed by the signal handler
-    conns.emplace_back([client, &server, &eng, engine] {
+    conns.emplace_back([client, &server, dyn, engine] {
       std::string buf;
       char chunk[4096];
       ssize_t got;
@@ -293,7 +367,7 @@ int tcp_serve(SsspServer& server, const SsspEngine& eng, QueryEngine engine,
           buf.erase(0, nl + 1);
           if (line.empty()) continue;
           const std::string reply =
-              answer_line(server, eng, line, engine) + "\n";
+              answer_line(server, dyn, line, engine) + "\n";
           if (::write(client, reply.data(), reply.size()) < 0) break;
         }
       }
@@ -306,7 +380,7 @@ int tcp_serve(SsspServer& server, const SsspEngine& eng, QueryEngine engine,
 }
 
 /// Stdin front-end: one request line in, one response line out.
-int stdio_serve(SsspServer& server, const SsspEngine& eng,
+int stdio_serve(SsspServer& server, rs::serve::DynamicSsspService* dyn,
                 QueryEngine engine) {
   std::string line;
   char chunk[4096];
@@ -316,7 +390,7 @@ int stdio_serve(SsspServer& server, const SsspEngine& eng,
       line.pop_back();
     }
     if (line.empty()) continue;
-    std::printf("%s\n", answer_line(server, eng, line, engine).c_str());
+    std::printf("%s\n", answer_line(server, dyn, line, engine).c_str());
     std::fflush(stdout);
   }
   return 0;
@@ -404,6 +478,73 @@ int demo() {
               "verified (%llu cache hits)\n",
               kTotal, kClients,
               static_cast<unsigned long long>(s.cache_hits));
+
+  // Dynamic segment: churn weights through the live-update service. Each
+  // round stages a batch (answers corrected against the published epoch
+  // must match Dijkstra on the mutated graph), then flushes (the swapped
+  // epoch must serve the same row natively).
+  rs::serve::DynamicSsspService::Options dopts;
+  dopts.preprocess = popts;
+  dopts.server = opts;
+  rs::serve::DynamicSsspService dyn(g, dopts);
+  Graph shadow = g;
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<Weight> wdist(1, 1000);
+  int dyn_mismatches = 0;
+  for (int round = 0; round < 3; ++round) {
+    std::uniform_int_distribution<EdgeId> adist(0, shadow.num_edges() - 1);
+    std::vector<WeightUpdate> batch;
+    for (int i = 0; i < 4; ++i) {
+      const EdgeId e = adist(rng);
+      Vertex u = 0;
+      while (shadow.last_arc(u) <= e) ++u;
+      batch.push_back(WeightUpdate{u, shadow.arc_target(e), wdist(rng)});
+    }
+    shadow = apply_weight_updates(shadow, batch).graph;
+    dyn.stage(batch);
+    const std::vector<Vertex> sources = {0, 99};
+    std::vector<QueryRequest> reqs;
+    for (const Vertex source : sources) {
+      QueryRequest req;
+      req.source = source;
+      req.targets.push_back(static_cast<Vertex>(round * 37 + 11));
+      req.targets.push_back(static_cast<Vertex>(shadow.num_vertices() - 1));
+      reqs.push_back(std::move(req));
+    }
+    // Staged but not flushed: the corrected path must already be exact.
+    for (const QueryRequest& req : reqs) {
+      const std::vector<Dist> want = dijkstra(shadow, req.source);
+      const QueryResponse corrected = dyn.serve_corrected(req);
+      for (std::size_t j = 0; j < req.targets.size(); ++j) {
+        if (corrected.targets[j].dist != want[req.targets[j]]) {
+          ++dyn_mismatches;
+        }
+      }
+    }
+    dyn.flush();
+    // Swapped epoch: the daemon serves the new weights natively.
+    for (const QueryRequest& req : reqs) {
+      const std::vector<Dist> want = dijkstra(shadow, req.source);
+      const QueryResponse swapped = dyn.server().serve_sync(req);
+      for (std::size_t j = 0; j < req.targets.size(); ++j) {
+        if (swapped.targets[j].dist != want[req.targets[j]]) {
+          ++dyn_mismatches;
+        }
+      }
+    }
+  }
+  const std::uint64_t final_epoch = dyn.server().stats().epoch;
+  if (dyn_mismatches != 0 || final_epoch < 2) {
+    std::fprintf(stderr,
+                 "sssp_serve demo: dynamic FAILED (%d mismatches, "
+                 "epoch=%llu)\n",
+                 dyn_mismatches,
+                 static_cast<unsigned long long>(final_epoch));
+    return 1;
+  }
+  std::printf("sssp_serve demo: dynamic churn verified across %llu "
+              "epoch swaps\n",
+              static_cast<unsigned long long>(final_epoch - 1));
   return 0;
 }
 
@@ -419,17 +560,6 @@ int main(int argc, char** argv) {
                       graph_path.substr(graph_path.size() - 3) == ".gr"
                   ? io::read_dimacs_file(graph_path)
                   : io::read_edge_list_file(graph_path);
-
-    SsspEngine engine = [&] {
-      if (args.positional().size() >= 2) {
-        return SsspEngine(std::move(g),
-                          load_preprocessing_file(args.positional()[1]));
-      }
-      PreprocessOptions popts;
-      popts.rho = static_cast<Vertex>(args.get_int("--rho", 64));
-      popts.k = static_cast<Vertex>(args.get_int("--k", 3));
-      return SsspEngine(std::move(g), popts);
-    }();
 
     ServerOptions opts;
     opts.queue_capacity =
@@ -451,10 +581,41 @@ int main(int argc, char** argv) {
                            : which == "bstflat" ? QueryEngine::kBstFlat
                                                 : QueryEngine::kFlat;
 
-    SsspServer server(engine, opts);
+    PreprocessOptions popts;
+    popts.rho = static_cast<Vertex>(args.get_int("--rho", 64));
+    popts.k = static_cast<Vertex>(args.get_int("--k", 3));
+
+    // --dynamic needs the preprocessor's warm state, so it is only
+    // available on the in-process preprocessing path; a loaded .pre file
+    // serves the static flow unchanged.
+    std::unique_ptr<rs::serve::DynamicSsspService> dyn;
+    std::unique_ptr<SsspServer> static_server;
+    if (args.get_int("--dynamic", 0) != 0) {
+      if (args.positional().size() >= 2) {
+        throw std::invalid_argument(
+            "--dynamic 1 requires in-process preprocessing (omit the "
+            ".pre file)");
+      }
+      rs::serve::DynamicSsspService::Options dopts;
+      dopts.preprocess = popts;
+      dopts.server = opts;
+      dyn = std::make_unique<rs::serve::DynamicSsspService>(std::move(g),
+                                                            dopts);
+    } else {
+      auto engine = args.positional().size() >= 2
+                        ? std::make_shared<const SsspEngine>(
+                              std::move(g),
+                              load_preprocessing_file(args.positional()[1]))
+                        : std::make_shared<const SsspEngine>(std::move(g),
+                                                             popts);
+      static_server =
+          std::make_unique<SsspServer>(std::move(engine), opts);
+    }
+    SsspServer& server = dyn != nullptr ? dyn->server() : *static_server;
+
     const int port = static_cast<int>(args.get_int("--port", 0));
-    const int rc = port > 0 ? tcp_serve(server, engine, qe, port)
-                            : stdio_serve(server, engine, qe);
+    const int rc = port > 0 ? tcp_serve(server, dyn.get(), qe, port)
+                            : stdio_serve(server, dyn.get(), qe);
     server.drain();
     print_stats(server);
     server.shutdown();

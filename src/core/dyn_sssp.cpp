@@ -1,0 +1,115 @@
+#include "core/dyn_sssp.hpp"
+
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace rs {
+
+void repair_distance_row(const Graph& g, const Graph& transpose,
+                         Vertex source,
+                         const std::vector<ArcChange>& changes,
+                         std::vector<Dist>& dist, RepairStats* stats) {
+  const Vertex n = g.num_vertices();
+  if (dist.size() != n || source >= n || dist[source] != 0) {
+    throw std::invalid_argument(
+        "repair_distance_row: dist must be a full row with dist[source]==0");
+  }
+  if (changes.empty()) return;
+
+  // Old weight per arc: the change list for touched arcs, the (unchanged)
+  // CSR weight for everything else.
+  std::unordered_map<EdgeId, Weight> old_w;
+  old_w.reserve(changes.size());
+  for (const ArcChange& c : changes) old_w.emplace(c.arc, c.w_old);
+  const auto weight_before = [&](EdgeId e) {
+    const auto it = old_w.find(e);
+    return it == old_w.end() ? g.arc_weight(e) : it->second;
+  };
+
+  // Phase 1 — dirty closure. A vertex is dirty when its old label was
+  // supported (possibly transitively) by an increased arc: seed at heads
+  // whose label the increased arc produced, then follow support arcs
+  // d[x] + w_old(x, y) == d[y] forward. Over-approximation is fine (a
+  // falsely-dirty vertex is just re-derived); missing a truly dirty vertex
+  // is not, so ANY supporting arc propagates. The source (label 0) can
+  // never be supported (weights >= 1), and infinite labels have no
+  // support, so both stay clean.
+  std::vector<std::uint8_t> dirty(n, 0);
+  std::vector<Vertex> dirty_list;
+  for (const ArcChange& c : changes) {
+    if (c.w_new <= c.w_old) continue;
+    if (dirty[c.v] || c.v == source) continue;
+    if (dist[c.u] == kInfDist || dist[c.v] == kInfDist) continue;
+    if (dist[c.u] + c.w_old == dist[c.v]) {
+      dirty[c.v] = 1;
+      dirty_list.push_back(c.v);
+    }
+  }
+  for (std::size_t qi = 0; qi < dirty_list.size(); ++qi) {
+    const Vertex x = dirty_list[qi];
+    for (EdgeId e = g.first_arc(x); e < g.last_arc(x); ++e) {
+      const Vertex y = g.arc_target(e);
+      if (dirty[y] || y == source || dist[y] == kInfDist) continue;
+      if (dist[x] + weight_before(e) == dist[y]) {
+        dirty[y] = 1;
+        dirty_list.push_back(y);
+      }
+    }
+  }
+  if (stats != nullptr) stats->dirty = dirty_list.size();
+
+  // Phase 2 — seeds. Dirty vertices are re-derived from their CLEAN
+  // in-neighbours under the new weights (clean labels are achievable
+  // upper bounds, so the derived label is too); decreased arcs relax
+  // their heads directly. Both kinds enter one lazy-deletion heap.
+  using HeapEntry = std::pair<Dist, Vertex>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (const Vertex x : dirty_list) {
+    Dist best = kInfDist;
+    for (EdgeId e = transpose.first_arc(x); e < transpose.last_arc(x); ++e) {
+      const Vertex y = transpose.arc_target(e);
+      if (dirty[y] || dist[y] == kInfDist) continue;
+      const Dist cand = dist[y] + transpose.arc_weight(e);
+      if (cand < best) best = cand;
+    }
+    dist[x] = best;
+    if (best != kInfDist) heap.emplace(best, x);
+  }
+  for (const ArcChange& c : changes) {
+    if (c.w_new >= c.w_old) continue;
+    if (dist[c.u] == kInfDist) continue;
+    const Dist cand = dist[c.u] + c.w_new;
+    if (cand < dist[c.v]) {
+      dist[c.v] = cand;
+      heap.emplace(cand, c.v);
+    }
+  }
+
+  // Phase 3 — lazy-deletion Dijkstra over the new weights. Labels only
+  // ever decrease from here, so an entry whose key no longer matches its
+  // label is stale and skipped. Clean vertices that were already exact
+  // never enter the heap; their outgoing influence on dirty neighbours
+  // was captured by the transpose seeding above.
+  while (!heap.empty()) {
+    const auto [d, x] = heap.top();
+    heap.pop();
+    if (stats != nullptr) ++stats->heap_pops;
+    if (d != dist[x]) continue;  // stale
+    for (EdgeId e = g.first_arc(x); e < g.last_arc(x); ++e) {
+      if (stats != nullptr) ++stats->relaxations;
+      const Vertex y = g.arc_target(e);
+      const Dist nd = d + g.arc_weight(e);
+      if (nd < dist[y]) {
+        dist[y] = nd;
+        heap.emplace(nd, y);
+      }
+    }
+  }
+}
+
+}  // namespace rs

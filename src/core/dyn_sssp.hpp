@@ -1,0 +1,62 @@
+/// \file
+/// Online correction of a shortest-path row after weight updates — the
+/// serving stopgap between incremental re-preprocesses.
+///
+/// A full (even incremental) re-preprocess is too heavy to run per update
+/// batch under live traffic. Following the self-stabilizing SSSP kernels
+/// of Kanewala et al. (PAPERS.md), an exact distance row for the OLD
+/// weights can be repaired into an exact row for the NEW weights with
+/// work proportional to the affected region:
+///
+///  * weight DECREASES are plain relaxations seeded from the changed
+///    arcs: d[v] <- min(d[v], d[u] + w_new) and propagate;
+///  * weight INCREASES may strand vertices on labels that are no longer
+///    achievable. Every vertex whose shortest path USED an increased arc
+///    is found by a forward closure over the old tree's support arcs
+///    (d[x] + w_old(x,y) == d[y]) — the "dirty subtree" — and re-seeded
+///    from its clean in-neighbours through the cached transpose;
+///  * one lazy-deletion Dijkstra pass over the seeds then settles both
+///    kinds exactly.
+///
+/// Weight updates never change topology, so reachability is invariant:
+/// infinite labels stay infinite and are skipped wholesale. The kernel is
+/// exact on directed graphs, self-loops, and parallel arcs (the
+/// adversarial suite pins this against a from-scratch Dijkstra).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "graph/update.hpp"
+
+namespace rs {
+
+/// Work counters of one repair_distance_row() call.
+struct RepairStats {
+  /// Vertices invalidated by the increase closure.
+  std::size_t dirty = 0;
+  /// Heap pops of the settling pass (stale entries included).
+  std::size_t heap_pops = 0;
+  /// Arc relaxations attempted by the settling pass.
+  std::size_t relaxations = 0;
+};
+
+/// Repairs `dist` — an exact distance row from `source` under the OLD
+/// weights — into the exact row under the NEW weights of `g`, in place.
+///
+/// `g` is the post-update graph, `transpose` its transposed() view (in-arc
+/// access for re-seeding dirty vertices), and `changes` the per-arc deltas
+/// from apply_weight_updates() — arc ids must refer to `g`'s CSR. `dist`
+/// must have one entry per vertex with dist[source] == 0; throws
+/// std::invalid_argument otherwise. Cost is roughly the settled region's
+/// Dijkstra work plus the dirty closure — independent of n when the
+/// change's influence is local.
+void repair_distance_row(const Graph& g, const Graph& transpose,
+                         Vertex source,
+                         const std::vector<ArcChange>& changes,
+                         std::vector<Dist>& dist,
+                         RepairStats* stats = nullptr);
+
+}  // namespace rs

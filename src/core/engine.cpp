@@ -50,6 +50,17 @@ SsspEngine& SsspEngine::operator=(const SsspEngine& other) {
   return *this;
 }
 
+SsspEngine SsspEngine::next_epoch(const SsspEngine& prior, Graph original,
+                                  PreprocessResult pre) {
+  SsspEngine next(std::move(original), std::move(pre));
+  next.graph_epoch_ = prior.graph_epoch_ + 1;
+  if (prior.fragments_ != nullptr) {
+    next.enable_fragments(prior.fragments_->num_fragments(),
+                          prior.fragment_mode_);
+  }
+  return next;
+}
+
 void SsspEngine::enable_fragments(std::size_t count, PartitionMode mode) {
   fragments_ = std::make_shared<const FragmentedGraph>(pre_.graph, count, mode);
   fragment_mode_ = mode;

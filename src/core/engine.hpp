@@ -1,23 +1,32 @@
-// SsspEngine: the batteries-included entry point a downstream application
-// uses. Owns the preprocessed (k, rho)-graph and radii and serves typed
-// QueryRequests with the engine of your choice (core/request.hpp).
-//
-//   SsspEngine engine(graph, {.rho = 64, .k = 3});
-//   QueryRequest req;
-//   req.source = s;
-//   req.targets = {a, b, c};   // early termination: exits once a, b, c
-//   req.want_paths = true;     // settle (exact at a fraction of the rounds)
-//   QueryResponse resp = engine.serve(req);
-//
-// Serving hot path: serve() with a caller-owned QueryContext (and a reused
-// QueryResponse) answers warm targeted requests with zero heap
-// allocations; serve_batch() runs the multi-source regime preprocessing is
-// amortized over (§5.4) with two-level parallelism — request-parallel
-// across a per-worker context pool when the batch is at least as wide as
-// the worker count, intra-query parallelism otherwise.
-//
-// The pre-PR5 API (query / query_batch / path) remains as thin wrappers
-// over serve*: a query() is exactly a serve() with want_full_distances.
+/// \file
+/// SsspEngine: the batteries-included entry point a downstream application
+/// uses. Owns the preprocessed (k, rho)-graph and radii and serves typed
+/// QueryRequests with the engine of your choice (core/request.hpp).
+///
+/// \code
+///   SsspEngine engine(graph, {.rho = 64, .k = 3});
+///   QueryRequest req;
+///   req.source = s;
+///   req.targets = {a, b, c};   // early termination: exits once a, b, c
+///   req.want_paths = true;     // expanded original-graph paths
+///   QueryResponse resp = engine.serve(req);
+/// \endcode
+///
+/// Serving hot path: serve() with a caller-owned QueryContext (and a
+/// reused QueryResponse) answers warm targeted requests with zero heap
+/// allocations; serve_batch() runs the multi-source regime preprocessing
+/// is amortized over (§5.4) with two-level parallelism —
+/// request-parallel across a per-worker context pool when the batch is at
+/// least as wide as the worker count, intra-query parallelism otherwise.
+///
+/// The pre-PR5 API (query / query_batch / path) remains as thin wrappers
+/// over serve*: a query() is exactly a serve() with want_full_distances.
+///
+/// Dynamic graphs: engines are immutable-after-publish snapshots. A live
+/// deployment wraps each engine in a shared_ptr, serves through
+/// SnapshotSwap pins (graph/graph_swap.hpp), and produces successors with
+/// next_epoch() — the epoch stamp keeps cache/oracle invalidation exact
+/// across swaps.
 #pragma once
 
 #include <deque>
@@ -36,12 +45,18 @@
 
 namespace rs {
 
+/// Legacy full-distance query result (the pre-PR5 API shape).
 struct QueryResult {
+  /// The query's source vertex.
   Vertex source = kNoVertex;
+  /// dist[v] = shortest distance source -> v (kInfDist if unreachable).
   std::vector<Dist> dist;
+  /// Execution counters of the run (steps, relaxations, ...).
   RunStats stats;
 };
 
+/// Radius-Stepping SSSP engine over one preprocessed (k, rho)-graph
+/// snapshot (see file comment for the serving model).
 class SsspEngine {
  public:
   /// Preprocesses `g` (ball searches + shortcuts per `opts`). The original
@@ -58,12 +73,24 @@ class SsspEngine {
   /// Wraps an existing preprocessing result (e.g. loaded from disk).
   SsspEngine(Graph original, PreprocessResult pre);
 
-  // Copies share nothing: each engine gets its own (cold) context pool.
-  // Moves transfer the warm pool with the engine.
+  /// Copies share the immutable fragment substrate and keep the epoch but
+  /// get their own (cold) context pool.
   SsspEngine(const SsspEngine& other);
+  /// Copy assignment: same sharing rules as the copy constructor.
   SsspEngine& operator=(const SsspEngine& other);
+  /// Moves transfer the warm pool with the engine.
   SsspEngine(SsspEngine&&) = default;
+  /// Move assignment: transfers the warm pool with the engine.
   SsspEngine& operator=(SsspEngine&&) = default;
+
+  /// Builds the successor snapshot of `prior` for a graph swap: a fresh
+  /// engine over (original, pre) whose graph_epoch() is
+  /// prior.graph_epoch() + 1, with the fragment substrate re-partitioned
+  /// the same way when `prior` had one. `prior` is not touched — it keeps
+  /// serving until the caller publishes the successor (e.g. via
+  /// SsspServer::swap_engine) and the last reader unpins it.
+  static SsspEngine next_epoch(const SsspEngine& prior, Graph original,
+                               PreprocessResult pre);
 
   /// Serves one request (semantics in core/request.hpp): per-target
   /// distances — and optional expanded paths — in O(|targets|) space,
@@ -132,12 +159,16 @@ class SsspEngine {
   /// (wrong-sized or default-constructed distance vector).
   std::vector<Vertex> path(const QueryResult& q, Vertex target) const;
 
+  /// The input graph (no shortcuts) — the one paths are expressed in.
   const Graph& original_graph() const { return original_; }
+  /// The (k, rho)-graph queries actually run on (original + shortcuts).
   const Graph& preprocessed_graph() const { return pre_.graph; }
+  /// Full preprocessing artifact: graph, radii, options, edge accounting.
   const PreprocessResult& preprocessing() const { return pre_; }
 
   /// Preprocessing generation this engine is serving. Starts at 1 and is
-  /// bumped by every replace(); responses are stamped with it
+  /// bumped by every replace() and next_epoch(); responses are stamped
+  /// with it
   /// (QueryResponse::graph_epoch), and the caching layer
   /// (serve/result_cache.hpp, serve/landmark_oracle.hpp) keys on it so a
   /// graph swap implicitly invalidates every cached row. Copies keep the

@@ -1,30 +1,34 @@
-// The typed serving surface of SsspEngine: QueryRequest in, QueryResponse
-// out.
-//
-// The paper's preprocessing cost is amortized over many queries (§5.4),
-// and most consumers of such a service — point-to-point routers,
-// reachability checks, k-nearest lookups — read a handful of targets per
-// request. A QueryRequest says exactly what the caller needs; the engine
-// then does only that much work:
-//
-//  * `targets` non-empty and `want_full_distances` false is the targeted
-//    regime: the run terminates early, at the first step boundary where
-//    every requested target is settled. Radius-Stepping settles vertices
-//    in rounds of nondecreasing distance (Theorem 3.1: by the end of step
-//    i every vertex with delta <= d_i is final), so the early exit is
-//    EXACT — the per-target distances equal a full run's — while executing
-//    a fraction of the rounds when the targets are near the source.
-//  * the response is O(|targets|) space: per-target distances are read
-//    straight out of the engine's working distance array (zero-copy — the
-//    O(n) dist vector is neither copied nor allocated) and optional paths
-//    are expanded by a targeted backward walk over the cached transpose.
-//    The request epilogue is O(touched), not O(n): every engine records
-//    first-touches in its relax loop and the context resets exactly those
-//    entries (QueryContext::reset_touched), so an early-terminated request
-//    does work proportional to what it actually explored.
-//  * `want_full_distances` requests the classic O(n) dist vector; it
-//    disables early termination (a partial vector would not be the full
-//    answer) and makes the response equivalent to the legacy query() API.
+/// \file
+/// The typed serving surface of SsspEngine: QueryRequest in,
+/// QueryResponse out.
+///
+/// The paper's preprocessing cost is amortized over many queries (§5.4),
+/// and most consumers of such a service — point-to-point routers,
+/// reachability checks, k-nearest lookups — read a handful of targets per
+/// request. A QueryRequest says exactly what the caller needs; the engine
+/// then does only that much work:
+///
+///  * `targets` non-empty and `want_full_distances` false is the targeted
+///    regime: the run terminates early, at the first step boundary where
+///    every requested target is settled. Radius-Stepping settles vertices
+///    in rounds of nondecreasing distance (Theorem 3.1: by the end of
+///    step i every vertex with delta <= d_i is final), so the early exit
+///    is EXACT — the per-target distances equal a full run's — while
+///    executing a fraction of the rounds when the targets are near the
+///    source.
+///  * the response is O(|targets|) space: per-target distances are read
+///    straight out of the engine's working distance array (zero-copy —
+///    the O(n) dist vector is neither copied nor allocated) and optional
+///    paths are expanded by a targeted backward walk over the cached
+///    transpose. The request epilogue is O(touched), not O(n): every
+///    engine records first-touches in its relax loop and the context
+///    resets exactly those entries (QueryContext::reset_touched), so an
+///    early-terminated request does work proportional to what it actually
+///    explored.
+///  * `want_full_distances` requests the classic O(n) dist vector; it
+///    disables early termination (a partial vector would not be the full
+///    answer) and makes the response equivalent to the legacy query()
+///    API.
 #pragma once
 
 #include <cstdint>
@@ -37,15 +41,16 @@ namespace rs {
 
 /// Which Radius-Stepping implementation answers a request.
 enum class QueryEngine : std::uint8_t {
-  kFlat,        // atomic-array engine (default; fastest)
-  kBst,         // Algorithm 2 on the arena-treap substrate (O(p log q) sets)
-  kBstFlat,     // Algorithm 2 on the flat sorted-array substrate
-  kUnweighted,  // BFS-style engine; only valid when the graph is unit-weight
-                // and preprocessing added no shortcut edges
-  kFragment,    // fragment-parallel engine over the partitioned substrate
-                // (core/rs_fragment.hpp); only valid after
-                // SsspEngine::enable_fragments(); distances bit-identical
-                // to kFlat
+  kFlat,        ///< Atomic-array engine (default; fastest).
+  kBst,         ///< Algorithm 2 on the arena-treap substrate (O(p log q)
+                ///< set operations).
+  kBstFlat,     ///< Algorithm 2 on the flat sorted-array substrate.
+  kUnweighted,  ///< BFS-style engine; only valid when the graph is
+                ///< unit-weight and preprocessing added no shortcuts.
+  kFragment,    ///< Fragment-parallel engine over the partitioned
+                ///< substrate (core/rs_fragment.hpp); only valid after
+                ///< SsspEngine::enable_fragments(); distances
+                ///< bit-identical to kFlat.
 };
 
 /// What a request asks for.
@@ -67,6 +72,7 @@ enum class RequestKind : std::uint8_t {
 /// `targets`, the `k` nearest vertices (kTopK), or the full distance
 /// vector when `want_full_distances`.
 struct QueryRequest {
+  /// The SSSP source vertex; must be < num_vertices().
   Vertex source = kNoVertex;
 
   /// What is being asked: targeted distances (default) or k-nearest.
@@ -105,6 +111,7 @@ struct QueryRequest {
   /// Forces a full run: early termination is disabled.
   bool want_full_distances = false;
 
+  /// Which Radius-Stepping implementation answers this request.
   QueryEngine engine = QueryEngine::kFlat;
 };
 
@@ -113,20 +120,23 @@ struct QueryRequest {
 /// kTopK fills the k nearest vertices in nondecreasing (dist, vertex)
 /// order, `target` being the ranked vertex itself.
 struct TargetResult {
-  Vertex target = kNoVertex;
-  Dist dist = kInfDist;  // kInfDist == unreachable
+  Vertex target = kNoVertex;  ///< The vertex this entry answers for.
+  Dist dist = kInfDist;       ///< d(source, target); kInfDist == unreachable.
   /// source..target inclusive; empty when unreachable or !want_paths.
   /// For target == source the path is the single vertex {source}.
   std::vector<Vertex> path;
 };
 
+/// The answer to one QueryRequest; layout mirrors the request.
 struct QueryResponse {
+  /// Echo of QueryRequest::source.
   Vertex source = kNoVertex;
   /// kTargets: parallel to QueryRequest::targets (same order, same
   /// multiplicity). kTopK: the k nearest vertices, nearest first.
   std::vector<TargetResult> targets;
   /// Full distance vector; filled iff want_full_distances, else empty.
   std::vector<Dist> dist;
+  /// Step/relaxation counters from the run that produced this answer.
   RunStats stats;
 
   // Provenance: where and when this answer came from.

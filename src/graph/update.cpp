@@ -1,0 +1,80 @@
+#include "graph/update.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rs {
+
+namespace {
+
+/// Sets every arc u->v in `weights` to `w`; records each touched arc's
+/// pre-BATCH weight into `first_old` (insert-if-absent, so repeated
+/// updates to one edge keep the original). Returns the number of arcs hit.
+std::size_t rewrite_arcs(const Graph& g, std::vector<Weight>& weights,
+                         Vertex u, Vertex v, Weight w,
+                         std::map<EdgeId, Weight>& first_old) {
+  std::size_t hit = 0;
+  for (EdgeId e = g.first_arc(u); e < g.last_arc(u); ++e) {
+    if (g.arc_target(e) != v) continue;
+    first_old.emplace(e, weights[e]);
+    weights[e] = w;
+    ++hit;
+  }
+  return hit;
+}
+
+}  // namespace
+
+UpdateApplication apply_weight_updates(
+    const Graph& g, const std::vector<WeightUpdate>& updates) {
+  const Vertex n = g.num_vertices();
+  std::vector<Weight> weights = g.weights();
+  std::map<EdgeId, Weight> first_old;  // ordered: changes come out sorted
+
+  for (const WeightUpdate& up : updates) {
+    if (up.u >= n || up.v >= n) {
+      throw std::invalid_argument("apply_weight_updates: vertex out of range");
+    }
+    if (up.w < 1) {
+      throw std::invalid_argument("apply_weight_updates: weight must be >= 1");
+    }
+    std::size_t hit = rewrite_arcs(g, weights, up.u, up.v, up.w, first_old);
+    if (up.u != up.v) {
+      hit += rewrite_arcs(g, weights, up.v, up.u, up.w, first_old);
+    }
+    if (hit == 0) {
+      throw std::invalid_argument(
+          "apply_weight_updates: no arc between " + std::to_string(up.u) +
+          " and " + std::to_string(up.v));
+    }
+  }
+
+  UpdateApplication out;
+  out.changes.reserve(first_old.size());
+  for (const auto& [arc, w_old] : first_old) {
+    if (weights[arc] == w_old) continue;  // batch-level no-op
+    ArcChange c;
+    c.arc = arc;
+    c.v = g.arc_target(arc);
+    c.w_old = w_old;
+    c.w_new = weights[arc];
+    out.changes.push_back(c);
+  }
+  // Fill tails with one offsets sweep instead of a per-arc binary search.
+  if (!out.changes.empty()) {
+    std::size_t i = 0;
+    for (Vertex u = 0; u < n && i < out.changes.size(); ++u) {
+      while (i < out.changes.size() && out.changes[i].arc < g.last_arc(u)) {
+        out.changes[i].u = u;
+        ++i;
+      }
+    }
+  }
+  out.graph = Graph(g.offsets(), g.targets(), std::move(weights));
+  return out;
+}
+
+}  // namespace rs

@@ -1,34 +1,37 @@
-// LandmarkOracle: precomputed landmark distance rows feeding ALT-style
-// admissible lower bounds into the targeted early-termination machinery.
-//
-// ALT (A* + Landmarks + Triangle inequality): with exact distances from a
-// landmark L, the triangle inequality d(L,t) <= d(L,s) + d(s,t) gives the
-// admissible lower bound
-//
-//     d(s,t) >= d(L,t) - d(L,s),
-//
-// valid on ANY directed graph because both rows are distances FROM L. On a
-// symmetric graph (every arc paired with its reverse at equal weight) the
-// mirrored term d(L,s) - d(L,t) is admissible too — opting in via
-// LandmarkOptions::assume_symmetric doubles the bound's power, but on a
-// directed graph it is WRONG and silently produces wrong distances, so the
-// default is the safe one-sided form.
-//
-// The serving engines consume the bounds through
-// QueryRequest::target_lower_bounds (annotate() fills them): a target
-// whose tentative distance reaches its bound is provably final
-// (tentative >= true >= bound forces equality), so a goal-directed request
-// can exit steps before the plain step-boundary check would fire — the
-// win is largest for far targets whose bound is tight, and zero for
-// landmarks that "see" source and target at similar distances. The exit
-// stays exact either way; a bound only ever ADDS early-exit opportunities.
-//
-// Landmark selection is the standard farthest-point heuristic: the first
-// landmark is seeded, each next one maximizes the minimum distance to the
-// chosen set — pushing landmarks toward the periphery, where the triangle
-// inequality is tightest. Rows are full-distance engine runs, so building
-// costs `count` SSSP computations; valid_for()/rebuild() tie the rows to
-// SsspEngine::graph_epoch() so a graph swap invalidates them.
+/// \file
+/// LandmarkOracle: precomputed landmark distance rows feeding ALT-style
+/// admissible lower bounds into the targeted early-termination machinery.
+///
+/// ALT (A* + Landmarks + Triangle inequality): with exact distances from
+/// a landmark L, the triangle inequality d(L,t) <= d(L,s) + d(s,t) gives
+/// the admissible lower bound
+///
+///     d(s,t) >= d(L,t) - d(L,s),
+///
+/// valid on ANY directed graph because both rows are distances FROM L. On
+/// a symmetric graph (every arc paired with its reverse at equal weight)
+/// the mirrored term d(L,s) - d(L,t) is admissible too — opting in via
+/// LandmarkOptions::assume_symmetric doubles the bound's power, but on a
+/// directed graph it is WRONG and silently produces wrong distances, so
+/// the default is the safe one-sided form.
+///
+/// The serving engines consume the bounds through
+/// QueryRequest::target_lower_bounds (annotate() fills them): a target
+/// whose tentative distance reaches its bound is provably final
+/// (tentative >= true >= bound forces equality), so a goal-directed
+/// request can exit steps before the plain step-boundary check would fire
+/// — the win is largest for far targets whose bound is tight, and zero
+/// for landmarks that "see" source and target at similar distances. The
+/// exit stays exact either way; a bound only ever ADDS early-exit
+/// opportunities.
+///
+/// Landmark selection is the standard farthest-point heuristic: the first
+/// landmark is seeded, each next one maximizes the minimum distance to
+/// the chosen set — pushing landmarks toward the periphery, where the
+/// triangle inequality is tightest. Rows are full-distance engine runs,
+/// so building costs `count` SSSP computations; valid_for()/rebuild() tie
+/// the rows to SsspEngine::graph_epoch() so a graph swap invalidates
+/// them.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +46,7 @@
 
 namespace rs::serve {
 
+/// Selection and bound-form knobs for LandmarkOracle.
 struct LandmarkOptions {
   /// Landmarks to select (each costs one full SSSP at build time and one
   /// O(n) distance row of memory).
@@ -57,8 +61,10 @@ struct LandmarkOptions {
   bool assume_symmetric = false;
 };
 
+/// The ALT lower-bound oracle (see the file comment).
 class LandmarkOracle {
  public:
+  /// An empty oracle: valid_for() nothing, lower_bound() always 0.
   LandmarkOracle() = default;
   /// Builds rows immediately (count full SSSP runs).
   explicit LandmarkOracle(const SsspEngine& engine, LandmarkOptions opts = {});
@@ -74,14 +80,19 @@ class LandmarkOracle {
            n_ == engine.original_graph().num_vertices();
   }
 
+  /// SsspEngine::graph_epoch() the rows were built against (0 = unbuilt).
   std::uint64_t graph_epoch() const { return graph_epoch_; }
+  /// The selected landmark vertices, in selection order.
   const std::vector<Vertex>& landmarks() const { return landmarks_; }
+  /// Per-landmark full distance rows; rows()[i][v] == d(landmarks()[i], v).
   const std::vector<std::vector<Dist>>& rows() const { return rows_; }
 
   /// Serializes epoch + landmark rows ("RSLM" header). Rows cost `count`
   /// full SSSP runs to build, so a serving daemon persists them next to
   /// the `.pre` file and a restart skips the rebuild entirely.
   void save(std::ostream& out) const;
+  /// save() into the file at `path`; throws std::runtime_error on I/O
+  /// failure.
   void save_file(const std::string& path) const;
 
   /// Inverse of save(). Header counts are untrusted and bounds-checked
@@ -90,6 +101,8 @@ class LandmarkOracle {
   /// that do not fit the stream. Pair with valid_for() after loading —
   /// a stale epoch means the graph changed since the rows were built.
   static LandmarkOracle load(std::istream& in);
+  /// load() from the file at `path`; throws std::runtime_error on I/O
+  /// failure or a malformed payload.
   static LandmarkOracle load_file(const std::string& path);
 
   /// Admissible lower bound on d(s, t); 0 when no landmark helps.

@@ -1,35 +1,37 @@
-// ResultCache: sharded LRU cache of completed full-distance rows with
-// single-flight deduplication of concurrent misses.
-//
-// Millions of clients concentrate their queries on few sources (hub
-// airports, trending accounts). Radius-Stepping makes ONE query fast; the
-// cache makes the Nth query from the same source O(|targets|): a completed
-// full-distance row is kept keyed by (source, engine, graph_epoch), and
-// any later targeted request for that key is answered by projecting the
-// requested entries straight out of the row — no engine run, no O(n) work,
-// and (with a warm response) no heap allocation.
-//
-// Keying rules:
-//  * `source` — rows are per-source by construction.
-//  * `engine` — all engines produce bit-identical distances, but RunStats
-//    differ per engine and callers compare them; keying on the engine
-//    keeps a cached response bit-identical to the computed one.
-//  * `graph_epoch` — SsspEngine::graph_epoch() at compute time. A graph
-//    swap bumps the epoch, so every old row silently stops matching; the
-//    stale entries are reclaimed by LRU pressure or purge_stale().
-//
-// Single-flight: when a burst of requests misses the same key at once,
-// exactly one caller becomes the OWNER (computes the row) and the rest
-// become WAITERS on a shared future — one computation, N waiters, instead
-// of N identical engine runs. The owner MUST call fulfill() or fail();
-// a forgotten in-flight entry would park its waiters forever.
-//
-// Concurrency: keys hash onto independent shards, each a mutex + hash map
-// + intrusive LRU list of READY entries. A hit is a find + list splice
-// (allocation-free) under one shard lock. In-flight entries live in the
-// map but not in the LRU list and never count against capacity; clear()
-// and purge_stale() only touch ready entries, so a waiter's future is
-// never invalidated from under it.
+/// \file
+/// ResultCache: sharded LRU cache of completed full-distance rows with
+/// single-flight deduplication of concurrent misses.
+///
+/// Millions of clients concentrate their queries on few sources (hub
+/// airports, trending accounts). Radius-Stepping makes ONE query fast;
+/// the cache makes the Nth query from the same source O(|targets|): a
+/// completed full-distance row is kept keyed by (source, engine,
+/// graph_epoch), and any later targeted request for that key is answered
+/// by projecting the requested entries straight out of the row — no
+/// engine run, no O(n) work, and (with a warm response) no heap
+/// allocation.
+///
+/// Keying rules:
+///  * `source` — rows are per-source by construction.
+///  * `engine` — all engines produce bit-identical distances, but
+///    RunStats differ per engine and callers compare them; keying on the
+///    engine keeps a cached response bit-identical to the computed one.
+///  * `graph_epoch` — SsspEngine::graph_epoch() at compute time. A graph
+///    swap bumps the epoch, so every old row silently stops matching; the
+///    stale entries are reclaimed by LRU pressure or purge_stale().
+///
+/// Single-flight: when a burst of requests misses the same key at once,
+/// exactly one caller becomes the OWNER (computes the row) and the rest
+/// become WAITERS on a shared future — one computation, N waiters,
+/// instead of N identical engine runs. The owner MUST call fulfill() or
+/// fail(); a forgotten in-flight entry would park its waiters forever.
+///
+/// Concurrency: keys hash onto independent shards, each a mutex + hash
+/// map + intrusive LRU list of READY entries. A hit is a find + list
+/// splice (allocation-free) under one shard lock. In-flight entries live
+/// in the map but not in the LRU list and never count against capacity;
+/// clear() and purge_stale() only touch ready entries, so a waiter's
+/// future is never invalidated from under it.
 #pragma once
 
 #include <atomic>
@@ -50,6 +52,7 @@
 
 namespace rs::serve {
 
+/// Sizing knobs for ResultCache.
 struct ResultCacheOptions {
   /// Number of independent shards (rounded up to at least 1). More shards
   /// = less lock contention; capacity scales with the shard count.
@@ -62,18 +65,21 @@ struct ResultCacheOptions {
 /// One completed full-distance row, immutable once published. Shared
 /// ownership: an evicted row stays alive while any reader still holds it.
 struct CachedRow {
-  Vertex source = kNoVertex;
-  std::uint64_t graph_epoch = 0;
-  std::vector<Dist> dist;  // full distance vector of the computing run
-  RunStats stats;          // the computing run's stats (engine-specific)
+  Vertex source = kNoVertex;      ///< The row's SSSP source.
+  std::uint64_t graph_epoch = 0;  ///< Epoch the row was computed against.
+  std::vector<Dist> dist;  ///< Full distance vector of the computing run.
+  RunStats stats;          ///< The computing run's stats (engine-specific).
 };
+/// Shared handle to an immutable cached row.
 using RowPtr = std::shared_ptr<const CachedRow>;
 
+/// What a cached row is keyed by; see the file comment for the rules.
 struct CacheKey {
-  Vertex source = kNoVertex;
-  QueryEngine engine = QueryEngine::kFlat;
-  std::uint64_t graph_epoch = 0;
+  Vertex source = kNoVertex;                ///< Row source.
+  QueryEngine engine = QueryEngine::kFlat;  ///< Engine that computed it.
+  std::uint64_t graph_epoch = 0;            ///< Preprocessing generation.
 
+  /// Field-wise equality.
   bool operator==(const CacheKey& o) const {
     return source == o.source && engine == o.engine &&
            graph_epoch == o.graph_epoch;
@@ -95,11 +101,12 @@ inline bool cache_eligible(const QueryRequest& req) {
 
 /// Monotonic counters; snapshot via ResultCache::stats().
 struct ResultCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;               // owner acquisitions
-  std::uint64_t single_flight_waits = 0;  // waiter acquisitions
-  std::uint64_t evictions = 0;
+  std::uint64_t hits = 0;                 ///< Ready-row acquisitions.
+  std::uint64_t misses = 0;               ///< Owner acquisitions.
+  std::uint64_t single_flight_waits = 0;  ///< Waiter acquisitions.
+  std::uint64_t evictions = 0;            ///< LRU evictions of ready rows.
 
+  /// hits / (hits + misses + waits); 0 when nothing was acquired yet.
   double hit_rate() const {
     const std::uint64_t total = hits + misses + single_flight_waits;
     return total == 0 ? 0.0
@@ -109,13 +116,15 @@ struct ResultCacheStats {
 
 /// Outcome of ResultCache::acquire.
 enum class CacheAcquire : std::uint8_t {
-  kHit,     // `row` is the ready row
-  kOwner,   // caller must compute, then fulfill() or fail()
-  kWaiter,  // `pending` resolves when the owner fulfills (or rethrows)
+  kHit,     ///< `row` is the ready row.
+  kOwner,   ///< Caller must compute, then fulfill() or fail().
+  kWaiter,  ///< `pending` resolves when the owner fulfills (or rethrows).
 };
 
+/// The sharded LRU + single-flight row cache (see the file comment).
 class ResultCache {
  public:
+  /// Builds an empty cache with the given sharding/capacity knobs.
   explicit ResultCache(ResultCacheOptions opts = {});
 
   ResultCache(const ResultCache&) = delete;
@@ -148,6 +157,7 @@ class ResultCache {
   /// Drops every ready row (in-flight entries are left for their owners).
   void clear();
 
+  /// Snapshot of the monotonic hit/miss/wait/eviction counters.
   ResultCacheStats stats() const;
 
   /// Ready rows currently resident (in-flight entries excluded).

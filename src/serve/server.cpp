@@ -1,11 +1,28 @@
 #include "serve/server.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace rs::serve {
+
+namespace {
+
+/// Pin-once helpers: all engine/oracle access funnels through these so
+/// every code path uses the same acquire loads.
+std::shared_ptr<const SsspEngine> pin(
+    const std::shared_ptr<const SsspEngine>& slot) {
+  return std::atomic_load_explicit(&slot, std::memory_order_acquire);
+}
+
+std::shared_ptr<const LandmarkOracle> pin(
+    const std::shared_ptr<const LandmarkOracle>& slot) {
+  return std::atomic_load_explicit(&slot, std::memory_order_acquire);
+}
+
+}  // namespace
 
 const char* to_string(SubmitStatus status) {
   switch (status) {
@@ -22,15 +39,26 @@ const char* to_string(SubmitStatus status) {
 }
 
 SsspServer::SsspServer(const SsspEngine& engine, ServerOptions opts)
-    : engine_(engine), opts_(opts), queue_(opts.queue_capacity) {
+    // Non-owning alias: the caller guarantees the engine outlives the
+    // server, so the deleter is a no-op. swap_engine() may later publish
+    // an owning successor over this.
+    : SsspServer(std::shared_ptr<const SsspEngine>(&engine,
+                                                   [](const SsspEngine*) {}),
+                 std::move(opts)) {}
+
+SsspServer::SsspServer(std::shared_ptr<const SsspEngine> engine,
+                       ServerOptions opts)
+    : engine_(std::move(engine)), opts_(opts), queue_(opts.queue_capacity) {
+  if (engine_ == nullptr) {
+    throw std::invalid_argument("SsspServer: null engine");
+  }
   if (opts_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(opts_.cache);
   }
   if (opts_.enable_landmarks) {
     // Built before the batchers start, so the rows never race a serve.
-    oracle_ = std::make_unique<LandmarkOracle>(engine_, opts_.landmarks);
-    oracle_valid_.store(oracle_->valid_for(engine_),
-                        std::memory_order_release);
+    oracle_ = std::make_shared<const LandmarkOracle>(*engine_,
+                                                     opts_.landmarks);
   }
   paused_ = opts_.start_paused;
   const int n = opts_.batchers < 1 ? 1 : opts_.batchers;
@@ -48,10 +76,13 @@ SubmitStatus SsspServer::submit(QueryRequest req,
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     return SubmitStatus::kShuttingDown;
   }
+  // One pin for the whole admission path: validation and the cache key
+  // come from the same snapshot even if a swap lands mid-submit.
+  const std::shared_ptr<const SsspEngine> eng = pin(engine_);
   // Validate at the edge: a bad request is rejected on its own, before it
   // can be coalesced into (and poison) a micro-batch.
   try {
-    engine_.validate(req);
+    eng->validate(req);
   } catch (const std::invalid_argument&) {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     return SubmitStatus::kInvalid;
@@ -67,7 +98,7 @@ SubmitStatus SsspServer::submit(QueryRequest req,
   // batching budget, and the engine entirely. Misses enter the queue
   // carrying their single-flight role.
   if (cache_ != nullptr && cache_eligible(pending.request)) {
-    const CacheKey key = key_for(engine_, pending.request);
+    const CacheKey key = key_for(*eng, pending.request);
     RowPtr row;
     std::shared_future<RowPtr> pending_row;
     switch (cache_->acquire(key, row, pending_row)) {
@@ -167,6 +198,9 @@ ServerStats SsspServer::stats() const {
   s.completed = completed_.load(std::memory_order_acquire);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.lower_bound_exits = lb_exits_.load(std::memory_order_relaxed);
+  s.epoch = pin(engine_)->graph_epoch();
+  s.swaps = swaps_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     const ResultCacheStats cs = cache_->stats();
     s.cache_hits = cs.hits;
@@ -179,12 +213,44 @@ ResultCacheStats SsspServer::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
 }
 
+std::shared_ptr<const LandmarkOracle> SsspServer::oracle() const {
+  return pin(oracle_);
+}
+
+std::shared_ptr<const SsspEngine> SsspServer::engine_snapshot() const {
+  return pin(engine_);
+}
+
+void SsspServer::swap_engine(std::shared_ptr<const SsspEngine> next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("SsspServer::swap_engine: null engine");
+  }
+  const std::uint64_t epoch = next->graph_epoch();
+  // Rebuild the oracle BEFORE publishing the engine: once batchers can
+  // pin the new engine, the matching oracle is already there (the brief
+  // window where the old oracle fails valid_for() just skips annotation).
+  if (opts_.enable_landmarks) {
+    auto fresh = std::make_shared<const LandmarkOracle>(*next,
+                                                        opts_.landmarks);
+    std::atomic_store_explicit(&oracle_, std::move(fresh),
+                               std::memory_order_release);
+  }
+  std::atomic_store_explicit(&engine_, std::move(next),
+                             std::memory_order_release);
+  // Rows keyed to older epochs can never match again (epochs only grow);
+  // reclaim their memory eagerly.
+  if (cache_ != nullptr) cache_->purge_stale(epoch);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SsspServer::on_graph_replaced() {
-  if (cache_ != nullptr) cache_->purge_stale(engine_.graph_epoch());
-  if (oracle_ != nullptr) {
-    oracle_->rebuild(engine_);
-    oracle_valid_.store(oracle_->valid_for(engine_),
-                        std::memory_order_release);
+  const std::shared_ptr<const SsspEngine> eng = pin(engine_);
+  if (cache_ != nullptr) cache_->purge_stale(eng->graph_epoch());
+  if (opts_.enable_landmarks) {
+    auto fresh = std::make_shared<const LandmarkOracle>(*eng,
+                                                        opts_.landmarks);
+    std::atomic_store_explicit(&oracle_, std::move(fresh),
+                               std::memory_order_release);
   }
 }
 
@@ -231,6 +297,9 @@ void SsspServer::complete(Pending& p, QueryResponse&& resp) {
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
       now - p.accepted_at);
   latency_.record(static_cast<std::uint64_t>(us.count()));
+  if (resp.lower_bound_exits != 0) {
+    lb_exits_.fetch_add(resp.lower_bound_exits, std::memory_order_relaxed);
+  }
   p.promise.set_value(std::move(resp));
   // Advance completed_ under the drain mutex so a drainer that just
   // checked the counters cannot go to sleep and miss this notification.
@@ -242,12 +311,17 @@ void SsspServer::complete(Pending& p, QueryResponse&& resp) {
 }
 
 void SsspServer::execute(std::vector<Pending>& batch) {
+  // One pin per micro-batch: every request in the batch is served from
+  // the same engine snapshot (a swap mid-batch affects only later
+  // batches), and the oracle is only consulted when it matches THAT
+  // snapshot's epoch — never a cross-epoch bound.
+  const std::shared_ptr<const SsspEngine> eng = pin(engine_);
+  const std::shared_ptr<const LandmarkOracle> orc = pin(oracle_);
   // Assemble the engine batch: direct requests as-is (ALT-annotated when
   // the oracle matches the current epoch), cache OWNERS upgraded to
   // full-distance runs so their row can be published for every waiter.
   // Waiters run nothing — their row is coming from an owner.
-  const bool use_oracle =
-      oracle_ != nullptr && oracle_valid_.load(std::memory_order_acquire);
+  const bool use_oracle = orc != nullptr && orc->valid_for(*eng);
   std::vector<QueryRequest> requests;
   std::vector<std::size_t> exec_idx;  // batch index per engine request
   requests.reserve(batch.size());
@@ -267,7 +341,7 @@ void SsspServer::execute(std::vector<Pending>& batch) {
         break;
       }
       case CacheRole::kDirect: {
-        if (use_oracle) oracle_->annotate(p.request);
+        if (use_oracle) orc->annotate(p.request);
         exec_idx.push_back(i);
         requests.push_back(std::move(p.request));
         break;
@@ -289,7 +363,7 @@ void SsspServer::execute(std::vector<Pending>& batch) {
   bool failed = false;
   if (!requests.empty()) {
     try {
-      responses = engine_.serve_batch(requests);
+      responses = eng->serve_batch(requests);
     } catch (...) {
       // Requests were validated at admission, so this is unexpected (e.g.
       // bad_alloc) — but every promise must still be completed, and every
@@ -347,13 +421,42 @@ void SsspServer::execute(std::vector<Pending>& batch) {
         answer_from_row(p.request, *row, resp);
         complete(p, std::move(resp));
       } else {
-        QueryResponse resp = engine_.serve(p.request);
+        QueryResponse resp = eng->serve(p.request);
         complete(p, std::move(resp));
       }
     } catch (...) {
       finish_error(p, std::current_exception());
     }
   }
+}
+
+std::string format_stats_line(const SsspServer& server) {
+  const ServerStats s = server.stats();
+  const auto snap = server.latency().snapshot();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "accepted=%llu completed=%llu shed=%llu invalid=%llu shutdown=%llu "
+      "batches=%llu mean_batch=%.2f max_batch=%llu cache_hits=%llu "
+      "cache_misses=%llu lower_bound_exits=%llu epoch=%llu swaps=%llu "
+      "in_flight=%llu p50_us=%llu p99_us=%llu p999_us=%llu",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected_full),
+      static_cast<unsigned long long>(s.rejected_invalid),
+      static_cast<unsigned long long>(s.rejected_shutdown),
+      static_cast<unsigned long long>(s.batches), s.mean_batch(),
+      static_cast<unsigned long long>(s.max_batch),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.lower_bound_exits),
+      static_cast<unsigned long long>(s.epoch),
+      static_cast<unsigned long long>(s.swaps),
+      static_cast<unsigned long long>(s.in_flight()),
+      static_cast<unsigned long long>(snap.value_at_quantile(0.50)),
+      static_cast<unsigned long long>(snap.value_at_quantile(0.99)),
+      static_cast<unsigned long long>(snap.value_at_quantile(0.999)));
+  return std::string(buf);
 }
 
 }  // namespace rs::serve

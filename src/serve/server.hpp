@@ -1,46 +1,60 @@
-// SsspServer: the long-running serving daemon over an SsspEngine.
-//
-//   SsspEngine engine(graph, {.rho = 64, .k = 3});
-//   SsspServer server(engine, {.queue_capacity = 1024,
-//                              .max_batch = 64,
-//                              .batch_budget = std::chrono::microseconds(200)});
-//   std::future<QueryResponse> fut;
-//   if (server.submit(std::move(req), fut) == SubmitStatus::kAccepted) {
-//     QueryResponse resp = fut.get();
-//   }
-//   server.shutdown();  // stop accepting, drain in-flight, join batchers
-//
-// Architecture (one request's life):
-//
-//   client threads ──submit()──► BoundedQueue ──pop──► batcher thread(s)
-//        │ validate + admission      (backpressure)        │ coalesce up to
-//        │ control at the edge                             │ max_batch within
-//        ▼                                                 ▼ batch_budget
-//   SubmitStatus / future ◄──promise◄── engine.serve_batch(micro-batch)
-//
-// Micro-batching: a batcher blocks for the first request, then keeps
-// collecting until the batch budget expires or max_batch is reached, and
-// hands the whole batch to SsspEngine::serve_batch — which runs it
-// request-parallel over a leased warm context pool. The budget trades a
-// bounded latency add-on (at most batch_budget of waiting) for the batch
-// throughput regime the paper's preprocessing is amortized over (§5.4):
-// under load the window fills instantly and the budget costs nothing;
-// when idle a lone request waits out at most one budget.
-//
-// Admission control: requests are validated at submit time (kInvalid) so a
-// bad request is rejected alone instead of poisoning its micro-batch, and
-// the bounded queue sheds load (kQueueFull) instead of queueing without
-// limit. Both rejections are cheap constant-time paths.
-//
-// Lifecycle: counter-based in-flight tracking (accepted vs completed)
-// drives drain() — block until everything admitted so far has completed —
-// and shutdown() = stop admitting, close the queue (buffered requests
-// still drain), join the batchers. A request's promise is always
-// completed: with a response, or with an exception if its batch failed.
-//
-// Every completion records end-to-end latency (submit to promise
-// fulfillment, queueing and coalescing included — the number a client
-// actually experiences) into an allocation-free LatencyHistogram.
+/// \file
+/// SsspServer: the long-running serving daemon over an SsspEngine.
+///
+/// \code
+///   auto engine = std::make_shared<SsspEngine>(graph, opts);
+///   SsspServer server(engine, {.queue_capacity = 1024,
+///                              .max_batch = 64,
+///                              .batch_budget = microseconds(200)});
+///   std::future<QueryResponse> fut;
+///   if (server.submit(std::move(req), fut) == SubmitStatus::kAccepted) {
+///     QueryResponse resp = fut.get();
+///   }
+///   server.shutdown();  // stop accepting, drain in-flight, join batchers
+/// \endcode
+///
+/// Architecture (one request's life):
+///
+/// \verbatim
+///   client threads ──submit()──► BoundedQueue ──pop──► batcher thread(s)
+///        │ validate + admission      (backpressure)      │ coalesce up to
+///        │ control at the edge                           │ max_batch within
+///        ▼                                               ▼ batch_budget
+///   SubmitStatus / future ◄──promise◄── engine.serve_batch(micro-batch)
+/// \endverbatim
+///
+/// Micro-batching: a batcher blocks for the first request, then keeps
+/// collecting until the batch budget expires or max_batch is reached, and
+/// hands the whole batch to SsspEngine::serve_batch — which runs it
+/// request-parallel over a leased warm context pool. The budget trades a
+/// bounded latency add-on (at most batch_budget of waiting) for the batch
+/// throughput regime the paper's preprocessing is amortized over (§5.4):
+/// under load the window fills instantly and the budget costs nothing;
+/// when idle a lone request waits out at most one budget.
+///
+/// Admission control: requests are validated at submit time (kInvalid) so
+/// a bad request is rejected alone instead of poisoning its micro-batch,
+/// and the bounded queue sheds load (kQueueFull) instead of queueing
+/// without limit. Both rejections are cheap constant-time paths.
+///
+/// Live graph swaps: the server holds its engine through an atomic
+/// shared_ptr (the RCU pattern of graph/graph_swap.hpp). Every submit and
+/// every micro-batch pins the pointer ONCE and serves entirely from that
+/// snapshot, so swap_engine() can publish a successor (built with
+/// SsspEngine::next_epoch) mid-traffic: in-flight work finishes on the
+/// old epoch, new work starts on the new one, and no request ever
+/// observes a torn state. The old engine is destroyed when its last pin
+/// drops.
+///
+/// Lifecycle: counter-based in-flight tracking (accepted vs completed)
+/// drives drain() — block until everything admitted so far has completed
+/// — and shutdown() = stop admitting, close the queue (buffered requests
+/// still drain), join the batchers. A request's promise is always
+/// completed: with a response, or with an exception if its batch failed.
+///
+/// Every completion records end-to-end latency (submit to promise
+/// fulfillment, queueing and coalescing included — the number a client
+/// actually experiences) into an allocation-free LatencyHistogram.
 #pragma once
 
 #include <atomic>
@@ -51,6 +65,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -65,15 +80,18 @@ namespace rs::serve {
 
 /// Outcome of SsspServer::submit. Only kAccepted produces a future.
 enum class SubmitStatus : std::uint8_t {
-  kAccepted,      // admitted; the future will be fulfilled
-  kQueueFull,     // backpressure: queue at capacity, try again later
-  kShuttingDown,  // server no longer admits requests
-  kInvalid,       // request failed SsspEngine::validate (bad source/target/
-                  // engine); see error() text via serve_sync or validate
+  kAccepted,      ///< Admitted; the future will be fulfilled.
+  kQueueFull,     ///< Backpressure: queue at capacity, try again later.
+  kShuttingDown,  ///< Server no longer admits requests.
+  kInvalid,       ///< Request failed SsspEngine::validate (bad source,
+                  ///< target, or engine choice).
 };
 
+/// Stable lowercase token for a SubmitStatus ("accepted", "queue_full",
+/// "shutting_down", "invalid") — the wire/protocol spelling.
 const char* to_string(SubmitStatus status);
 
+/// Construction-time configuration of an SsspServer.
 struct ServerOptions {
   /// Admission buffer depth; pushes beyond it are rejected kQueueFull.
   std::size_t queue_capacity = 1024;
@@ -104,6 +122,7 @@ struct ServerOptions {
   /// miss is upgraded to a full-distance run whose row every concurrent
   /// duplicate reuses.
   bool enable_cache = false;
+  /// Sharding/capacity knobs for the cache (used iff enable_cache).
   ResultCacheOptions cache;
 
   /// Landmark (ALT) oracle: built at server construction (count full SSSP
@@ -112,21 +131,31 @@ struct ServerOptions {
   /// settled early. Only annotates while the oracle matches the engine's
   /// graph_epoch — see on_graph_replaced().
   bool enable_landmarks = false;
+  /// Selection knobs for the oracle (used iff enable_landmarks).
   LandmarkOptions landmarks;
 };
 
 /// Monotonic counters, readable at any time without stopping the server.
+/// format_stats_line() renders every field; the daemon's `stats` verb and
+/// the README metric table are generated from that single source.
 struct ServerStats {
-  std::uint64_t accepted = 0;           // admitted into the queue
-  std::uint64_t rejected_full = 0;      // kQueueFull rejections
-  std::uint64_t rejected_invalid = 0;   // kInvalid rejections
-  std::uint64_t rejected_shutdown = 0;  // kShuttingDown rejections
-  std::uint64_t completed = 0;          // promises fulfilled
-  std::uint64_t batches = 0;            // serve_batch calls issued
-  std::uint64_t max_batch = 0;          // widest micro-batch so far
-  std::uint64_t cache_hits = 0;         // answered from a cached row
-  std::uint64_t cache_misses = 0;       // owner + single-flight-waiter
-                                        // acquisitions (0 with cache off)
+  std::uint64_t accepted = 0;           ///< Admitted into the queue.
+  std::uint64_t rejected_full = 0;      ///< kQueueFull rejections (shed).
+  std::uint64_t rejected_invalid = 0;   ///< kInvalid rejections.
+  std::uint64_t rejected_shutdown = 0;  ///< kShuttingDown rejections.
+  std::uint64_t completed = 0;          ///< Promises fulfilled.
+  std::uint64_t batches = 0;            ///< serve_batch calls issued.
+  std::uint64_t max_batch = 0;          ///< Widest micro-batch so far.
+  std::uint64_t cache_hits = 0;         ///< Answered from a cached row.
+  std::uint64_t cache_misses = 0;       ///< Owner + single-flight-waiter
+                                        ///< acquisitions (0, cache off).
+  /// Targets proven settled by an ALT lower bound across all completed
+  /// requests (sum of QueryResponse::lower_bound_exits).
+  std::uint64_t lower_bound_exits = 0;
+  /// graph_epoch() of the currently-published engine snapshot.
+  std::uint64_t epoch = 0;
+  /// swap_engine() calls that have published a successor engine.
+  std::uint64_t swaps = 0;
 
   /// Requests admitted but not yet completed (queued or being served).
   std::uint64_t in_flight() const { return accepted - completed; }
@@ -138,11 +167,20 @@ struct ServerStats {
   }
 };
 
+/// The serving daemon (see file comment for the architecture).
 class SsspServer {
  public:
-  /// The engine must outlive the server. Batcher threads start
-  /// immediately (parked if opts.start_paused).
+  /// Non-owning form: the engine must outlive the server and must not be
+  /// mutated while serving. Batcher threads start immediately (parked if
+  /// opts.start_paused). swap_engine() works from here too — it simply
+  /// publishes an owning successor over the borrowed original.
   explicit SsspServer(const SsspEngine& engine, ServerOptions opts = {});
+
+  /// Owning form — the one dynamic deployments use: the server shares
+  /// ownership of the engine snapshot and swap_engine() can retire it
+  /// safely once the last in-flight pin drops.
+  explicit SsspServer(std::shared_ptr<const SsspEngine> engine,
+                      ServerOptions opts = {});
 
   /// shutdown() if the caller has not already.
   ~SsspServer();
@@ -165,6 +203,7 @@ class SsspServer {
   /// deterministic-test hook (fill the queue, assert coalescing) and an
   /// operational pressure valve (e.g. while swapping the engine).
   void pause();
+  /// Unparks the batchers; the inverse of pause().
   void resume();
 
   /// Blocks until in_flight() reaches zero — every request admitted
@@ -177,23 +216,43 @@ class SsspServer {
   /// served), joins the batchers. Idempotent; safe to call concurrently.
   void shutdown();
 
+  /// Snapshot of every monotonic counter (plus the live epoch).
   ServerStats stats() const;
 
   /// End-to-end request latency (microseconds, submit to completion).
   const LatencyHistogram& latency() const { return latency_; }
 
+  /// The options the server was constructed with.
   const ServerOptions& options() const { return opts_; }
 
   /// Cache counters (all-zero when the cache is disabled).
   ResultCacheStats cache_stats() const;
 
-  /// The landmark oracle, or null when disabled.
-  const LandmarkOracle* oracle() const { return oracle_.get(); }
+  /// Pins the landmark oracle snapshot, or null when disabled. Like the
+  /// engine, the oracle is epoch-swapped: the returned pointer stays
+  /// valid across concurrent swap_engine() calls.
+  std::shared_ptr<const LandmarkOracle> oracle() const;
 
-  /// Post-SsspEngine::replace() hook: purges cache rows of older epochs
-  /// (they can never match again — this frees their memory eagerly) and
-  /// rebuilds the landmark rows against the new preprocessing. Call at a
-  /// quiescent point (paused or drained), like replace() itself.
+  /// Pins the currently-published engine snapshot (never null). The
+  /// engine stays alive for as long as the caller holds the pointer, no
+  /// matter how many swaps race past — the way to stamp answers or read
+  /// graph_epoch() consistently from outside.
+  std::shared_ptr<const SsspEngine> engine_snapshot() const;
+
+  /// Publishes `next` as the engine for all FUTURE work, mid-traffic and
+  /// without a quiescent point: in-flight submits and micro-batches
+  /// finish on the snapshot they pinned; the old engine is destroyed when
+  /// its last pin drops. Purges cache rows of epochs older than `next`'s
+  /// (a stale key can never match again — free its memory eagerly) and
+  /// rebuilds the landmark oracle against `next`. Build `next` with
+  /// SsspEngine::next_epoch so the epoch strictly increases.
+  void swap_engine(std::shared_ptr<const SsspEngine> next);
+
+  /// Post-SsspEngine::replace() hook for the legacy IN-PLACE mutation
+  /// flow: purges stale cache rows and rebuilds the landmark rows against
+  /// the (mutated) current engine. Call at a quiescent point (paused or
+  /// drained), like replace() itself. New code should prefer
+  /// swap_engine(), which needs no quiescent point.
   void on_graph_replaced();
 
  private:
@@ -220,15 +279,19 @@ class SsspServer {
   /// Completes one request (latency record + promise + drain counters).
   void complete(Pending& p, QueryResponse&& resp);
 
-  const SsspEngine& engine_;
+  // The published engine snapshot, accessed only through the C++17
+  // atomic shared_ptr free functions (the SnapshotSwap pattern): submit
+  // pins once per request, execute pins once per micro-batch, and
+  // swap_engine publishes a successor. Never null after construction.
+  std::shared_ptr<const SsspEngine> engine_;
   const ServerOptions opts_;
 
-  // Caching/oracle layer (null when disabled).
+  // Caching/oracle layer (null when disabled). The oracle is swapped
+  // with the engine: batchers pin it alongside the engine snapshot and
+  // check valid_for() against that same snapshot, so an oracle mid-
+  // rebuild never annotates a request with cross-epoch bounds.
   std::unique_ptr<ResultCache> cache_;
-  std::unique_ptr<LandmarkOracle> oracle_;
-  // Oracle validity flag refreshed by on_graph_replaced(); checked by the
-  // batchers without touching the engine's epoch counter mid-serve.
-  std::atomic<bool> oracle_valid_{false};
+  std::shared_ptr<const LandmarkOracle> oracle_;
 
   BoundedQueue<Pending> queue_;
   std::vector<std::thread> batchers_;
@@ -257,10 +320,23 @@ class SsspServer {
   std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> lb_exits_{0};
+  std::atomic<std::uint64_t> swaps_{0};
 
   LatencyHistogram latency_;
 
   std::once_flag shutdown_once_;
 };
+
+/// Renders `server.stats()` (plus latency percentiles) as the daemon's
+/// one-line `stats` verb output — every ServerStats counter appears as
+/// `name=value`, making the line greppable and keeping the CLI, the
+/// fixture tests, and the README metric table in lockstep:
+///
+///   accepted=5 completed=5 shed=0 invalid=0 shutdown=0 batches=2
+///   mean_batch=2.50 max_batch=4 cache_hits=1 cache_misses=4
+///   lower_bound_exits=0 epoch=1 swaps=0 in_flight=0 p50_us=42 p99_us=91
+///   p999_us=91
+std::string format_stats_line(const SsspServer& server);
 
 }  // namespace rs::serve

@@ -1,0 +1,165 @@
+#include "shortcut/incremental.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include <omp.h>
+
+#include "graph/builder.hpp"
+#include "parallel/primitives.hpp"
+
+namespace rs {
+
+IncrementalPreprocessor::IncrementalPreprocessor(
+    const Graph& g, const PreprocessOptions& options)
+    : graph_(g), options_(options) {
+  if (options.rho == 0) throw std::invalid_argument("preprocess: rho >= 1");
+  if (options.k == 0) throw std::invalid_argument("preprocess: k >= 1");
+  const Vertex n = graph_.num_vertices();
+
+  std::vector<Vertex> all(n);
+  for (Vertex v = 0; v < n; ++v) all[v] = v;
+  members_.resize(n);
+  shortcuts_.resize(n);
+  radius_.assign(n, 0);
+  compute_balls(graph_, all, members_, shortcuts_, radius_);
+
+  member_of_.resize(n);
+  for (Vertex s = 0; s < n; ++s) {
+    for (const Vertex v : members_[s]) member_of_[v].push_back(s);
+  }
+}
+
+void IncrementalPreprocessor::compute_balls(
+    const Graph& base, const std::vector<Vertex>& sources,
+    std::vector<std::vector<Vertex>>& out_members,
+    std::vector<std::vector<EdgeTriple>>& out_shortcuts,
+    std::vector<Dist>& out_radius) {
+  const Vertex n = base.num_vertices();
+  const Graph gw = base.with_weight_sorted_adjacency();
+  const BallOptions ball_opts{options_.rho, 0, options_.settle_ties};
+
+  const int nw = num_workers();
+  pool_.ensure(static_cast<std::size_t>(nw));
+  // Exceptions may not escape an OpenMP region: record overflow in a flag
+  // and throw after the join instead of aborting the process.
+  std::atomic<bool> overflow{false};
+#pragma omp parallel num_threads(nw)
+  {
+    PreprocessContext& ctx =
+        pool_.at(static_cast<std::size_t>(omp_get_thread_num()));
+    ctx.reserve(n);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(sources.size());
+         ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i);
+      const Vertex s = sources[slot];
+      const Ball& ball = ctx.ball(gw, s, ball_opts);
+      out_radius[slot] = ball.radius;
+
+      auto& mem = out_members[slot];
+      mem.clear();
+      mem.reserve(ball.vertices.size());
+      for (const BallVertex& bv : ball.vertices) mem.push_back(bv.v);
+
+      auto& sc = out_shortcuts[slot];
+      sc.clear();
+      for (const std::uint32_t idx :
+           ctx.select(ball, options_.k, options_.heuristic)) {
+        const BallVertex& bv = ball.vertices[idx];
+        if (bv.dist > std::numeric_limits<Weight>::max()) {
+          overflow.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        sc.push_back(EdgeTriple{s, bv.v, static_cast<Weight>(bv.dist)});
+      }
+    }
+  }
+  if (overflow.load()) {
+    throw std::overflow_error("preprocess: shortcut weight overflow");
+  }
+}
+
+IncrementalUpdateStats IncrementalPreprocessor::apply(
+    const std::vector<WeightUpdate>& updates) {
+  IncrementalUpdateStats stats;
+  stats.total_balls = graph_.num_vertices();
+
+  UpdateApplication app = apply_weight_updates(graph_, updates);
+  stats.updated_arcs = app.changes.size();
+  if (app.changes.empty()) {
+    graph_ = std::move(app.graph);  // weights identical; keep arrays shared
+    return stats;
+  }
+
+  // A ball search scans out-arcs of settled vertices only, so ball(s) can
+  // change only when a changed arc's TAIL is settled in ball(s). Each
+  // direction of an undirected update is its own ArcChange, so tails alone
+  // are precise AND sound.
+  std::vector<std::uint8_t> is_dirty(graph_.num_vertices(), 0);
+  std::vector<Vertex> dirty;
+  for (const ArcChange& c : app.changes) {
+    for (const Vertex s : member_of_[c.u]) {
+      if (!is_dirty[s]) {
+        is_dirty[s] = 1;
+        dirty.push_back(s);
+      }
+    }
+  }
+  stats.dirty_balls = dirty.size();
+
+  // Recompute into temporaries first: nothing is committed until the whole
+  // batch survived (strong exception safety vs overflow).
+  std::vector<std::vector<Vertex>> new_members(dirty.size());
+  std::vector<std::vector<EdgeTriple>> new_shortcuts(dirty.size());
+  std::vector<Dist> new_radius(dirty.size(), 0);
+  compute_balls(app.graph, dirty, new_members, new_shortcuts, new_radius);
+
+  graph_ = std::move(app.graph);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const Vertex s = dirty[i];
+    for (const Vertex v : members_[s]) {
+      auto& owners = member_of_[v];
+      owners.erase(std::remove(owners.begin(), owners.end(), s),
+                   owners.end());
+    }
+    members_[s] = std::move(new_members[i]);
+    for (const Vertex v : members_[s]) member_of_[v].push_back(s);
+    shortcuts_[s] = std::move(new_shortcuts[i]);
+    radius_[s] = new_radius[i];
+  }
+  return stats;
+}
+
+PreprocessResult IncrementalPreprocessor::result() const {
+  PreprocessResult out;
+  out.options = options_;
+  out.radius = radius_;
+
+  const EdgeId before = graph_.num_undirected_edges();
+  if (options_.heuristic == ShortcutHeuristic::kNone) {
+    out.graph = graph_;
+  } else {
+    std::size_t total = 0;
+    for (const auto& sc : shortcuts_) total += sc.size();
+    std::vector<EdgeTriple> all;
+    all.reserve(total);
+    for (const auto& sc : shortcuts_) {
+      all.insert(all.end(), sc.begin(), sc.end());
+    }
+    // build_graph sorts by (u, v, w) and keeps the per-(u, v) minimum, so
+    // concatenation order is irrelevant: this is bit-identical to the cold
+    // path's per-worker staging drain.
+    out.graph = merge_edges(graph_, std::move(all));
+  }
+  out.added_edges = out.graph.num_undirected_edges() - before;
+  out.added_factor = before == 0 ? 0.0
+                                 : static_cast<double>(out.added_edges) /
+                                       static_cast<double>(before);
+  return out;
+}
+
+}  // namespace rs

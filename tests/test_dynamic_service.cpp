@@ -1,0 +1,324 @@
+// DynamicSsspService end-to-end: live weight updates against a running
+// daemon.
+//
+//  * apply_updates republishes: the very next serve matches Dijkstra on
+//    the mutated graph and carries the bumped epoch;
+//  * staged updates are invisible to the daemon (old epoch keeps serving
+//    exactly) while serve_corrected answers from the STAGED weights —
+//    equal to Dijkstra on the staged graph, including re-updates of the
+//    same edge across stage calls;
+//  * epoch-swapped serving under load: client threads race update/flush
+//    cycles and every response is consistent with the single epoch it is
+//    stamped with — no torn reads;
+//  * the fragment substrate and the result cache both survive swaps
+//    (kFragment keeps serving; stale rows never answer a new epoch);
+//  * adversarial (directed/multigraph) inputs stay exact through the
+//    kNone heuristic, which preserves the graph as built.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "graph/update.hpp"
+#include "serve/dynamic.hpp"
+#include "test_util.hpp"
+
+namespace rs::serve {
+namespace {
+
+using test::GraphCase;
+
+DynamicSsspService::Options small_options() {
+  DynamicSsspService::Options o;
+  o.preprocess.rho = 8;
+  o.preprocess.k = 2;
+  return o;
+}
+
+QueryRequest targeted(Vertex source, std::vector<Vertex> targets,
+                      QueryEngine engine = QueryEngine::kFlat) {
+  QueryRequest req;
+  req.source = source;
+  req.targets = std::move(targets);
+  req.engine = engine;
+  return req;
+}
+
+std::vector<Vertex> spread_targets(const Graph& g, std::size_t count) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<Vertex>(((i + 1) * n) / (count + 1)));
+  }
+  return out;
+}
+
+void expect_matches_dijkstra(const QueryResponse& resp, const Graph& g,
+                             Vertex source, const char* label) {
+  const std::vector<Dist> want = dijkstra(g, source);
+  for (const TargetResult& tr : resp.targets) {
+    ASSERT_EQ(tr.dist, want[tr.target])
+        << label << " source=" << source << " target=" << tr.target;
+  }
+}
+
+TEST(DynamicService, ApplyUpdatesRepublishesAndBumpsEpoch) {
+  const Graph g = test::weighted_suite(61)[0].graph;
+  DynamicSsspService svc(g, small_options());
+  const Vertex source = 3;
+  const auto targets = spread_targets(g, 5);
+
+  const QueryResponse before =
+      svc.server().serve_sync(targeted(source, targets));
+  EXPECT_EQ(before.graph_epoch, 1u);
+  expect_matches_dijkstra(before, g, source, "before");
+
+  // Shadow the mutation locally for the expected distances.
+  const std::vector<WeightUpdate> batch = {
+      {targets[0], g.arc_target(g.first_arc(targets[0])), 1},
+      {source, g.arc_target(g.first_arc(source)), 140}};
+  const Graph mutated = apply_weight_updates(g, batch).graph;
+
+  const UpdateReport report = svc.apply_updates(batch);
+  EXPECT_EQ(report.epoch, 2u);
+  EXPECT_GT(report.dirty_balls, 0u);
+  EXPECT_EQ(report.staged, 0u);
+  EXPECT_FALSE(svc.has_staged());
+
+  const QueryResponse after =
+      svc.server().serve_sync(targeted(source, targets));
+  EXPECT_EQ(after.graph_epoch, 2u);
+  expect_matches_dijkstra(after, mutated, source, "after");
+}
+
+TEST(DynamicService, StagedUpdatesServeOldEpochUntilFlush) {
+  const Graph g = test::weighted_suite(62)[2].graph;
+  DynamicSsspService svc(g, small_options());
+  const Vertex source = 1;
+  const auto targets = spread_targets(g, 6);
+
+  std::vector<WeightUpdate> batch = {
+      {0, g.arc_target(g.first_arc(0)), 120},
+      {targets[1], g.arc_target(g.first_arc(targets[1])), 1}};
+  Graph staged = apply_weight_updates(g, batch).graph;
+  const UpdateReport r1 = svc.stage(batch);
+  EXPECT_EQ(r1.epoch, 1u);
+  EXPECT_EQ(r1.staged, batch.size());
+  EXPECT_TRUE(svc.has_staged());
+
+  // The daemon still serves the published epoch (old weights)...
+  const QueryResponse old_epoch =
+      svc.server().serve_sync(targeted(source, targets));
+  EXPECT_EQ(old_epoch.graph_epoch, 1u);
+  expect_matches_dijkstra(old_epoch, g, source, "published");
+
+  // ...while serve_corrected is exact against the staged weights.
+  expect_matches_dijkstra(svc.serve_corrected(targeted(source, targets)),
+                          staged, source, "corrected");
+
+  // A second stage re-updating the same edge composes (last wins).
+  const std::vector<WeightUpdate> batch2 = {
+      {0, g.arc_target(g.first_arc(0)), 2}};
+  staged = apply_weight_updates(staged, batch2).graph;
+  svc.stage(batch2);
+  expect_matches_dijkstra(svc.serve_corrected(targeted(source, targets)),
+                          staged, source, "corrected2");
+
+  const UpdateReport r2 = svc.flush();
+  EXPECT_EQ(r2.epoch, 2u);
+  EXPECT_FALSE(svc.has_staged());
+  const QueryResponse flushed =
+      svc.server().serve_sync(targeted(source, targets));
+  EXPECT_EQ(flushed.graph_epoch, 2u);
+  expect_matches_dijkstra(flushed, staged, source, "flushed");
+  // With nothing staged, serve_corrected falls through to a plain serve.
+  expect_matches_dijkstra(svc.serve_corrected(targeted(source, targets)),
+                          staged, source, "corrected-after-flush");
+}
+
+TEST(DynamicService, FlushWithNothingStagedIsANoOp) {
+  const Graph g = test::weighted_suite(63)[5].graph;  // chain
+  DynamicSsspService svc(g, small_options());
+  const UpdateReport r = svc.flush();
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(r.updated_arcs, 0u);
+  EXPECT_EQ(svc.server().engine_snapshot()->graph_epoch(), 1u);
+}
+
+TEST(DynamicService, ServeCorrectedValidates) {
+  const Graph g = test::weighted_suite(64)[6].graph;  // star
+  DynamicSsspService svc(g, small_options());
+  QueryRequest topk;
+  topk.source = 0;
+  topk.kind = RequestKind::kTopK;
+  topk.k = 3;
+  EXPECT_THROW(svc.serve_corrected(topk), std::invalid_argument);
+  QueryRequest paths = targeted(0, {1});
+  paths.want_paths = true;
+  EXPECT_THROW(svc.serve_corrected(paths), std::invalid_argument);
+  EXPECT_THROW(svc.serve_corrected(targeted(0, {g.num_vertices()})),
+               std::invalid_argument);
+}
+
+TEST(DynamicService, CachePurgedAcrossSwap) {
+  const Graph g = test::weighted_suite(65)[0].graph;
+  auto options = small_options();
+  options.server.enable_cache = true;
+  DynamicSsspService svc(g, options);
+  const auto targets = spread_targets(g, 3);
+
+  // Warm the cache on epoch 1 (owner run + a submit-time hit).
+  (void)svc.server().serve_sync(targeted(5, targets));
+  const QueryResponse hit = svc.server().serve_sync(targeted(5, targets));
+  EXPECT_TRUE(hit.served_from_cache);
+  EXPECT_EQ(hit.graph_epoch, 1u);
+
+  const std::vector<WeightUpdate> batch = {
+      {5, g.arc_target(g.first_arc(5)), 149}};
+  const Graph mutated = apply_weight_updates(g, batch).graph;
+  svc.apply_updates(batch);
+
+  // The old row is keyed to epoch 1: the next serve recomputes on the new
+  // epoch and is exact for the new weights.
+  const QueryResponse fresh = svc.server().serve_sync(targeted(5, targets));
+  EXPECT_FALSE(fresh.served_from_cache);
+  EXPECT_EQ(fresh.graph_epoch, 2u);
+  expect_matches_dijkstra(fresh, mutated, 5, "post-swap");
+}
+
+void fragment_swap_case(std::size_t fragments) {
+  const Graph g = test::weighted_suite(66)[1].graph;  // grid3d
+  auto options = small_options();
+  options.enable_fragments = true;
+  options.fragments = fragments;
+  DynamicSsspService svc(g, options);
+  const auto targets = spread_targets(g, 4);
+
+  const QueryResponse before = svc.server().serve_sync(
+      targeted(2, targets, QueryEngine::kFragment));
+  expect_matches_dijkstra(before, g, 2, "fragment-before");
+
+  const std::vector<WeightUpdate> batch = {
+      {2, g.arc_target(g.first_arc(2)), 133},
+      {targets[2], g.arc_target(g.first_arc(targets[2])), 1}};
+  const Graph mutated = apply_weight_updates(g, batch).graph;
+  svc.apply_updates(batch);
+
+  // next_epoch re-partitioned the successor: kFragment keeps serving.
+  const QueryResponse after = svc.server().serve_sync(
+      targeted(2, targets, QueryEngine::kFragment));
+  EXPECT_EQ(after.graph_epoch, 2u);
+  expect_matches_dijkstra(after, mutated, 2, "fragment-after");
+}
+
+TEST(DynamicService, FragmentsSurviveSwapOneFragment) { fragment_swap_case(1); }
+
+TEST(DynamicService, FragmentsSurviveSwapFourFragments) {
+  fragment_swap_case(4);
+}
+
+TEST(DynamicService, AdversarialGraphsStayExactUnderChurn) {
+  // kNone preserves the graph exactly as built (no merge, no
+  // symmetrization), so directed/multigraph/self-loop inputs round-trip
+  // the whole dynamic pipeline.
+  auto options = small_options();
+  options.preprocess.heuristic = ShortcutHeuristic::kNone;
+  for (const GraphCase& c : test::adversarial_suite(67)) {
+    DynamicSsspService svc(c.graph, options);
+    Graph shadow = c.graph;
+    const auto targets = spread_targets(c.graph, 4);
+    for (int round = 0; round < 2; ++round) {
+      // Mutate the first arc of a few tails that have one.
+      std::vector<WeightUpdate> batch;
+      for (Vertex u = 0; u < shadow.num_vertices() && batch.size() < 3; ++u) {
+        if (shadow.first_arc(u) == shadow.last_arc(u)) continue;
+        const EdgeId e = shadow.first_arc(u);
+        batch.push_back(WeightUpdate{
+            u, shadow.arc_target(e),
+            static_cast<Weight>(7 + 13 * (round + 1) + u % 5)});
+      }
+      shadow = apply_weight_updates(shadow, batch).graph;
+
+      // Staged-exact first, then flushed-exact.
+      svc.stage(batch);
+      expect_matches_dijkstra(svc.serve_corrected(targeted(0, targets)),
+                              shadow, 0, c.name.c_str());
+      svc.flush();
+      expect_matches_dijkstra(svc.server().serve_sync(targeted(0, targets)),
+                              shadow, 0, c.name.c_str());
+    }
+  }
+}
+
+TEST(DynamicService, SwapUnderLoadEveryResponseConsistentWithItsEpoch) {
+  const Graph g = test::weighted_suite(68)[0].graph;
+  DynamicSsspService svc(g, small_options());
+  const Vertex source = 4;
+  const auto targets = spread_targets(g, 3);
+
+  // Epoch -> exact distance row for that epoch's graph. The successor's
+  // row is registered BEFORE the flush publishes it, so a client can
+  // never observe an epoch the map does not yet know.
+  std::mutex mu;
+  std::map<std::uint64_t, std::vector<Dist>> rows;
+  rows[1] = dijkstra(g, source);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checked{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const QueryResponse resp =
+            svc.server().serve_sync(targeted(source, targets));
+        std::vector<Dist> want;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          const auto it = rows.find(resp.graph_epoch);
+          ASSERT_NE(it, rows.end()) << "unregistered epoch";
+          want = it->second;
+        }
+        for (const TargetResult& tr : resp.targets) {
+          ASSERT_EQ(tr.dist, want[tr.target])
+              << "epoch " << resp.graph_epoch;
+        }
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Graph shadow = g;
+  for (int round = 0; round < 6; ++round) {
+    const Vertex u = static_cast<Vertex>(3 * round + 1);
+    const std::vector<WeightUpdate> batch = {
+        {u, shadow.arc_target(shadow.first_arc(u)),
+         static_cast<Weight>(1 + 37 * (round + 1) % 140)}};
+    shadow = apply_weight_updates(shadow, batch).graph;
+    const UpdateReport staged = svc.stage(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      rows[staged.epoch + 1] = dijkstra(shadow, source);
+    }
+    const UpdateReport flushed = svc.flush();
+    ASSERT_EQ(flushed.epoch, staged.epoch + 1);
+  }
+
+  // On a loaded single-core machine all six rounds can finish before any
+  // client gets a turn; keep serving until one response has been checked
+  // so the consistency assertions above actually ran.
+  while (checked.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(checked.load(), 0u);
+  EXPECT_EQ(svc.server().stats().swaps, 6u);
+  EXPECT_EQ(svc.server().engine_snapshot()->graph_epoch(), 7u);
+}
+
+}  // namespace
+}  // namespace rs::serve

@@ -33,6 +33,8 @@
 #include <cstdint>
 #include <future>
 #include <limits>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -426,6 +428,92 @@ TEST(Server, OnGraphReplacedRefreshesCacheAndOracle) {
   EXPECT_EQ(after.graph_epoch, 2u);
   EXPECT_EQ(after.targets[0].dist, engine.serve(req).targets[0].dist);
   EXPECT_TRUE(server.serve_sync(req).served_from_cache);
+}
+
+TEST(Server, FormatStatsLinePrintsEveryCounter) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.enable_cache = true;
+  SsspServer server(engine, opts);
+  const QueryRequest req = p2p(engine, 2);
+  (void)server.serve_sync(req);
+  (void)server.serve_sync(req);  // submit-time cache hit
+  server.drain();
+
+  const std::string line = serve::format_stats_line(server);
+  // Every ServerStats counter must appear as a name=value token — the
+  // fixture test of the daemon's `stats` verb rides on this line too.
+  for (const char* token :
+       {"accepted=2", "completed=2", "shed=0", "invalid=0", "shutdown=0",
+        "batches=", "mean_batch=", "max_batch=", "cache_hits=1",
+        "cache_misses=1", "lower_bound_exits=", "epoch=1", "swaps=0",
+        "in_flight=0", "p50_us=", "p99_us=", "p999_us="}) {
+    EXPECT_NE(line.find(token), std::string::npos)
+        << "missing " << token << " in: " << line;
+  }
+}
+
+TEST(Server, SwapEngineRepublishesWithoutQuiescence) {
+  const Graph g1 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 7, 1, 100);
+  PreprocessOptions popts;
+  popts.rho = 12;
+  popts.k = 2;
+  auto first = std::make_shared<const SsspEngine>(g1, popts);
+  ServerOptions opts;
+  opts.enable_cache = true;
+  opts.enable_landmarks = true;
+  SsspServer server(first, opts);
+  ASSERT_NE(server.oracle(), nullptr);
+  EXPECT_EQ(server.oracle()->graph_epoch(), 1u);
+
+  const QueryRequest req = p2p(*first, 3);
+  (void)server.serve_sync(req);
+  EXPECT_TRUE(server.serve_sync(req).served_from_cache);
+  EXPECT_EQ(server.stats().epoch, 1u);
+
+  // Publish a successor mid-traffic: no pause, no drain.
+  const Graph g2 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 8, 1, 100);
+  auto second = std::make_shared<const SsspEngine>(
+      SsspEngine::next_epoch(*first, g2, preprocess(g2, popts)));
+  server.swap_engine(second);
+
+  EXPECT_EQ(server.stats().epoch, 2u);
+  EXPECT_EQ(server.stats().swaps, 1u);
+  EXPECT_EQ(server.engine_snapshot()->graph_epoch(), 2u);
+  EXPECT_EQ(server.oracle()->graph_epoch(), 2u);
+
+  // The epoch-1 row cannot answer epoch-2 traffic; the fresh answer is
+  // exact for the new graph and re-cacheable.
+  const QueryResponse after = server.serve_sync(req);
+  EXPECT_FALSE(after.served_from_cache);
+  EXPECT_EQ(after.graph_epoch, 2u);
+  EXPECT_EQ(after.targets[0].dist, second->serve(req).targets[0].dist);
+  EXPECT_TRUE(server.serve_sync(req).served_from_cache);
+}
+
+TEST(Server, EngineSnapshotKeepsOldEpochAliveAcrossSwap) {
+  const Graph g1 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 9, 1, 100);
+  PreprocessOptions popts;
+  popts.rho = 12;
+  popts.k = 2;
+  auto first = std::make_shared<const SsspEngine>(g1, popts);
+  SsspServer server(first, {});
+  const std::shared_ptr<const SsspEngine> pinned = server.engine_snapshot();
+  first.reset();  // server + pin now hold the only references
+
+  const Graph g2 =
+      assign_uniform_weights(gen::road_network(12, 12, 3), 10, 1, 100);
+  server.swap_engine(std::make_shared<const SsspEngine>(
+      SsspEngine::next_epoch(*pinned, g2, preprocess(g2, popts))));
+
+  // The pre-swap pin still serves the old epoch's answers.
+  EXPECT_EQ(pinned->graph_epoch(), 1u);
+  const QueryRequest req = p2p(*pinned, 5);
+  EXPECT_EQ(pinned->serve(req).graph_epoch, 1u);
+  EXPECT_EQ(server.engine_snapshot()->graph_epoch(), 2u);
 }
 
 TEST(LatencyHistogram, BucketRoundTripBoundsRelativeError) {

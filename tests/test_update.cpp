@@ -1,0 +1,221 @@
+// Dynamic-graph foundations:
+//
+//  * apply_weight_updates — undirected semantics (both arc directions and
+//    every parallel arc move together), self-loops, last-update-wins
+//    composition, no-op suppression, validation at the edge, EdgeId
+//    stability across the rebuild;
+//  * SnapshotSwap — concurrent pin/publish never yields a torn or null
+//    snapshot and old pins stay valid across swaps;
+//  * repair_distance_row — the online correction kernel equals a
+//    from-scratch Dijkstra on the mutated graph, over the weighted AND
+//    adversarial suites, for mixed increase/decrease batches applied both
+//    singly and as an evolving sequence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "baseline/dijkstra.hpp"
+#include "core/dyn_sssp.hpp"
+#include "graph/builder.hpp"
+#include "graph/graph_swap.hpp"
+#include "graph/update.hpp"
+#include "test_util.hpp"
+
+namespace rs {
+namespace {
+
+Graph directed_multigraph() {
+  BuildOptions keep;
+  keep.symmetrize = false;
+  keep.remove_self_loops = false;
+  keep.dedup = false;
+  // 0 -> 1 (two parallel arcs), 1 -> 0, 1 -> 2, self-loop on 2.
+  std::vector<EdgeTriple> edges = {
+      {0, 1, 5}, {0, 1, 9}, {1, 0, 4}, {1, 2, 7}, {2, 2, 3}};
+  return build_graph(3, std::move(edges), keep);
+}
+
+/// Random updates over arcs that exist in `g` (new weight 1..150).
+std::vector<WeightUpdate> random_updates(const Graph& g, std::size_t count,
+                                         std::mt19937& rng) {
+  std::uniform_int_distribution<Weight> weight(1, 150);
+  std::uniform_int_distribution<EdgeId> arc(0, g.num_edges() - 1);
+  std::vector<WeightUpdate> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const EdgeId e = arc(rng);
+    // Find the arc's tail by scanning offsets (test-side, clarity first).
+    Vertex u = 0;
+    while (g.last_arc(u) <= e) ++u;
+    out.push_back(WeightUpdate{u, g.arc_target(e), weight(rng)});
+  }
+  return out;
+}
+
+TEST(WeightUpdate, RewritesBothDirectionsAndParallelArcs) {
+  const Graph g = directed_multigraph();
+  const UpdateApplication app = apply_weight_updates(g, {{0, 1, 2}});
+  // Both parallel arcs 0->1 AND the reverse arc 1->0 now weigh 2.
+  ASSERT_EQ(app.changes.size(), 3u);
+  for (const ArcChange& c : app.changes) {
+    EXPECT_EQ(c.w_new, 2u);
+    EXPECT_NE(c.w_old, c.w_new);
+    EXPECT_EQ(app.graph.arc_weight(c.arc), 2u);
+    EXPECT_EQ(app.graph.arc_target(c.arc), c.v);
+  }
+  // Topology untouched: EdgeIds keep their meaning.
+  EXPECT_EQ(app.graph.offsets(), g.offsets());
+  EXPECT_EQ(app.graph.targets(), g.targets());
+  // Changes arrive in ascending EdgeId order with correct tails.
+  EXPECT_EQ(app.changes[0].u, 0u);
+  EXPECT_EQ(app.changes[1].u, 0u);
+  EXPECT_EQ(app.changes[2].u, 1u);
+  EXPECT_EQ(app.changes[2].v, 0u);
+}
+
+TEST(WeightUpdate, SelfLoopTouchedOnce) {
+  const Graph g = directed_multigraph();
+  const UpdateApplication app = apply_weight_updates(g, {{2, 2, 8}});
+  ASSERT_EQ(app.changes.size(), 1u);
+  EXPECT_EQ(app.changes[0].u, 2u);
+  EXPECT_EQ(app.changes[0].v, 2u);
+  EXPECT_EQ(app.changes[0].w_old, 3u);
+  EXPECT_EQ(app.changes[0].w_new, 8u);
+}
+
+TEST(WeightUpdate, LastUpdateWinsAndNoOpsAreDropped) {
+  const Graph g = directed_multigraph();
+  // 1->2 bounces 7 -> 20 -> 7: a batch-level no-op, omitted entirely.
+  // 0<->1 lands on 11 with w_old reported as the PRE-batch weight.
+  const UpdateApplication app =
+      apply_weight_updates(g, {{1, 2, 20}, {0, 1, 3}, {1, 2, 7}, {0, 1, 11}});
+  ASSERT_EQ(app.changes.size(), 3u);
+  for (const ArcChange& c : app.changes) {
+    EXPECT_EQ(c.w_new, 11u);
+    EXPECT_TRUE(c.w_old == 5u || c.w_old == 9u || c.w_old == 4u);
+  }
+  EXPECT_EQ(app.graph.arc_weight(3), 7u);  // 1->2 back where it started
+}
+
+TEST(WeightUpdate, ValidatesAtTheEdge) {
+  const Graph g = directed_multigraph();
+  EXPECT_THROW(apply_weight_updates(g, {{0, 7, 2}}), std::invalid_argument);
+  EXPECT_THROW(apply_weight_updates(g, {{9, 0, 2}}), std::invalid_argument);
+  EXPECT_THROW(apply_weight_updates(g, {{0, 1, 0}}), std::invalid_argument);
+  // No arc exists between 0 and 2 in either direction.
+  EXPECT_THROW(apply_weight_updates(g, {{0, 2, 2}}), std::invalid_argument);
+}
+
+TEST(WeightUpdate, RestatingCurrentWeightIsANoOp) {
+  const Graph g = directed_multigraph();
+  const UpdateApplication app = apply_weight_updates(g, {{2, 2, 3}});
+  EXPECT_TRUE(app.changes.empty());
+  EXPECT_EQ(app.graph.weights(), g.weights());
+}
+
+TEST(SnapshotSwap, ConcurrentPinAndPublish) {
+  const Graph base = test::weighted_suite(7)[0].graph;
+  SnapshotSwap<Graph> swap(std::make_shared<const Graph>(base));
+  std::atomic<bool> stop{false};
+
+  // Readers: every pin must observe a complete snapshot with the base
+  // graph's invariants, and pins taken before a publish must stay valid.
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> pins{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::shared_ptr<const Graph> snap = swap.pin();
+        ASSERT_NE(snap, nullptr);
+        ASSERT_EQ(snap->num_vertices(), base.num_vertices());
+        ASSERT_EQ(snap->num_edges(), base.num_edges());
+        pins.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: republish weight-perturbed successors as fast as possible.
+  std::mt19937 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto updates = random_updates(base, 3, rng);
+    const std::shared_ptr<const Graph> cur = swap.pin();
+    swap.publish(std::make_shared<const Graph>(
+        apply_weight_updates(*cur, updates).graph));
+  }
+  // On a loaded single-core machine the 200 publishes can finish before
+  // any reader gets a turn; keep publishing nothing until one pin landed.
+  while (pins.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(pins.load(), 0u);
+}
+
+/// repair == from-scratch Dijkstra after every batch of an evolving
+/// sequence, for each graph of the given suite.
+void check_repair(const std::vector<test::GraphCase>& suite,
+                  std::uint64_t seed) {
+  for (const auto& c : suite) {
+    std::mt19937 rng(seed);
+    Graph g = c.graph;
+    const Vertex n = g.num_vertices();
+    const std::vector<Vertex> sources = {0, static_cast<Vertex>(n / 2),
+                                         static_cast<Vertex>(n - 1)};
+    std::vector<std::vector<Dist>> rows;
+    for (const Vertex s : sources) rows.push_back(dijkstra(g, s));
+
+    for (int batch = 0; batch < 4; ++batch) {
+      const std::size_t count = 1 + static_cast<std::size_t>(batch) * 4;
+      UpdateApplication app =
+          apply_weight_updates(g, random_updates(g, count, rng));
+      const Graph transpose = app.graph.transposed();
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        RepairStats stats;
+        repair_distance_row(app.graph, transpose, sources[i], app.changes,
+                            rows[i], &stats);
+        const std::vector<Dist> want = dijkstra(app.graph, sources[i]);
+        ASSERT_EQ(rows[i], want)
+            << c.name << " source=" << sources[i] << " batch=" << batch
+            << " dirty=" << stats.dirty;
+      }
+      g = std::move(app.graph);
+    }
+  }
+}
+
+TEST(RepairDistanceRow, MatchesDijkstraOnWeightedSuite) {
+  check_repair(test::weighted_suite(21), 500);
+}
+
+TEST(RepairDistanceRow, MatchesDijkstraOnAdversarialSuite) {
+  check_repair(test::adversarial_suite(22), 600);
+}
+
+TEST(RepairDistanceRow, EmptyChangeListIsANoOp) {
+  const Graph g = test::weighted_suite(3)[1].graph;
+  std::vector<Dist> row = dijkstra(g, 0);
+  const std::vector<Dist> want = row;
+  repair_distance_row(g, g.transposed(), 0, {}, row);
+  EXPECT_EQ(row, want);
+}
+
+TEST(RepairDistanceRow, ValidatesTheRow) {
+  const Graph g = directed_multigraph();
+  const UpdateApplication app = apply_weight_updates(g, {{0, 1, 2}});
+  const Graph transpose = app.graph.transposed();
+  std::vector<Dist> short_row(2, 0);
+  EXPECT_THROW(repair_distance_row(app.graph, transpose, 0, app.changes,
+                                   short_row),
+               std::invalid_argument);
+  std::vector<Dist> bad_source(3, 1);  // dist[source] != 0
+  EXPECT_THROW(repair_distance_row(app.graph, transpose, 0, app.changes,
+                                   bad_source),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rs
