@@ -33,7 +33,9 @@
 // RS_RHO (preprocess rho, default 32), RS_QUEUE (queue capacity, 1024),
 // RS_MAX_BATCH (64), RS_BUDGET_US (micro-batch budget, 200),
 // RS_BATCHERS (2), RS_RATE (open-loop offered qps, 0 = auto),
-// RS_TOPK (k for the top-k loop, default 8).
+// RS_TOPK (k for the top-k loop, default 8), RS_TRACE (trace every Nth
+// request through the server's span pipeline, 0 = off — for measuring
+// tracing overhead under load).
 //
 // `--engine flat|bst|bstflat|fragment` (or RS_ENGINE; argv wins) selects
 // the query engine every request runs on; fragment builds the partitioned
@@ -55,6 +57,7 @@
 
 #include "core/engine.hpp"
 #include "exp_common.hpp"
+#include "obs/trace.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
@@ -279,6 +282,11 @@ int main(int argc, char** argv) {
   opts.batch_budget =
       std::chrono::microseconds(env_int64("RS_BUDGET_US", 200));
   opts.batchers = static_cast<int>(env_int64("RS_BATCHERS", 2));
+  opts.trace_sample = rs::obs::trace_sample_from_env();
+  if (opts.trace_sample != 0) {
+    std::printf("tracing: every %u%s request\n\n", opts.trace_sample,
+                opts.trace_sample == 1 ? "st" : "th");
+  }
 
   auto graphs = shortcut_suite(s);
   // One graph keeps the runtime bounded; the road network is the serving

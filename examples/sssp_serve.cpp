@@ -14,7 +14,12 @@
 // --batchers N (batcher threads, default 1), --engine flat|bst|bstflat,
 // --cache 0|1 (hot-source result cache, default 0), --landmarks N (ALT
 // oracle with N landmarks, default 0 = off), --dynamic 0|1 (live weight
-// updates; requires in-process preprocessing, default 0).
+// updates; requires in-process preprocessing, default 0),
+// --trace-sample N (trace every Nth request, 0 = off; default from the
+// RS_TRACE env var), --slow-query-us N (log traced spans of requests
+// slower than N us to stderr, 0 = off), --flush-ms N / --flush-dirty F
+// (with --dynamic 1: background flush every N ms / once staged updates
+// would dirty fraction F of all balls).
 //
 // Line protocol v2 (one request per line, stdin and TCP alike) —
 // verb-prefixed commands:
@@ -22,6 +27,9 @@
 //   q <source> <t1>[,<t2>,...]     targeted distances, e.g. "q 0 143,77,5"
 //   topk <source> <k>              the k nearest vertices, e.g. "topk 0 5"
 //   stats                          one-line serving counters snapshot
+//   metrics [json]                 full registry export — Prometheus text
+//                                  exposition (MULTI-line answer), or
+//                                  single-line JSON with the `json` arg
 //   epoch                          the engine's current graph epoch
 //
 // and, with --dynamic 1, the live-update verbs:
@@ -77,6 +85,7 @@
 #include "graph/io.hpp"
 #include "graph/update.hpp"
 #include "graph/weights.hpp"
+#include "obs/trace.hpp"
 #include "serve/dynamic.hpp"
 #include "serve/server.hpp"
 #include "shortcut/serialize.hpp"
@@ -240,6 +249,14 @@ std::string answer_line(SsspServer& server, rs::serve::DynamicSsspService* dyn,
   const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
 
   if (verb == "stats") return format_stats_line(server);
+  if (verb == "metrics") {
+    std::string out = server.export_metrics(rest == "json"
+                                                ? MetricsFormat::kJson
+                                                : MetricsFormat::kPrometheus);
+    // The front-ends append the terminating newline themselves.
+    while (!out.empty() && out.back() == '\n') out.pop_back();
+    return out;
+  }
   if (verb == "epoch") {
     return std::to_string(server.engine_snapshot()->graph_epoch());
   }
@@ -292,26 +309,11 @@ std::string answer_line(SsspServer& server, rs::serve::DynamicSsspService* dyn,
   return format_targets(fut.get(), topk);
 }
 
+/// Shutdown print: the SAME registry-backed line the `stats` verb answers
+/// with, so the two can never drift apart.
 void print_stats(const SsspServer& server) {
-  const ServerStats s = server.stats();
-  const auto& lat = server.latency();
-  std::fprintf(stderr,
-               "sssp_serve: accepted=%llu completed=%llu in_flight=%llu "
-               "rejected(full=%llu invalid=%llu shutdown=%llu)\n",
-               static_cast<unsigned long long>(s.accepted),
-               static_cast<unsigned long long>(s.completed),
-               static_cast<unsigned long long>(s.in_flight()),
-               static_cast<unsigned long long>(s.rejected_full),
-               static_cast<unsigned long long>(s.rejected_invalid),
-               static_cast<unsigned long long>(s.rejected_shutdown));
-  std::fprintf(stderr,
-               "sssp_serve: batches=%llu mean_batch=%.2f max_batch=%llu  "
-               "latency p50=%llu us p99=%llu us p999=%llu us\n",
-               static_cast<unsigned long long>(s.batches), s.mean_batch(),
-               static_cast<unsigned long long>(s.max_batch),
-               static_cast<unsigned long long>(lat.value_at_quantile(0.50)),
-               static_cast<unsigned long long>(lat.value_at_quantile(0.99)),
-               static_cast<unsigned long long>(lat.value_at_quantile(0.999)));
+  std::fprintf(stderr, "sssp_serve: %s\n",
+               format_stats_line(server).c_str());
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -570,6 +572,11 @@ int main(int argc, char** argv) {
         std::chrono::microseconds(args.get_int("--budget-us", 200));
     opts.batchers = static_cast<int>(args.get_int("--batchers", 1));
     opts.enable_cache = args.get_int("--cache", 0) != 0;
+    opts.trace_sample = static_cast<std::uint32_t>(args.get_int(
+        "--trace-sample",
+        static_cast<long>(rs::obs::trace_sample_from_env())));
+    opts.slow_query_us =
+        static_cast<std::uint64_t>(args.get_int("--slow-query-us", 0));
     const long landmarks = args.get_int("--landmarks", 0);
     if (landmarks > 0) {
       opts.enable_landmarks = true;
@@ -599,6 +606,9 @@ int main(int argc, char** argv) {
       rs::serve::DynamicSsspService::Options dopts;
       dopts.preprocess = popts;
       dopts.server = opts;
+      dopts.flush_interval_ms =
+          static_cast<std::uint32_t>(args.get_int("--flush-ms", 0));
+      dopts.flush_dirty_fraction = std::stod(args.get("--flush-dirty", "0"));
       dyn = std::make_unique<rs::serve::DynamicSsspService>(std::move(g),
                                                             dopts);
     } else {

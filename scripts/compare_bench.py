@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py <baseline-dir> <current-dir> [--threshold 0.20]
                      [--fail-threshold 0.35] [--fail-on-regression]
+                     [--noise-file scripts/bench_noise.json]
 
 Both directories hold BENCH_<bench>.json files in the schema documented in
 README "Perf tracking" — either directly or in nested subdirectories
@@ -23,6 +24,17 @@ p50/p99/p999 tail latencies are gated. Two bands:
     REGRESSION warning;
   * beyond --fail-threshold (when given; CI uses 35%) it is a hard
     failure — the script exits 1.
+
+A --noise-file adds a PER-METRIC allowance on top of both thresholds: the
+JSON maps "<bench>.<metric>" (or "<metric>" for all benches, or "*" as a
+global default) to an extra relative band, e.g.
+
+    {"loadgen.p999_us": 0.25, "p99_us": 0.10, "*": 0.0}
+
+so a metric known to be noisy at full scale (tail latencies on shared
+runners) only warns beyond threshold+allowance and only fails beyond
+fail-threshold+allowance. This is what lets the nightly leg run as a hard
+gate instead of warn-only. Most-specific key wins.
 
 New or vanished metrics are listed informationally. --fail-on-regression
 additionally turns warn-band regressions into a nonzero exit.
@@ -73,6 +85,35 @@ def label_str(labels):
     return ",".join(f"{k}={v}" for k, v in labels) or "-"
 
 
+def load_noise(path):
+    """Loads the per-metric allowance map; {} when no file is given."""
+    if path is None:
+        return {}
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"warning: ignoring unreadable noise file {path}: {err}")
+        return {}
+    noise = {}
+    for key, value in doc.items():
+        if key.startswith("_"):
+            continue  # comment keys
+        try:
+            noise[key] = float(value)
+        except (TypeError, ValueError):
+            print(f"warning: noise file {path}: non-numeric allowance "
+                  f"for {key!r}; ignored")
+    return noise
+
+
+def allowance_for(noise, bench, name):
+    """Most-specific allowance: bench.metric > metric > '*' > 0."""
+    for key in (f"{bench}.{name}", name, "*"):
+        if key in noise:
+            return noise[key]
+    return 0.0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -83,7 +124,11 @@ def main():
                         help="relative drop that fails the run (exit 1)")
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit 1 on warn-band regressions too")
+    parser.add_argument("--noise-file", default=None,
+                        help="JSON map of per-metric extra allowance "
+                             "(bench.metric, metric, or '*')")
     args = parser.parse_args()
+    noise = load_noise(args.noise_file)
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
@@ -117,11 +162,13 @@ def main():
         delta = (new - old) / old
         # Positive `worse` always means "moved in the bad direction".
         worse = -direction * delta
+        slack = allowance_for(noise, key[0], key[1])
         flag = ""
-        if args.fail_threshold is not None and worse > args.fail_threshold:
+        if (args.fail_threshold is not None
+                and worse > args.fail_threshold + slack):
             flag = "  << FAIL"
             failures.append((key, old, new, delta))
-        elif worse > args.threshold:
+        elif worse > args.threshold + slack:
             flag = "  << REGRESSION"
             regressions.append((key, old, new, delta))
         elif worse < -args.threshold:

@@ -143,6 +143,10 @@ void SsspEngine::run_serve(const QueryRequest& req, QueryContext& ctx,
   resp.source = req.source;
   resp.stats = RunStats{};
   resp.dist.clear();
+  resp.trace = obs::TraceBuffer{};
+  // Per-phase clock readings only for traced requests; the flag is
+  // per-run (set fresh here every time), so context reuse cannot leak it.
+  ctx.set_trace_phases(req.trace);
 
   // Early termination only when it cannot change what the caller sees: a
   // full distance vector needs the exhaustive run, an untargeted kTargets

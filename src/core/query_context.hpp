@@ -54,6 +54,13 @@ class QueryContext {
   bool sequential() const { return sequential_; }
   void set_sequential(bool sequential) { sequential_ = sequential; }
 
+  /// True when the engines should take per-phase clock readings into
+  /// RunStats (relax/exchange/partition ns) for this run — set per
+  /// request by SsspEngine::run_serve from QueryRequest::trace. Off by
+  /// default: untraced runs take zero clock readings.
+  bool trace_phases() const { return trace_phases_; }
+  void set_trace_phases(bool trace) { trace_phases_ = trace; }
+
   /// Starts a query over `n` vertices: grows buffers if needed and bumps
   /// the visited generation (O(1)). The distance array is already all
   /// kInfDist — finish_query() restored the invariant.
@@ -321,6 +328,7 @@ class QueryContext {
  private:
   Vertex n_ = 0;
   bool sequential_ = false;
+  bool trace_phases_ = false;
   bool targeted_ = false;
   bool target_bounds_ = false;
   std::size_t targets_remaining_ = 0;

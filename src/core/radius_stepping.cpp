@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include <omp.h>
@@ -60,6 +61,16 @@ void radius_stepping_run(const Graph& g, Vertex source,
   const auto goals_met = [&](std::size_t settled_count) {
     if (targeted && ctx.targets_remaining() == 0) return true;
     return k_goal != 0 && settled_count >= k_goal;
+  };
+
+  // Traced requests take two clock readings per substep (relax end is
+  // partition start, so the phases tile the substep); untraced runs take
+  // none — the disabled path costs one predictable branch per substep.
+  using TraceClock = std::chrono::steady_clock;
+  const bool timed = ctx.trace_phases();
+  const auto phase_ns = [](TraceClock::time_point a, TraceClock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
   };
 
   // First-touch records feeding the O(touched) reset epilogue: sequential
@@ -163,6 +174,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
       // One claim epoch per substep: each updated vertex is collected once
       // no matter how many relaxations hit it.
       ctx.next_claim_epoch();
+      const auto t_relax = timed ? TraceClock::now() : TraceClock::time_point{};
       if constexpr (Par) {
         std::atomic<std::size_t> relax_count{0};
 #pragma omp parallel num_threads(nw)
@@ -213,6 +225,9 @@ void radius_stepping_run(const Graph& g, Vertex source,
         }
       }
 
+      const auto t_drain = timed ? TraceClock::now() : TraceClock::time_point{};
+      if (timed) local.relax_ns += phase_ns(t_relax, t_drain);
+
       // Drain this substep's updated vertices, then partition: inside d_i
       // -> active for the next substep (and settled); beyond d_i ->
       // frontier candidates. Sequential mode partitions straight out of the
@@ -246,6 +261,7 @@ void radius_stepping_run(const Graph& g, Vertex source,
         }
       }
       local.max_active = std::max(local.max_active, active.size());
+      if (timed) local.partition_ns += phase_ns(t_drain, TraceClock::now());
     }
     // Loop iterations equal Algorithm 1's repeat-until iterations: the
     // final iteration relaxes the last-updated vertices and observes no

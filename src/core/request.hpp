@@ -36,6 +36,7 @@
 
 #include "core/stats.hpp"
 #include "graph/types.hpp"
+#include "obs/trace.hpp"
 
 namespace rs {
 
@@ -113,6 +114,12 @@ struct QueryRequest {
 
   /// Which Radius-Stepping implementation answers this request.
   QueryEngine engine = QueryEngine::kFlat;
+
+  /// Trace this request: the engines take per-phase clock readings into
+  /// RunStats (relax/exchange/partition ns) and the server assembles a
+  /// span breakdown into QueryResponse::trace. Normally set by the
+  /// server's sampling knob (ServerOptions::trace_sample), not by hand.
+  bool trace = false;
 };
 
 /// Per-result slice of a response — one layout for both request kinds:
@@ -151,6 +158,11 @@ struct QueryResponse {
   /// (target_lower_bounds) rather than by actually settling — the ALT
   /// assist's contribution to this request's early exit.
   std::size_t lower_bound_exits = 0;
+
+  /// Span breakdown of where this request's latency went; populated only
+  /// when the request was traced (QueryRequest::trace — enabled==true
+  /// then). Fixed-capacity POD: carrying it costs no allocation.
+  obs::TraceBuffer trace;
 };
 
 }  // namespace rs

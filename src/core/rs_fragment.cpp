@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 #include <omp.h>
@@ -112,6 +113,16 @@ void radius_stepping_fragment_run(const FragmentedGraph& fg, Vertex source,
     return false;
   };
 
+  // Traced requests take two clock readings per substep (local relax =
+  // relax_ns, ghost exchange + partition = exchange_ns); untraced runs
+  // take none.
+  using TraceClock = std::chrono::steady_clock;
+  const bool timed = ctx.trace_phases();
+  const auto phase_ns = [](TraceClock::time_point a, TraceClock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+
   Dist prev_di = 0;
   while (any_nonempty(fs.frontier)) {
     if (goals_met(local.settled)) {
@@ -168,6 +179,7 @@ void radius_stepping_fragment_run(const FragmentedGraph& fg, Vertex source,
       // One claim epoch per substep: a vertex updated by local relaxation
       // AND by an incoming message still lands in `updated` once.
       ctx.next_claim_epoch();
+      const auto t_relax = timed ? TraceClock::now() : TraceClock::time_point{};
 
       // Phase 1 — local relax: each fragment walks its active rows. Inner
       // heads relax in place; ghost heads stage a message to the owner
@@ -209,6 +221,9 @@ void radius_stepping_fragment_run(const FragmentedGraph& fg, Vertex source,
         }
         fs.relaxed[f] = relaxed;
       });
+
+      const auto t_exch = timed ? TraceClock::now() : TraceClock::time_point{};
+      if (timed) local.relax_ns += phase_ns(t_relax, t_exch);
 
       // Substep boundary: staged out-lanes become in-lanes.
       messages.swap_epoch();
@@ -279,6 +294,7 @@ void radius_stepping_fragment_run(const FragmentedGraph& fg, Vertex source,
       }
       drain_settled();
       local.max_active = std::max(local.max_active, total_active);
+      if (timed) local.exchange_ns += phase_ns(t_exch, TraceClock::now());
     }
     local.substeps += substeps_this_step;
     local.max_substeps_in_step =

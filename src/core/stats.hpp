@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace rs {
 
@@ -29,6 +30,17 @@ struct RunStats {
   /// True when a targeted run stopped before exhausting the frontier —
   /// every requested target settled early (core/request.hpp semantics).
   bool early_exit = false;
+
+  // Per-phase wall time, filled ONLY when the request is traced
+  // (QueryContext::trace_phases; see obs/trace.hpp) — the RunStats hooks
+  // the observability subsystem turns into engine-detail trace spans.
+  // Zero on untraced runs: the engines take no clock readings then.
+  /// Relaxation substeps (Algorithm 1's inner loop; fragment Phase 1).
+  std::uint64_t relax_ns = 0;
+  /// Fragment ghost exchange (kFragment only).
+  std::uint64_t exchange_ns = 0;
+  /// Frontier drain + A_i/B_i partitioning after each substep.
+  std::uint64_t partition_ns = 0;
 };
 
 }  // namespace rs

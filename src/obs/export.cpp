@@ -1,0 +1,163 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace rs::obs {
+
+namespace {
+
+/// Shortest faithful rendering of a metric value: integral doubles print
+/// as integers (counters, epochs), everything else as %.6g.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// `{k1="v1",k2="v2"}` or "" when label-free; `extra` appends one more
+/// pair (the quantile label on summary samples).
+std::string prom_labels(const std::vector<Label>& labels,
+                        const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&](const Label& l) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += l.value;
+    out += '"';
+  };
+  for (const Label& l : labels) append(l);
+  if (extra != nullptr) append(*extra);
+  out += '}';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileNames[] = {"0.5", "0.9", "0.99", "0.999"};
+constexpr const char* kJsonQuantileKeys[] = {"p50", "p90", "p99", "p999"};
+
+}  // namespace
+
+std::string to_prometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  // HELP/TYPE must appear once per metric NAME even when several labeled
+  // series share it (the exposition format rejects repeats). The registry
+  // snapshots in registration order, so same-name series are expected to
+  // be adjacent; `last_name` suppresses the repeats.
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    const bool headed = s.name == last_name;
+    last_name = s.name;
+    if (!headed && !s.help.empty()) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (!headed) out += "# TYPE " + s.name + " counter\n";
+        out += s.name + prom_labels(s.labels) + " " +
+               format_value(s.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        if (!headed) out += "# TYPE " + s.name + " gauge\n";
+        out += s.name + prom_labels(s.labels) + " " +
+               format_value(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (!headed) out += "# TYPE " + s.name + " summary\n";
+        for (std::size_t q = 0; q < 4; ++q) {
+          Label quant{"quantile", kQuantileNames[q]};
+          out += s.name + prom_labels(s.labels, &quant) + " " +
+                 format_value(static_cast<double>(
+                     s.hist.value_at_quantile(kQuantiles[q]))) +
+                 "\n";
+        }
+        out += s.name + "_sum" + prom_labels(s.labels) + " " +
+               format_value(static_cast<double>(s.hist.sum)) + "\n";
+        out += s.name + "_count" + prom_labels(s.labels) + " " +
+               format_value(static_cast<double>(s.hist.total)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<MetricSample>& samples) {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"labels\":{";
+    bool lf = true;
+    for (const Label& l : s.labels) {
+      if (!lf) out += ',';
+      lf = false;
+      out += "\"" + json_escape(l.key) + "\":\"" + json_escape(l.value) +
+             "\"";
+    }
+    out += "},";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "\"kind\":\"counter\",\"value\":" + format_value(s.value);
+        break;
+      case MetricKind::kGauge:
+        out += "\"kind\":\"gauge\",\"value\":" + format_value(s.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += "\"kind\":\"histogram\",\"value\":{\"count\":" +
+               format_value(static_cast<double>(s.hist.total)) +
+               ",\"sum\":" + format_value(static_cast<double>(s.hist.sum));
+        for (std::size_t q = 0; q < 4; ++q) {
+          out += ",\"";
+          out += kJsonQuantileKeys[q];
+          out += "\":" + format_value(static_cast<double>(
+                             s.hist.value_at_quantile(kQuantiles[q])));
+        }
+        out += "}";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  return to_prometheus(registry.snapshot());
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  return to_json(registry.snapshot());
+}
+
+}  // namespace rs::obs

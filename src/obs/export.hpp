@@ -1,0 +1,39 @@
+/// \file
+/// Exporters: render a MetricsRegistry snapshot as Prometheus text
+/// exposition or JSON.
+///
+/// Prometheus (exposition format 0.0.4, the text format every scraper
+/// speaks): counters and gauges emit `# HELP` / `# TYPE` headers and one
+/// `name{labels} value` sample; histograms emit a summary — quantile
+/// samples (p50/p90/p99/p999), `_sum`, and `_count` — because the
+/// log-linear buckets are an implementation detail and the quantiles are
+/// what dashboards plot.
+///
+/// JSON: one array of objects, `{"name":..., "labels":{...},
+/// "kind":"counter|gauge|histogram", "value":...}` with histograms
+/// carrying `{"count":..., "sum":..., "p50":..., "p90":..., "p99":...,
+/// "p999":...}` — the shape bench tooling and the daemon's `metrics json`
+/// verb emit.
+///
+/// Both are control-path renderers: they allocate freely and take the
+/// registry mutex once (inside snapshot()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rs::obs {
+
+/// Prometheus text exposition of `samples` (see file comment).
+std::string to_prometheus(const std::vector<MetricSample>& samples);
+
+/// JSON rendering of `samples` (see file comment).
+std::string to_json(const std::vector<MetricSample>& samples);
+
+/// Convenience overloads: snapshot + render.
+std::string to_prometheus(const MetricsRegistry& registry);
+std::string to_json(const MetricsRegistry& registry);
+
+}  // namespace rs::obs

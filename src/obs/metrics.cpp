@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rs::obs {
+
+std::string MetricsRegistry::series_key(const std::string& name,
+                                        const std::vector<Label>& labels) {
+  // Label order must not matter for identity: sort a copy of the keys.
+  std::vector<const Label*> sorted;
+  sorted.reserve(labels.size());
+  for (const Label& l : labels) sorted.push_back(&l);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label* a, const Label* b) { return a->key < b->key; });
+  std::string key = name;
+  for (const Label* l : sorted) {
+    key += '\x1f';  // unit separator: cannot appear in a metric name
+    key += l->key;
+    key += '\x1e';
+    key += l->value;
+  }
+  return key;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, std::vector<Label> labels,
+    const std::string& help, MetricKind kind) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::invalid_argument(
+          "MetricsRegistry: series '" + name +
+          "' already registered as a different kind");
+    }
+    return e;
+  }
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.name = name;
+  e.labels = std::move(labels);
+  e.help = help;
+  e.kind = kind;
+  index_.emplace(key, entries_.size() - 1);
+  return e;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  std::vector<Label> labels,
+                                  const std::string& help) {
+  return find_or_create(name, std::move(labels), help, MetricKind::kCounter)
+      .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              std::vector<Label> labels,
+                              const std::string& help) {
+  return find_or_create(name, std::move(labels), help, MetricKind::kGauge)
+      .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<Label> labels,
+                                      const std::string& help) {
+  return find_or_create(name, std::move(labels), help,
+                        MetricKind::kHistogram)
+      .histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.help = e.help;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter.value());
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge.value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.histogram.snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace rs::obs

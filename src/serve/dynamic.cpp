@@ -19,6 +19,43 @@ DynamicSsspService::DynamicSsspService(Graph g, const Options& options)
   }
   server_ = std::make_unique<SsspServer>(
       std::make_shared<const SsspEngine>(std::move(engine)), options_.server);
+  dirty_fraction_ = &server_->metrics().gauge(
+      "rs_dyn_dirty_fraction", {},
+      "Fraction of balls the staged (unflushed) updates would dirty");
+  if (options_.flush_interval_ms != 0 || options_.flush_dirty_fraction > 0) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+DynamicSsspService::~DynamicSsspService() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      stop_flusher_ = true;
+    }
+    flush_cv_.notify_all();
+    flusher_.join();
+  }
+}
+
+void DynamicSsspService::flusher_loop() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  // With no timer configured, wake only on the threshold trigger (or stop).
+  const auto interval = options_.flush_interval_ms != 0
+                            ? std::chrono::milliseconds(options_.flush_interval_ms)
+                            : std::chrono::hours(24);
+  while (!stop_flusher_) {
+    const bool triggered = flush_cv_.wait_for(
+        lock, interval, [this] { return stop_flusher_ || flush_requested_; });
+    if (stop_flusher_) return;
+    flush_requested_ = false;
+    lock.unlock();
+    // Timer expiry flushes whatever is staged; a threshold trigger always
+    // flushes. flush() itself is a no-op when nothing is staged, so the
+    // has_staged() check only avoids taking mu_ on idle ticks.
+    if (triggered || has_staged()) flush();
+    lock.lock();
+  }
 }
 
 void DynamicSsspService::merge_staged(
@@ -50,6 +87,23 @@ UpdateReport DynamicSsspService::stage(
                           updates.end());
   report.staged = pending_updates_.size();
   report.epoch = server_->engine_snapshot()->graph_epoch();
+
+  // Publish how much re-preprocessing the staged set has accrued, and ask
+  // the background flusher to run once it crosses the configured fraction.
+  const std::size_t total = incr_.graph().num_vertices();
+  const double fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(incr_.count_dirty(pending_updates_)) /
+                       static_cast<double>(total);
+  dirty_fraction_->set(fraction);
+  if (flusher_.joinable() && options_.flush_dirty_fraction > 0 &&
+      fraction >= options_.flush_dirty_fraction) {
+    {
+      std::lock_guard<std::mutex> flock(flush_mu_);
+      flush_requested_ = true;
+    }
+    flush_cv_.notify_one();
+  }
   return report;
 }
 
@@ -75,6 +129,7 @@ UpdateReport DynamicSsspService::flush() {
   pending_updates_.clear();
   staged_changes_.clear();
   staged_index_.clear();
+  dirty_fraction_->set(0.0);
 
   report.updated_arcs = stats.updated_arcs;
   report.dirty_balls = stats.dirty_balls;

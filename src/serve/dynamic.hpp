@@ -23,12 +23,21 @@
 /// apply_updates() = stage + flush, the one-call form the daemon's
 /// `update` verb uses. Everything is serialized by one internal mutex;
 /// queries through the server itself need no lock (they pin epochs).
+///
+/// FLUSH can also run unattended: Options::flush_interval_ms starts a
+/// background flusher thread on a timer, and Options::flush_dirty_fraction
+/// makes stage() trigger it early once the staged batch would dirty that
+/// fraction of all balls (tracked by the rs_dyn_dirty_fraction gauge in
+/// the daemon's metrics registry, via IncrementalPreprocessor::
+/// count_dirty()).
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +46,7 @@
 #include "graph/fragment.hpp"
 #include "graph/graph.hpp"
 #include "graph/update.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "shortcut/incremental.hpp"
 #include "shortcut/shortcut.hpp"
@@ -76,11 +86,26 @@ class DynamicSsspService {
     std::size_t fragments = 0;
     /// Partition mode for the fragment substrate.
     PartitionMode fragment_mode = PartitionMode::kContiguous;
+    /// Background flush timer: when nonzero, a flusher thread wakes every
+    /// this many milliseconds and flushes whatever is staged. 0 disables
+    /// the timer (flushes still happen on explicit flush()/apply_updates()
+    /// and on the dirty-fraction trigger below).
+    std::uint32_t flush_interval_ms = 0;
+    /// Background flush threshold: when > 0, stage() requests an immediate
+    /// background flush once the staged batch would dirty at least this
+    /// fraction of all balls (the rs_dyn_dirty_fraction gauge). 0 disables
+    /// the trigger. The flusher thread starts iff either knob is nonzero.
+    double flush_dirty_fraction = 0.0;
   };
 
-  /// Cold-preprocesses `g`, builds the first engine (epoch 1), and starts
-  /// the daemon.
+  /// Cold-preprocesses `g`, builds the first engine (epoch 1), starts the
+  /// daemon, and (when a flush_interval_ms / flush_dirty_fraction knob is
+  /// set) the background flusher thread.
   explicit DynamicSsspService(Graph g, const Options& options);
+
+  /// Stops the flusher thread (staged-but-unflushed updates stay staged —
+  /// shutdown does NOT force a final flush), then tears down the daemon.
+  ~DynamicSsspService();
 
   DynamicSsspService(const DynamicSsspService&) = delete;
   DynamicSsspService& operator=(const DynamicSsspService&) = delete;
@@ -121,6 +146,10 @@ class DynamicSsspService {
   /// cumulative flushed->staged delta. Caller holds mu_.
   void merge_staged(const std::vector<ArcChange>& changes);
 
+  /// Background flusher body: waits on the timer / threshold trigger and
+  /// calls flush(). Runs only when one of the flush knobs is nonzero.
+  void flusher_loop();
+
   Options options_;
   mutable std::mutex mu_;
   /// Balls + shortcuts for the FLUSHED graph (the published epoch's base).
@@ -136,6 +165,17 @@ class DynamicSsspService {
   /// Raw staged updates, replayed into incr_ at flush time.
   std::vector<WeightUpdate> pending_updates_;
   std::unique_ptr<SsspServer> server_;
+  /// rs_dyn_dirty_fraction in the daemon's registry: fraction of all balls
+  /// the currently staged updates would dirty (count_dirty / total). Set
+  /// on every stage(), reset to 0 by flush(). Bound after server_ exists.
+  obs::Gauge* dirty_fraction_ = nullptr;
+  /// Flusher-thread coordination (separate from mu_ so stage() can notify
+  /// while holding mu_ and the flusher can flush() without deadlock).
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flush_requested_ = false;
+  bool stop_flusher_ = false;
+  std::thread flusher_;
 };
 
 }  // namespace rs::serve

@@ -1,121 +1,15 @@
-// Fixed-bucket log-linear latency histogram (HDR-histogram style) for the
-// serving daemon's per-request latency tracking.
+// The serving daemon's per-request latency histogram.
 //
-// The record path is the constraint: it runs once per served request, from
-// the batcher thread, and must never allocate or take a lock — one bucket
-// index computation (a bit-scan and a shift) and one relaxed fetch_add.
-// All storage is a fixed std::array of atomic counters sized at compile
-// time, so a histogram is ~15 KiB and records values across the full
-// uint64 range with bounded relative error.
-//
-// Bucketing: values below 2^kSubBits (32) are exact; above that, each
-// power-of-two range is split into 32 equal sub-buckets, so any recorded
-// value is off by at most 1/32 (~3.1%) of its magnitude — tight enough to
-// gate p99 regressions on, with no coordination between recorders.
-//
-// Quantile reads (p50/p99/p999) take a snapshot — a plain copy of the
-// counters — and scan cumulative counts; reads are control-path only
-// (stats endpoints, BENCH emission), so their allocation is fine.
+// The implementation moved to obs/histogram.hpp when the observability
+// subsystem unified every distribution-shaped metric behind one type;
+// this header remains so serve-layer code (and its tests) keep their
+// historical spelling. rs::serve::LatencyHistogram IS rs::obs::Histogram.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cmath>
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "obs/histogram.hpp"
 
 namespace rs::serve {
 
-class LatencyHistogram {
- public:
-  static constexpr int kSubBits = 5;  // 32 sub-buckets per power of two
-  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
-  // One linear segment [0, 32) plus 32 sub-buckets for each of the 59
-  // power-of-two decades a uint64 value above 31 can start in.
-  static constexpr std::size_t kBuckets =
-      kSubBuckets * (64 - kSubBits + 1);
-
-  /// Bucket index of `value` (stable across calls; exposed for tests).
-  static std::size_t bucket_index(std::uint64_t value) {
-    if (value < kSubBuckets) return static_cast<std::size_t>(value);
-    // Position of the most significant bit, 0-based (value >= 32 here).
-    const int msb = 63 - __builtin_clzll(value);
-    const int decade = msb - kSubBits + 1;  // >= 1
-    const std::uint64_t sub = (value >> (decade - 1)) & (kSubBuckets - 1);
-    return static_cast<std::size_t>(decade) * kSubBuckets +
-           static_cast<std::size_t>(sub);
-  }
-
-  /// Largest value mapping to bucket `index` — what quantiles report, so
-  /// the estimate is a conservative (upper) bound of the true quantile.
-  static std::uint64_t bucket_upper(std::size_t index) {
-    if (index < kSubBuckets) return index;
-    const std::size_t decade = index >> kSubBits;
-    const std::uint64_t sub = index & (kSubBuckets - 1);
-    const std::uint64_t low = (kSubBuckets + sub) << (decade - 1);
-    return low + ((1ull << (decade - 1)) - 1);
-  }
-
-  /// Records one observation. Wait-free, allocation-free: a relaxed
-  /// fetch_add on the bucket and on the total.
-  void record(std::uint64_t value) noexcept {
-    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
-    total_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  std::uint64_t count() const {
-    return total_.load(std::memory_order_relaxed);
-  }
-
-  /// A consistent-enough copy for multi-quantile reads (concurrent
-  /// records may straddle the copy; each observation is counted at most
-  /// once and quantiles of a live histogram are approximations anyway).
-  struct Snapshot {
-    std::vector<std::uint64_t> counts;
-    std::uint64_t total = 0;
-
-    /// Upper bound of the bucket holding the q-quantile observation
-    /// (q in [0, 1]); 0 when empty. Overestimates by at most 1/32.
-    std::uint64_t value_at_quantile(double q) const {
-      if (total == 0) return 0;
-      if (q < 0.0) q = 0.0;
-      if (q > 1.0) q = 1.0;
-      const auto rank_raw = static_cast<std::uint64_t>(
-          std::ceil(q * static_cast<double>(total)));
-      const std::uint64_t rank = rank_raw == 0 ? 1 : rank_raw;
-      std::uint64_t seen = 0;
-      for (std::size_t i = 0; i < counts.size(); ++i) {
-        seen += counts[i];
-        if (seen >= rank) return bucket_upper(i);
-      }
-      return bucket_upper(counts.size() - 1);
-    }
-  };
-
-  Snapshot snapshot() const {
-    Snapshot s;
-    s.counts.resize(kBuckets);
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
-      s.total += s.counts[i];
-    }
-    return s;
-  }
-
-  /// Convenience single-quantile read (snapshots internally).
-  std::uint64_t value_at_quantile(double q) const {
-    return snapshot().value_at_quantile(q);
-  }
-
-  void reset() {
-    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-    total_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-  std::atomic<std::uint64_t> total_{0};
-};
+using LatencyHistogram = rs::obs::Histogram;
 
 }  // namespace rs::serve

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/export.hpp"
+
 namespace rs::serve {
 
 namespace {
@@ -48,10 +50,54 @@ SsspServer::SsspServer(const SsspEngine& engine, ServerOptions opts)
 
 SsspServer::SsspServer(std::shared_ptr<const SsspEngine> engine,
                        ServerOptions opts)
-    : engine_(std::move(engine)), opts_(opts), queue_(opts.queue_capacity) {
+    : engine_(std::move(engine)),
+      opts_(opts),
+      accepted_(metrics_.counter("rs_requests_accepted_total", {},
+                                 "Requests admitted into the queue")),
+      completed_(metrics_.counter("rs_requests_completed_total", {},
+                                  "Promises fulfilled")),
+      rejected_full_(metrics_.counter("rs_requests_rejected_total",
+                                      {{"reason", "queue_full"}},
+                                      "Rejected requests by reason")),
+      rejected_invalid_(metrics_.counter("rs_requests_rejected_total",
+                                         {{"reason", "invalid"}},
+                                         "Rejected requests by reason")),
+      rejected_shutdown_(metrics_.counter("rs_requests_rejected_total",
+                                          {{"reason", "shutdown"}},
+                                          "Rejected requests by reason")),
+      batches_(metrics_.counter("rs_batches_total", {},
+                                "serve_batch calls issued")),
+      max_batch_(metrics_.gauge("rs_batch_max_width", {},
+                                "Widest micro-batch so far")),
+      cache_hits_(metrics_.counter("rs_cache_hits_total", {},
+                                   "Requests answered from a cached row")),
+      cache_misses_(metrics_.counter(
+          "rs_cache_misses_total", {},
+          "Cache-eligible requests that had to compute (owners + "
+          "single-flight waiters)")),
+      lb_exits_(metrics_.counter(
+          "rs_lower_bound_exits_total", {},
+          "Targets proven settled by an ALT lower bound")),
+      swaps_(metrics_.counter("rs_engine_swaps_total", {},
+                              "swap_engine() publications")),
+      traced_(metrics_.counter("rs_traced_requests_total", {},
+                               "Requests sampled for a span breakdown")),
+      slow_queries_(metrics_.counter(
+          "rs_slow_queries_total", {},
+          "Requests at or over the slow-query threshold")),
+      epoch_gauge_(metrics_.gauge("rs_graph_epoch", {},
+                                  "Published engine snapshot epoch")),
+      in_flight_gauge_(metrics_.gauge(
+          "rs_in_flight", {}, "Requests admitted but not yet completed")),
+      latency_(metrics_.histogram("rs_request_latency_us", {},
+                                  "End-to-end request latency "
+                                  "(microseconds, submit to completion)")),
+      marks_enabled_(opts.trace_sample != 0 || opts.slow_query_us != 0),
+      queue_(opts.queue_capacity) {
   if (engine_ == nullptr) {
     throw std::invalid_argument("SsspServer: null engine");
   }
+  epoch_gauge_.set(static_cast<double>(engine_->graph_epoch()));
   if (opts_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(opts_.cache);
   }
@@ -73,7 +119,7 @@ SsspServer::~SsspServer() { shutdown(); }
 SubmitStatus SsspServer::submit(QueryRequest req,
                                 std::future<QueryResponse>& result) {
   if (stopping_.load(std::memory_order_acquire)) {
-    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    rejected_shutdown_.add();
     return SubmitStatus::kShuttingDown;
   }
   // One pin for the whole admission path: validation and the cache key
@@ -84,13 +130,25 @@ SubmitStatus SsspServer::submit(QueryRequest req,
   try {
     eng->validate(req);
   } catch (const std::invalid_argument&) {
-    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    rejected_invalid_.add();
     return SubmitStatus::kInvalid;
   }
 
   Pending pending;
   pending.request = std::move(req);
   pending.accepted_at = std::chrono::steady_clock::now();
+  // Trace sampling: every Nth validated request gets the span treatment.
+  // With the knob off this is one load and one branch — no clock, no
+  // sequence bump, and the request flag stays false all the way down.
+  if (opts_.trace_sample != 0) {
+    const std::uint64_t seq =
+        trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (seq % opts_.trace_sample == 0) {
+      pending.traced = true;
+      pending.request.trace = true;
+      traced_.add();
+    }
+  }
   std::future<QueryResponse> fut = pending.promise.get_future();
 
   // Cache fast path: a hit is answered HERE, on the client thread —
@@ -103,7 +161,8 @@ SubmitStatus SsspServer::submit(QueryRequest req,
     std::shared_future<RowPtr> pending_row;
     switch (cache_->acquire(key, row, pending_row)) {
       case CacheAcquire::kHit: {
-        accepted_.fetch_add(1, std::memory_order_release);
+        cache_hits_.add();
+        accepted_.add(1, std::memory_order_release);
         QueryResponse resp;
         answer_from_row(pending.request, *row, resp);
         complete(pending, std::move(resp));
@@ -111,10 +170,12 @@ SubmitStatus SsspServer::submit(QueryRequest req,
         return SubmitStatus::kAccepted;
       }
       case CacheAcquire::kOwner:
+        cache_misses_.add();
         pending.role = CacheRole::kOwner;
         pending.key = key;
         break;
       case CacheAcquire::kWaiter:
+        cache_misses_.add();
         pending.role = CacheRole::kWaiter;
         pending.key = key;
         pending.pending_row = std::move(pending_row);
@@ -124,6 +185,7 @@ SubmitStatus SsspServer::submit(QueryRequest req,
 
   const CacheRole role = pending.role;
   const CacheKey key = pending.key;
+  if (marks_enabled_) pending.t_enqueued = std::chrono::steady_clock::now();
   if (!queue_.try_push(std::move(pending))) {
     // An owner that never enters the queue would park its waiters
     // forever; release the in-flight entry before rejecting.
@@ -134,13 +196,13 @@ SubmitStatus SsspServer::submit(QueryRequest req,
     // A closed queue and a full queue both fail the push; report the one
     // the caller can act on.
     if (stopping_.load(std::memory_order_acquire)) {
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shutdown_.add();
       return SubmitStatus::kShuttingDown;
     }
-    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    rejected_full_.add();
     return SubmitStatus::kQueueFull;
   }
-  accepted_.fetch_add(1, std::memory_order_release);
+  accepted_.add(1, std::memory_order_release);
   result = std::move(fut);
   return SubmitStatus::kAccepted;
 }
@@ -171,8 +233,8 @@ void SsspServer::resume() {
 void SsspServer::drain() {
   std::unique_lock<std::mutex> lock(drain_mutex_);
   drain_cv_.wait(lock, [&] {
-    return completed_.load(std::memory_order_acquire) ==
-           accepted_.load(std::memory_order_acquire);
+    return completed_.value(std::memory_order_acquire) ==
+           accepted_.value(std::memory_order_acquire);
   });
 }
 
@@ -191,22 +253,34 @@ void SsspServer::shutdown() {
 
 ServerStats SsspServer::stats() const {
   ServerStats s;
-  s.accepted = accepted_.load(std::memory_order_acquire);
-  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
-  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
-  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_acquire);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.max_batch = max_batch_.load(std::memory_order_relaxed);
-  s.lower_bound_exits = lb_exits_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.value(std::memory_order_acquire);
+  s.rejected_full = rejected_full_.value();
+  s.rejected_invalid = rejected_invalid_.value();
+  s.rejected_shutdown = rejected_shutdown_.value();
+  s.completed = completed_.value(std::memory_order_acquire);
+  s.batches = batches_.value();
+  s.max_batch = static_cast<std::uint64_t>(max_batch_.value());
+  s.cache_hits = cache_hits_.value();
+  s.cache_misses = cache_misses_.value();
+  s.lower_bound_exits = lb_exits_.value();
   s.epoch = pin(engine_)->graph_epoch();
-  s.swaps = swaps_.load(std::memory_order_relaxed);
-  if (cache_ != nullptr) {
-    const ResultCacheStats cs = cache_->stats();
-    s.cache_hits = cs.hits;
-    s.cache_misses = cs.misses + cs.single_flight_waits;
-  }
+  s.swaps = swaps_.value();
+  s.traced = traced_.value();
+  s.slow_queries = slow_queries_.value();
   return s;
+}
+
+std::string SsspServer::export_metrics(MetricsFormat format) const {
+  // Refresh the live gauges so a scrape is current: the epoch of the
+  // currently-published snapshot and the admitted-minus-completed gap.
+  // (Reference members make this legal from a const method; the gauges
+  // are registry cells, not server state.)
+  epoch_gauge_.set(static_cast<double>(pin(engine_)->graph_epoch()));
+  in_flight_gauge_.set(
+      static_cast<double>(accepted_.value(std::memory_order_acquire) -
+                          completed_.value(std::memory_order_acquire)));
+  return format == MetricsFormat::kJson ? obs::to_json(metrics_)
+                                        : obs::to_prometheus(metrics_);
 }
 
 ResultCacheStats SsspServer::cache_stats() const {
@@ -240,7 +314,8 @@ void SsspServer::swap_engine(std::shared_ptr<const SsspEngine> next) {
   // Rows keyed to older epochs can never match again (epochs only grow);
   // reclaim their memory eagerly.
   if (cache_ != nullptr) cache_->purge_stale(epoch);
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  epoch_gauge_.set(static_cast<double>(epoch));
+  swaps_.add();
 }
 
 void SsspServer::on_graph_replaced() {
@@ -272,6 +347,7 @@ void SsspServer::batcher_loop() {
 
     Pending first;
     if (!queue_.pop(first)) break;  // closed and fully drained
+    if (marks_enabled_) first.t_popped = std::chrono::steady_clock::now();
     batch.clear();
     batch.push_back(std::move(first));
 
@@ -284,11 +360,88 @@ void SsspServer::batcher_loop() {
       Pending more;
       while (batch.size() < opts_.max_batch &&
              queue_.try_pop_until(more, deadline)) {
+        if (marks_enabled_) {
+          more.t_popped = std::chrono::steady_clock::now();
+        }
         batch.push_back(std::move(more));
       }
     }
 
     execute(batch);
+  }
+}
+
+void SsspServer::assemble_trace(Pending& p, QueryResponse& resp,
+                                std::chrono::steady_clock::time_point now,
+                                std::uint64_t e2e_us) {
+  using std::chrono::duration_cast;
+  using std::chrono::nanoseconds;
+  const auto ns_between = [](std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+    return b <= a ? std::uint64_t{0}
+                  : static_cast<std::uint64_t>(
+                        duration_cast<nanoseconds>(b - a).count());
+  };
+  const auto rel = [&](std::chrono::steady_clock::time_point t) {
+    return ns_between(p.accepted_at, t);
+  };
+  // The synchronous cache-hit path never stamped queue marks: one span
+  // covers the whole request. Otherwise the five stations tile
+  // [accepted_at, now] back to back, so depth-0 durations sum to the
+  // end-to-end latency exactly.
+  obs::TraceBuffer tb;
+  tb.enabled = true;
+  tb.origin_ns = static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(p.accepted_at.time_since_epoch()).count());
+  const bool queued =
+      p.t_enqueued != std::chrono::steady_clock::time_point{};
+  if (!queued) {
+    tb.add(obs::SpanId::kCacheHit, 0, 0, ns_between(p.accepted_at, now));
+  } else {
+    tb.add(obs::SpanId::kAdmission, 0, 0,
+           ns_between(p.accepted_at, p.t_enqueued));
+    tb.add(obs::SpanId::kQueueWait, 0, rel(p.t_enqueued),
+           ns_between(p.t_enqueued, p.t_popped));
+    tb.add(obs::SpanId::kBatchForm, 0, rel(p.t_popped),
+           ns_between(p.t_popped, p.t_exec));
+    tb.add(obs::SpanId::kEngine, 0, rel(p.t_exec),
+           ns_between(p.t_exec, p.t_engine_done));
+    tb.add(obs::SpanId::kRespond, 0, rel(p.t_engine_done),
+           ns_between(p.t_engine_done, now));
+    // Engine-phase detail (duration-only; anchored at the engine span's
+    // start) from the RunStats hooks the engines filled for this traced
+    // run.
+    if (resp.stats.relax_ns != 0) {
+      tb.add(obs::SpanId::kRelax, 1, rel(p.t_exec), resp.stats.relax_ns);
+    }
+    if (resp.stats.exchange_ns != 0) {
+      tb.add(obs::SpanId::kExchange, 1, rel(p.t_exec),
+             resp.stats.exchange_ns);
+    }
+    if (resp.stats.partition_ns != 0) {
+      tb.add(obs::SpanId::kPartition, 1, rel(p.t_exec),
+             resp.stats.partition_ns);
+    }
+  }
+  if (p.traced) resp.trace = tb;
+  if (opts_.slow_query_us != 0 && e2e_us >= opts_.slow_query_us) {
+    slow_queries_.add();
+    // One line per slow request, greppable, spans in microseconds. The
+    // playbook (docs/OPERATIONS.md) reads these.
+    char buf[512];
+    int off = std::snprintf(
+        buf, sizeof(buf), "rs_slow_query source=%llu e2e_us=%llu",
+        static_cast<unsigned long long>(resp.source),
+        static_cast<unsigned long long>(e2e_us));
+    for (std::size_t i = 0; i < tb.size && off > 0 &&
+                            static_cast<std::size_t>(off) < sizeof(buf);
+         ++i) {
+      off += std::snprintf(
+          buf + off, sizeof(buf) - static_cast<std::size_t>(off),
+          " %s_us=%llu", obs::to_string(tb.spans[i].id),
+          static_cast<unsigned long long>(tb.spans[i].duration_ns / 1000));
+    }
+    std::fprintf(stderr, "%s\n", buf);
   }
 }
 
@@ -298,14 +451,17 @@ void SsspServer::complete(Pending& p, QueryResponse&& resp) {
       now - p.accepted_at);
   latency_.record(static_cast<std::uint64_t>(us.count()));
   if (resp.lower_bound_exits != 0) {
-    lb_exits_.fetch_add(resp.lower_bound_exits, std::memory_order_relaxed);
+    lb_exits_.add(resp.lower_bound_exits);
+  }
+  if (p.traced || opts_.slow_query_us != 0) {
+    assemble_trace(p, resp, now, static_cast<std::uint64_t>(us.count()));
   }
   p.promise.set_value(std::move(resp));
   // Advance completed_ under the drain mutex so a drainer that just
   // checked the counters cannot go to sleep and miss this notification.
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
-    completed_.fetch_add(1, std::memory_order_release);
+    completed_.add(1, std::memory_order_release);
   }
   drain_cv_.notify_all();
 }
@@ -336,6 +492,7 @@ void SsspServer::execute(std::vector<Pending>& batch) {
         full.source = p.request.source;
         full.engine = p.request.engine;
         full.want_full_distances = true;
+        full.trace = p.request.trace;
         exec_idx.push_back(i);
         requests.push_back(std::move(full));
         break;
@@ -354,11 +511,15 @@ void SsspServer::execute(std::vector<Pending>& batch) {
     p.promise.set_exception(err);
     {
       std::lock_guard<std::mutex> lock(drain_mutex_);
-      completed_.fetch_add(1, std::memory_order_release);
+      completed_.add(1, std::memory_order_release);
     }
     drain_cv_.notify_all();
   };
 
+  if (marks_enabled_) {
+    const auto t_exec = std::chrono::steady_clock::now();
+    for (Pending& p : batch) p.t_exec = t_exec;
+  }
   std::vector<QueryResponse> responses;
   bool failed = false;
   if (!requests.empty()) {
@@ -373,13 +534,12 @@ void SsspServer::execute(std::vector<Pending>& batch) {
       const std::exception_ptr err = std::current_exception();
       for (const std::size_t i : exec_idx) finish_error(batch[i], err);
     }
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    std::uint64_t width = requests.size();
-    std::uint64_t cur = max_batch_.load(std::memory_order_relaxed);
-    while (width > cur &&
-           !max_batch_.compare_exchange_weak(cur, width,
-                                             std::memory_order_relaxed)) {
-    }
+    batches_.add();
+    max_batch_.record_max(static_cast<double>(requests.size()));
+  }
+  if (marks_enabled_) {
+    const auto t_done = std::chrono::steady_clock::now();
+    for (Pending& p : batch) p.t_engine_done = t_done;
   }
 
   if (!failed) {
@@ -419,9 +579,18 @@ void SsspServer::execute(std::vector<Pending>& batch) {
         const RowPtr row = p.pending_row.get();  // rethrows owner failure
         QueryResponse resp;
         answer_from_row(p.request, *row, resp);
+        // The shared row replaced the engine run: zero-width engine span,
+        // the row read lands in `respond`.
+        if (marks_enabled_) {
+          p.t_engine_done = p.t_exec = std::chrono::steady_clock::now();
+        }
         complete(p, std::move(resp));
       } else {
+        if (marks_enabled_) p.t_exec = std::chrono::steady_clock::now();
         QueryResponse resp = eng->serve(p.request);
+        if (marks_enabled_) {
+          p.t_engine_done = std::chrono::steady_clock::now();
+        }
         complete(p, std::move(resp));
       }
     } catch (...) {
@@ -439,7 +608,8 @@ std::string format_stats_line(const SsspServer& server) {
       "accepted=%llu completed=%llu shed=%llu invalid=%llu shutdown=%llu "
       "batches=%llu mean_batch=%.2f max_batch=%llu cache_hits=%llu "
       "cache_misses=%llu lower_bound_exits=%llu epoch=%llu swaps=%llu "
-      "in_flight=%llu p50_us=%llu p99_us=%llu p999_us=%llu",
+      "in_flight=%llu p50_us=%llu p99_us=%llu p999_us=%llu traced=%llu "
+      "slow=%llu",
       static_cast<unsigned long long>(s.accepted),
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.rejected_full),
@@ -455,7 +625,9 @@ std::string format_stats_line(const SsspServer& server) {
       static_cast<unsigned long long>(s.in_flight()),
       static_cast<unsigned long long>(snap.value_at_quantile(0.50)),
       static_cast<unsigned long long>(snap.value_at_quantile(0.99)),
-      static_cast<unsigned long long>(snap.value_at_quantile(0.999)));
+      static_cast<unsigned long long>(snap.value_at_quantile(0.999)),
+      static_cast<unsigned long long>(s.traced),
+      static_cast<unsigned long long>(s.slow_queries));
   return std::string(buf);
 }
 

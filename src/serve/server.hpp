@@ -71,6 +71,8 @@
 
 #include "core/engine.hpp"
 #include "core/request.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/landmark_oracle.hpp"
 #include "serve/latency_histogram.hpp"
 #include "serve/request_queue.hpp"
@@ -133,6 +135,19 @@ struct ServerOptions {
   bool enable_landmarks = false;
   /// Selection knobs for the oracle (used iff enable_landmarks).
   LandmarkOptions landmarks;
+
+  /// Trace every Nth admitted request (0 = off): sampled requests get a
+  /// per-request span breakdown in QueryResponse::trace (obs/trace.hpp)
+  /// and the engines time their phases for them. The daemon wires
+  /// `--trace-sample` / the RS_TRACE env into this.
+  std::uint32_t trace_sample = 0;
+
+  /// Slow-query log threshold in microseconds (0 = off): any request
+  /// whose end-to-end latency reaches it dumps a one-line station
+  /// breakdown to stderr and bumps rs_slow_queries_total. Works for
+  /// untraced requests too (station marks are kept whenever either knob
+  /// is on); traced requests add their engine-phase detail.
+  std::uint64_t slow_query_us = 0;
 };
 
 /// Monotonic counters, readable at any time without stopping the server.
@@ -157,6 +172,11 @@ struct ServerStats {
   /// swap_engine() calls that have published a successor engine.
   std::uint64_t swaps = 0;
 
+  /// Requests traced by the sampling knob (trace_sample).
+  std::uint64_t traced = 0;
+  /// Requests at or over the slow-query threshold (slow_query_us).
+  std::uint64_t slow_queries = 0;
+
   /// Requests admitted but not yet completed (queued or being served).
   std::uint64_t in_flight() const { return accepted - completed; }
   /// Mean micro-batch width — the coalescing factor under load.
@@ -165,6 +185,12 @@ struct ServerStats {
                         : static_cast<double>(completed) /
                               static_cast<double>(batches);
   }
+};
+
+/// Which rendering SsspServer::export_metrics produces.
+enum class MetricsFormat : std::uint8_t {
+  kPrometheus,  ///< Text exposition format (scrapable; `metrics` verb).
+  kJson,        ///< One-line JSON array (`metrics json` verb).
 };
 
 /// The serving daemon (see file comment for the architecture).
@@ -216,8 +242,22 @@ class SsspServer {
   /// served), joins the batchers. Idempotent; safe to call concurrently.
   void shutdown();
 
-  /// Snapshot of every monotonic counter (plus the live epoch).
+  /// Snapshot of every monotonic counter (plus the live epoch). Reads the
+  /// metrics registry — the same cells `stats` verb, shutdown print, and
+  /// export_metrics() render, so the three can never disagree.
   ServerStats stats() const;
+
+  /// The server's metrics registry: every counter above lives here, and
+  /// co-located subsystems (DynamicSsspService) register their own series
+  /// alongside so one scrape covers the whole deployment.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Renders the full registry — counters, gauges, the latency summary —
+  /// as Prometheus text exposition or JSON. Live gauges (epoch, in-flight)
+  /// are refreshed first, so a scrape is always current.
+  std::string export_metrics(
+      MetricsFormat format = MetricsFormat::kPrometheus) const;
 
   /// End-to-end request latency (microseconds, submit to completion).
   const LatencyHistogram& latency() const { return latency_; }
@@ -268,6 +308,18 @@ class SsspServer {
     CacheRole role = CacheRole::kDirect;
     CacheKey key;                              // kOwner/kWaiter
     std::shared_future<RowPtr> pending_row;    // kWaiter
+
+    /// Sampled for a span breakdown (ServerOptions::trace_sample).
+    bool traced = false;
+    // Station marks, stamped only while tracing or the slow-query log is
+    // on (marks_enabled_): the depth-0 spans tile [accepted_at, complete]
+    // exactly, so their durations sum to the end-to-end latency. A
+    // default (epoch-zero) t_enqueued means the request never entered the
+    // queue — the synchronous cache-hit path.
+    std::chrono::steady_clock::time_point t_enqueued{};
+    std::chrono::steady_clock::time_point t_popped{};
+    std::chrono::steady_clock::time_point t_exec{};
+    std::chrono::steady_clock::time_point t_engine_done{};
   };
 
   void batcher_loop();
@@ -279,12 +331,46 @@ class SsspServer {
   /// Completes one request (latency record + promise + drain counters).
   void complete(Pending& p, QueryResponse&& resp);
 
+  /// Builds the traced span breakdown (and serves the slow-query log)
+  /// for one completing request. `now` is the completion instant.
+  void assemble_trace(Pending& p, QueryResponse& resp,
+                      std::chrono::steady_clock::time_point now,
+                      std::uint64_t e2e_us);
+
   // The published engine snapshot, accessed only through the C++17
   // atomic shared_ptr free functions (the SnapshotSwap pattern): submit
   // pins once per request, execute pins once per micro-batch, and
   // swap_engine publishes a successor. Never null after construction.
   std::shared_ptr<const SsspEngine> engine_;
   const ServerOptions opts_;
+
+  // THE counter source of truth: every ServerStats field is a registry
+  // series, and stats()/format_stats_line/export_metrics all read these
+  // same cells. Registration happens once, in the constructor; the
+  // references below are stable handles whose updates are single relaxed
+  // fetch_adds (no lock, no lookup, no allocation on the hot path).
+  obs::MetricsRegistry metrics_;
+  obs::Counter& accepted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_full_;
+  obs::Counter& rejected_invalid_;
+  obs::Counter& rejected_shutdown_;
+  obs::Counter& batches_;
+  obs::Gauge& max_batch_;  // high-watermark (record_max)
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& lb_exits_;
+  obs::Counter& swaps_;
+  obs::Counter& traced_;
+  obs::Counter& slow_queries_;
+  obs::Gauge& epoch_gauge_;      // refreshed on swap + export
+  obs::Gauge& in_flight_gauge_;  // refreshed on export
+  obs::Histogram& latency_;
+
+  // Trace sampling state: request sequence number for the every-Nth
+  // pick, and whether station marks are stamped at all.
+  std::atomic<std::uint64_t> trace_seq_{0};
+  const bool marks_enabled_;
 
   // Caching/oracle layer (null when disabled). The oracle is swapped
   // with the engine: batchers pin it alongside the engine snapshot and
@@ -306,24 +392,12 @@ class SsspServer {
   bool paused_ = false;
 
   // In-flight tracking: accepted_ counts successful admissions,
-  // completed_ counts fulfilled promises; drain() waits for the gap to
-  // close. completed_ is only advanced under drain_mutex_ (then
-  // notified), so a drainer cannot miss the final wakeup.
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> completed_{0};
+  // completed_ counts fulfilled promises (both registry counters, see
+  // above); drain() waits for the gap to close. completed_ is only
+  // advanced under drain_mutex_ (then notified), so a drainer cannot
+  // miss the final wakeup.
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
-
-  // Stats counters (relaxed; read via stats()).
-  std::atomic<std::uint64_t> rejected_full_{0};
-  std::atomic<std::uint64_t> rejected_invalid_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> max_batch_{0};
-  std::atomic<std::uint64_t> lb_exits_{0};
-  std::atomic<std::uint64_t> swaps_{0};
-
-  LatencyHistogram latency_;
 
   std::once_flag shutdown_once_;
 };
@@ -336,7 +410,10 @@ class SsspServer {
 ///   accepted=5 completed=5 shed=0 invalid=0 shutdown=0 batches=2
 ///   mean_batch=2.50 max_batch=4 cache_hits=1 cache_misses=4
 ///   lower_bound_exits=0 epoch=1 swaps=0 in_flight=0 p50_us=42 p99_us=91
-///   p999_us=91
+///   p999_us=91 traced=0 slow=0
+///
+/// Every value is read from the server's MetricsRegistry — the same cells
+/// the `metrics` exposition renders — so the two can never disagree.
 std::string format_stats_line(const SsspServer& server);
 
 }  // namespace rs::serve

@@ -134,6 +134,26 @@ IncrementalUpdateStats IncrementalPreprocessor::apply(
   return stats;
 }
 
+std::size_t IncrementalPreprocessor::count_dirty(
+    const std::vector<WeightUpdate>& updates) const {
+  std::vector<std::uint8_t> seen(graph_.num_vertices(), 0);
+  std::size_t dirty = 0;
+  const auto mark = [&](const Vertex t) {
+    if (static_cast<std::size_t>(t) >= member_of_.size()) return;
+    for (const Vertex s : member_of_[t]) {
+      if (!seen[s]) {
+        seen[s] = 1;
+        ++dirty;
+      }
+    }
+  };
+  for (const WeightUpdate& up : updates) {
+    mark(up.u);
+    if (up.v != up.u) mark(up.v);
+  }
+  return dirty;
+}
+
 PreprocessResult IncrementalPreprocessor::result() const {
   PreprocessResult out;
   out.options = options_;

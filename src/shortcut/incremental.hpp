@@ -72,6 +72,15 @@ class IncrementalPreprocessor {
   /// nothing.
   IncrementalUpdateStats apply(const std::vector<WeightUpdate>& updates);
 
+  /// Counts the balls a batch WOULD dirty, without applying it: every ball
+  /// whose settled set contains an updated edge's endpoint (an undirected
+  /// update re-weights both directions, so both endpoints are arc tails).
+  /// Upper bound on apply()'s dirty_balls — no-op updates are not filtered
+  /// out here because that would need the arc lookup apply() does. O(sum
+  /// of member_of_ lists touched); never throws for in-range vertices.
+  /// Drives the dirty-fraction flush trigger in serve::DynamicSsspService.
+  std::size_t count_dirty(const std::vector<WeightUpdate>& updates) const;
+
   /// Splices the current balls into a full PreprocessResult for the
   /// current graph — bit-identical to cold preprocess(graph(), options())
   /// (graph, radius, added_edges, added_factor all match).

@@ -17,6 +17,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -318,6 +320,89 @@ TEST(DynamicService, SwapUnderLoadEveryResponseConsistentWithItsEpoch) {
   EXPECT_GT(checked.load(), 0u);
   EXPECT_EQ(svc.server().stats().swaps, 6u);
   EXPECT_EQ(svc.server().engine_snapshot()->graph_epoch(), 7u);
+}
+
+// Polls until the published epoch reaches `want` (the background flusher
+// runs on its own thread) or a generous deadline passes.
+bool wait_for_epoch(DynamicSsspService& svc, std::uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (svc.server().engine_snapshot()->graph_epoch() >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+TEST(DynamicService, DirtyFractionGaugeTracksStagedWork) {
+  const Graph g = test::weighted_suite(63)[0].graph;
+  DynamicSsspService svc(g, small_options());
+  obs::Gauge& frac =
+      svc.server().metrics().gauge("rs_dyn_dirty_fraction");
+  EXPECT_DOUBLE_EQ(frac.value(), 0.0);
+
+  const std::vector<WeightUpdate> batch = {
+      {0, g.arc_target(g.first_arc(0)), 999}};
+  svc.stage(batch);
+  EXPECT_GT(frac.value(), 0.0);
+  EXPECT_LE(frac.value(), 1.0);
+  // The gauge also rides the metrics export.
+  EXPECT_NE(svc.server().export_metrics().find("rs_dyn_dirty_fraction"),
+            std::string::npos);
+
+  svc.flush();
+  EXPECT_DOUBLE_EQ(frac.value(), 0.0);  // flush resets the debt
+}
+
+TEST(DynamicService, BackgroundFlushFiresOnDirtyFractionThreshold) {
+  const Graph g = test::weighted_suite(64)[0].graph;
+  DynamicSsspService::Options opts = small_options();
+  // Any batch that dirties at least one ball crosses this threshold, so
+  // the stage() below must trigger an immediate background flush.
+  opts.flush_dirty_fraction = 1e-9;
+  DynamicSsspService svc(g, opts);
+
+  const std::vector<WeightUpdate> batch = {
+      {1, g.arc_target(g.first_arc(1)), 777}};
+  const Graph mutated = apply_weight_updates(g, batch).graph;
+  svc.stage(batch);
+
+  ASSERT_TRUE(wait_for_epoch(svc, 2));
+  EXPECT_FALSE(svc.has_staged());
+  const QueryResponse after =
+      svc.server().serve_sync(targeted(2, spread_targets(g, 3)));
+  EXPECT_EQ(after.graph_epoch, 2u);
+  expect_matches_dijkstra(after, mutated, 2, "background-threshold");
+}
+
+TEST(DynamicService, BackgroundFlushFiresOnTimer) {
+  const Graph g = test::weighted_suite(65)[0].graph;
+  DynamicSsspService::Options opts = small_options();
+  opts.flush_interval_ms = 10;  // threshold off: only the timer flushes
+  DynamicSsspService svc(g, opts);
+
+  const std::vector<WeightUpdate> batch = {
+      {2, g.arc_target(g.first_arc(2)), 555}};
+  const Graph mutated = apply_weight_updates(g, batch).graph;
+  svc.stage(batch);
+
+  ASSERT_TRUE(wait_for_epoch(svc, 2));
+  EXPECT_FALSE(svc.has_staged());
+  const QueryResponse after =
+      svc.server().serve_sync(targeted(4, spread_targets(g, 3)));
+  expect_matches_dijkstra(after, mutated, 4, "background-timer");
+}
+
+TEST(DynamicService, ShutdownWithFlusherAndStagedUpdatesIsClean) {
+  const Graph g = test::weighted_suite(66)[0].graph;
+  DynamicSsspService::Options opts = small_options();
+  opts.flush_interval_ms = 60000;  // armed but won't fire during the test
+  {
+    DynamicSsspService svc(g, opts);
+    svc.stage({{0, g.arc_target(g.first_arc(0)), 123}});
+    EXPECT_TRUE(svc.has_staged());
+    // Destructor must stop the flusher without forcing a final flush.
+  }
 }
 
 }  // namespace

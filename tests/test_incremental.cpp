@@ -157,6 +157,41 @@ TEST(IncrementalPreprocessor, SmallBatchDirtiesASubset) {
   EXPECT_LT(stats.dirty_balls, stats.total_balls / 2);
 }
 
+TEST(IncrementalPreprocessor, CountDirtyPredictsApplyWithoutMutating) {
+  const Graph g = test::weighted_suite(48)[0].graph;
+  PreprocessOptions opts;
+  opts.rho = 8;
+  opts.k = 2;
+  IncrementalPreprocessor inc(g, opts);
+  std::mt19937 rng(77);
+  const std::vector<WeightUpdate> batch = random_updates(g, 3, rng);
+
+  // Preview first: count_dirty must not change any state...
+  const std::size_t predicted = inc.count_dirty(batch);
+  EXPECT_TRUE(inc.graph() == g);
+  // ...and it upper-bounds what apply() then actually recomputes (equal
+  // when no update in the batch is a no-op).
+  const IncrementalUpdateStats stats = inc.apply(batch);
+  EXPECT_GE(predicted, stats.dirty_balls);
+  EXPECT_GT(predicted, 0u);
+
+  // A no-op batch still counts its balls (documented upper bound): the
+  // preview has no arc-weight lookup, only the membership index.
+  Vertex u = 0;
+  while (inc.graph().first_arc(u) == inc.graph().last_arc(u)) ++u;
+  const EdgeId e = inc.graph().first_arc(u);
+  const std::vector<WeightUpdate> noop = {WeightUpdate{
+      u, inc.graph().arc_target(e), inc.graph().arc_weight(e)}};
+  EXPECT_GT(inc.count_dirty(noop), 0u);
+  EXPECT_EQ(inc.apply(noop).dirty_balls, 0u);
+
+  // Out-of-range vertices are simply not in any ball.
+  EXPECT_EQ(inc.count_dirty({WeightUpdate{
+                static_cast<Vertex>(inc.graph().num_vertices() + 7),
+                static_cast<Vertex>(inc.graph().num_vertices() + 8), 1}}),
+            0u);
+}
+
 TEST(IncrementalPreprocessor, ExceptionLeavesStateUsable) {
   const Graph g = test::weighted_suite(48)[1].graph;
   PreprocessOptions opts;

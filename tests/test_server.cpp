@@ -583,5 +583,142 @@ TEST(LatencyHistogram, EmptyAndResetReportZero) {
   EXPECT_EQ(hist.value_at_quantile(0.5), 0u);
 }
 
+TEST(Observability, StatsRegistryAndExpositionReadTheSameCells) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.enable_cache = true;
+  SsspServer server(engine, opts);
+  const QueryRequest req = p2p(engine, 4);
+  (void)server.serve_sync(req);
+  (void)server.serve_sync(req);  // cache hit
+  server.drain();
+
+  // One source of truth: ServerStats, the raw registry handles, and the
+  // Prometheus exposition must all report the same numbers.
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(
+      server.metrics().counter("rs_requests_accepted_total").value(), 2u);
+  EXPECT_EQ(server.metrics().counter("rs_cache_hits_total").value(),
+            s.cache_hits);
+  EXPECT_EQ(server.metrics().counter("rs_cache_misses_total").value(),
+            s.cache_misses);
+
+  const std::string text = server.export_metrics();
+  EXPECT_NE(text.find("rs_requests_accepted_total 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rs_requests_completed_total 2"), std::string::npos);
+  EXPECT_NE(text.find("rs_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("rs_graph_epoch 1"), std::string::npos);
+  EXPECT_NE(text.find("rs_in_flight 0"), std::string::npos);
+  EXPECT_NE(text.find("rs_request_latency_us_count 2"), std::string::npos);
+
+  const std::string json =
+      server.export_metrics(serve::MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"name\":\"rs_requests_accepted_total\""),
+            std::string::npos);
+}
+
+TEST(Observability, TraceSampleOneSpansTileEndToEndLatency) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.trace_sample = 1;
+  SsspServer server(engine, opts);
+
+  const QueryResponse resp = server.serve_sync(p2p(engine, 6));
+  server.drain();
+
+  ASSERT_TRUE(resp.trace.enabled);
+  ASSERT_GE(resp.trace.size, 5u);  // the five stations (+ engine detail)
+  const obs::SpanId want[] = {obs::SpanId::kAdmission,
+                              obs::SpanId::kQueueWait,
+                              obs::SpanId::kBatchForm, obs::SpanId::kEngine,
+                              obs::SpanId::kRespond};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(resp.trace.spans[i].id, want[i]) << i;
+    EXPECT_EQ(resp.trace.spans[i].depth, 0u);
+  }
+  // Stations tile [admission, completion] contiguously.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(resp.trace.spans[i].start_ns,
+              resp.trace.spans[i - 1].start_ns +
+                  resp.trace.spans[i - 1].duration_ns);
+  }
+  // Any engine-phase detail is depth 1 and fits inside the engine span.
+  for (std::size_t i = 5; i < resp.trace.size; ++i) {
+    EXPECT_EQ(resp.trace.spans[i].depth, 1u);
+  }
+
+  // Acceptance: span durations sum to the e2e latency within 10%. The
+  // histogram quantile is a bucket UPPER bound (<= 1/32 high), so compare
+  // against it with that error plus 2us of truncation slack.
+  const double spans_us =
+      static_cast<double>(resp.trace.station_total_ns()) / 1000.0;
+  const auto p100 =
+      static_cast<double>(server.latency().value_at_quantile(1.0));
+  EXPECT_LE(spans_us, p100 + 2.0);
+  EXPECT_GE(spans_us, p100 / (1.0 + 1.0 / 32.0) - 2.0);
+  EXPECT_EQ(server.stats().traced, 1u);
+}
+
+TEST(Observability, TraceSamplingSelectsEveryNthRequest) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.trace_sample = 2;
+  SsspServer server(engine, opts);
+
+  int traced = 0;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (server.serve_sync(p2p(engine, i)).trace.enabled) ++traced;
+  }
+  server.drain();
+  EXPECT_EQ(traced, 3);  // sequence 0, 2, 4
+  EXPECT_EQ(server.stats().traced, 3u);
+
+  // Untraced requests carry an empty, disabled buffer.
+  SsspServer untraced(engine, {});
+  const QueryResponse resp = untraced.serve_sync(p2p(engine, 1));
+  EXPECT_FALSE(resp.trace.enabled);
+  EXPECT_EQ(resp.trace.size, 0u);
+  EXPECT_EQ(untraced.stats().traced, 0u);
+}
+
+TEST(Observability, CacheHitTraceIsOneSynchronousSpan) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.enable_cache = true;
+  opts.trace_sample = 1;
+  SsspServer server(engine, opts);
+
+  const QueryRequest req = p2p(engine, 9);
+  (void)server.serve_sync(req);  // owner: computes + caches
+  const QueryResponse hit = server.serve_sync(req);
+  server.drain();
+
+  ASSERT_TRUE(hit.served_from_cache);
+  ASSERT_TRUE(hit.trace.enabled);
+  ASSERT_EQ(hit.trace.size, 1u);
+  EXPECT_EQ(hit.trace.spans[0].id, obs::SpanId::kCacheHit);
+  EXPECT_EQ(hit.trace.spans[0].depth, 0u);
+}
+
+TEST(Observability, SlowQueryThresholdCountsSlowRequests) {
+  const SsspEngine engine = small_engine();
+  ServerOptions opts;
+  opts.slow_query_us = 1;  // everything is "slow": the counter must move
+  SsspServer server(engine, opts);
+  (void)server.serve_sync(p2p(engine, 3));
+  server.drain();
+  EXPECT_EQ(server.stats().slow_queries, 1u);
+  EXPECT_NE(server.export_metrics().find("rs_slow_queries_total 1"),
+            std::string::npos);
+
+  // A sky-high threshold never fires.
+  SsspServer quiet(engine, {});  // slow_query_us = 0: disabled
+  (void)quiet.serve_sync(p2p(engine, 3));
+  quiet.drain();
+  EXPECT_EQ(quiet.stats().slow_queries, 0u);
+}
+
 }  // namespace
 }  // namespace rs
